@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the rows/series its paper table or figure reports and
+persists them under ``benchmarks/results/`` so the output survives pytest's
+capture.  Timing of the headline operation goes through pytest-benchmark's
+``benchmark`` fixture (single round — these are experiments, not
+micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterable, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it to benchmarks/results/."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable [seconds] cell."""
+    cell = [0.0]
+    start = time.perf_counter()
+    try:
+        yield cell
+    finally:
+        cell[0] = time.perf_counter() - start
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def fmt_row(cols: List, widths: List[int]) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))

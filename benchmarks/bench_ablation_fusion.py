@@ -1,0 +1,58 @@
+"""Ablation: operator fusion (stage packing, paper §2.3).
+
+KeystoneML packs operators up to pipeline breakers into the same job.  The
+in-process analogue fuses single-consumer transformer chains into one
+partition pass.  This bench measures the dispatch overhead saved on a
+transformer-heavy text pipeline and verifies results are unchanged.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.pipelines import amazon_pipeline
+from repro.workloads import amazon_reviews
+
+from _common import fmt_row, once, report
+
+
+def test_ablation_fusion(benchmark):
+    wl = amazon_reviews(1200, 100, vocab_size=1500, seed=0)
+
+    def run():
+        results = {}
+        for fuse in (False, True):
+            ctx = Context()
+            pipe = amazon_pipeline(ctx, wl, num_features=600,
+                                   lbfgs_iters=20)
+            start = time.perf_counter()
+            fitted = pipe.fit(level="pipe", sample_sizes=(30, 60),
+                              fuse=fuse)
+            elapsed = time.perf_counter() - start
+            test_ctx = Context()
+            sample_scores = fitted.apply_dataset(
+                wl.test_data(test_ctx)).take(10)
+            results[fuse] = (elapsed, fitted, sample_scores)
+        return results
+
+    results = once(benchmark, run)
+
+    t_plain, _, scores_plain = results[False]
+    t_fused, fitted_fused, scores_fused = results[True]
+    lines = [
+        fmt_row(["config", "fit(s)"], [10, 10]),
+        fmt_row(["plain", f"{t_plain:.2f}"], [10, 10]),
+        fmt_row(["fused", f"{t_fused:.2f}"], [10, 10]),
+        f"speedup: {t_plain / t_fused:.2f}x",
+    ]
+    report("ablation_fusion", lines)
+
+    # Fusion never changes results.
+    for a, b in zip(scores_plain, scores_fused):
+        np.testing.assert_allclose(np.asarray(a, dtype=float),
+                                   np.asarray(b, dtype=float), atol=1e-10)
+    # And never slows fitting down catastrophically (dispatch savings are
+    # modest at laptop scale; the guard is against regression).
+    assert t_fused < 2.0 * t_plain

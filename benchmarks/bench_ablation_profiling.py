@@ -1,0 +1,61 @@
+"""Ablation: profiling (execution subsampling) overhead and stability (§5.3).
+
+The paper reports optimization overheads are "insignificant except for the
+VOC pipeline" (few examples make sampling relatively expensive), and that
+linear extrapolation from two samples is accurate enough for resource
+management.  This bench measures: profiling time vs sample size, its share
+of total fit time, and whether the optimizer's decisions (operator
+selections and cache set sizes) are stable across sample sizes.
+"""
+
+import pytest
+
+from repro.dataset import Context
+from repro.pipelines import amazon_pipeline, voc_pipeline
+from repro.workloads import amazon_reviews, voc_images
+
+from _common import fmt_row, once, report
+
+SAMPLE_SIZES = [(10, 20), (25, 50), (50, 100)]
+
+
+def test_ablation_profiling_overhead(benchmark):
+    widths = [10, 12, 12, 12, 14, 10]
+    lines = [fmt_row(["pipeline", "samples", "optimize(s)", "execute(s)",
+                      "selections", "cached"], widths)]
+    stats = {}
+
+    def run():
+        for name, build in {
+            "amazon": lambda ctx: amazon_pipeline(
+                ctx, amazon_reviews(800, 1, vocab_size=1500, seed=0),
+                num_features=600, lbfgs_iters=20),
+            "voc": lambda ctx: voc_pipeline(
+                ctx, voc_images(50, 1, size=48, num_classes=4, seed=0),
+                pca_dims=12, gmm_components=4, sampled_descriptors=100),
+        }.items():
+            for sizes in SAMPLE_SIZES:
+                ctx = Context()
+                fitted = build(ctx).fit(level="full", sample_sizes=sizes)
+                r = fitted.training_report
+                stats[(name, sizes)] = r
+                lines.append(fmt_row(
+                    [name, str(sizes), f"{r.optimize_seconds:.2f}",
+                     f"{r.execute_seconds:.2f}",
+                     ",".join(sorted(set(r.selections.values()))),
+                     len(r.cache_set)], widths))
+        return stats
+
+    once(benchmark, run)
+    report("ablation_profiling", lines)
+
+    for name in ("amazon", "voc"):
+        reports = [stats[(name, s)] for s in SAMPLE_SIZES]
+        # Decisions are stable across sample sizes: same operator choices.
+        selections = [tuple(sorted(set(r.selections.values())))
+                      for r in reports]
+        assert len(set(selections)) == 1, name
+        # Profiling grows with sample size but stays bounded relative to
+        # the smallest-sample run (no pathological blow-up).
+        times = [r.optimize_seconds for r in reports]
+        assert times[-1] < 30 * (times[0] + 0.01), name

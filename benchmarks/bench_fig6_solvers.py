@@ -1,0 +1,103 @@
+"""Figure 6: solver runtime vs feature count, sparse and dense workloads.
+
+The paper's result (16 nodes, d = 1k..16k): on sparse Amazon features
+L-BFGS is 5-20x faster than exact and 26-260x faster than the block solver,
+and the exact solver crashes above 4k features; on dense TIMIT features the
+exact solver wins below ~8k and the block solver overtakes beyond.
+
+Scaled down (in-process, d = 128..1024 sparse / 64..256 dense) the same
+orderings hold; the final assertions check the paper's shape.
+"""
+
+import time
+
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.learning.linear import (
+    BlockCoordinateSolver,
+    LBFGSSolver,
+    LocalQRSolver,
+)
+from repro.workloads import dense_vectors, sparse_vectors
+
+from _common import fmt_row, once, report
+
+SPARSE_DIMS = [256, 512, 1024, 2048]
+DENSE_DIMS = [64, 128, 256]
+
+
+def _solvers(d):
+    # Fixed block size (like the paper's 1024-at-100k scale): the block
+    # count, and with it the scan count, grows with d.
+    return {
+        "exact": LocalQRSolver(),
+        "block": BlockCoordinateSolver(block_size=128, epochs=3),
+        "lbfgs": LBFGSSolver(max_iter=40),
+    }
+
+
+def _time_fit(solver, data, labels):
+    start = time.perf_counter()
+    solver.fit(data, labels)
+    return time.perf_counter() - start
+
+
+def test_fig6_sparse_amazon_like(benchmark):
+    lines = [fmt_row(["d", "exact(s)", "block(s)", "lbfgs(s)"],
+                     [8, 10, 10, 10])]
+    results = {}
+
+    def run():
+        for d in SPARSE_DIMS:
+            ctx = Context()
+            wl = sparse_vectors(num_train=1500, num_test=1, dim=d,
+                                nnz_per_row=20, seed=0)
+            data = wl.train_data(ctx, 4)
+            labels = wl.train_label_vectors(ctx, 4)
+            times = {name: _time_fit(s, data, labels)
+                     for name, s in _solvers(d).items()}
+            results[d] = times
+            lines.append(fmt_row(
+                [d] + [f"{times[k]:.3f}" for k in ("exact", "block",
+                                                   "lbfgs")],
+                [8, 10, 10, 10]))
+        return results
+
+    once(benchmark, run)
+    report("fig6_sparse", lines)
+
+    # Paper shape: on sparse data LBFGS beats exact, block is slowest,
+    # and the gap widens with d.
+    largest = results[SPARSE_DIMS[-1]]
+    assert largest["lbfgs"] < largest["exact"]
+    assert largest["block"] > largest["lbfgs"]
+
+
+def test_fig6_dense_timit_like(benchmark):
+    lines = [fmt_row(["d", "exact(s)", "block(s)", "lbfgs(s)"],
+                     [8, 10, 10, 10])]
+    results = {}
+
+    def run():
+        for d in DENSE_DIMS:
+            ctx = Context()
+            wl = dense_vectors(num_train=1500, num_test=1, dim=d,
+                               num_classes=8, seed=0)
+            data = wl.train_data(ctx, 4)
+            labels = wl.train_label_vectors(ctx, 4)
+            times = {name: _time_fit(s, data, labels)
+                     for name, s in _solvers(d).items()}
+            results[d] = times
+            lines.append(fmt_row(
+                [d] + [f"{times[k]:.3f}" for k in ("exact", "block",
+                                                   "lbfgs")],
+                [8, 10, 10, 10]))
+        return results
+
+    once(benchmark, run)
+    report("fig6_dense", lines)
+
+    # Paper shape: on small dense problems the exact solver is fastest.
+    smallest = results[DENSE_DIMS[0]]
+    assert smallest["exact"] < smallest["lbfgs"]

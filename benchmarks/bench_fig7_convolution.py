@@ -1,0 +1,77 @@
+"""Figure 7: convolution strategy runtime vs filter size.
+
+The paper convolves a 256x256 3-channel image with a bank of 50 filters,
+sweeping filter size k in 2..30: BLAS (im2col) wins at small k because the
+FFT's fixed cost dominates; FFT is flat in k and wins at large k; the
+separable strategy beats both whenever the filters are rank-1.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nodes.convolution import (
+    BLASConvolver,
+    FFTConvolver,
+    SeparableConvolver,
+)
+
+from _common import fmt_row, once, report
+
+FILTER_SIZES = [2, 4, 6, 10, 16, 24]
+IMAGE = np.random.default_rng(0).random((256, 256, 3))
+NUM_FILTERS = 16
+
+
+def _filters(k, separable, seed=1):
+    rng = np.random.default_rng(seed)
+    if not separable:
+        return rng.standard_normal((NUM_FILTERS, k, k, 3))
+    out = np.empty((NUM_FILTERS, k, k, 3))
+    for i in range(NUM_FILTERS):
+        for c in range(3):
+            out[i, :, :, c] = np.outer(rng.standard_normal(k),
+                                       rng.standard_normal(k))
+    return out
+
+
+def _time_apply(conv, reps=2):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        conv.apply(IMAGE)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_fig7_convolution_strategies(benchmark):
+    lines = [fmt_row(["k", "separable(ms)", "blas(ms)", "fft(ms)"],
+                     [4, 14, 10, 10])]
+    results = {}
+
+    def run():
+        for k in FILTER_SIZES:
+            sep_filters = _filters(k, separable=True)
+            any_filters = _filters(k, separable=False)
+            times = {
+                "separable": _time_apply(SeparableConvolver(sep_filters)),
+                "blas": _time_apply(BLASConvolver(any_filters)),
+                "fft": _time_apply(FFTConvolver(any_filters)),
+            }
+            results[k] = times
+            lines.append(fmt_row(
+                [k] + [f"{times[s] * 1e3:.1f}"
+                       for s in ("separable", "blas", "fft")],
+                [4, 14, 10, 10]))
+        return results
+
+    once(benchmark, run)
+    report("fig7_convolution", lines)
+
+    # Paper shape: BLAS wins at the smallest k; FFT time is ~flat in k and
+    # wins by the largest k; separable beats BLAS once k is large.
+    assert results[2]["blas"] < results[2]["fft"]
+    assert results[24]["fft"] < results[24]["blas"]
+    assert results[24]["fft"] < 3 * results[2]["fft"]
+    assert results[24]["separable"] < results[24]["blas"]

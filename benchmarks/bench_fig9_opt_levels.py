@@ -1,0 +1,77 @@
+"""Figure 9: impact of optimization levels on three applications.
+
+The paper compares None / whole-pipeline-only / full optimization on the
+Amazon, TIMIT and VOC pipelines with a per-stage breakdown: Amazon gains 7x
+from whole-pipeline optimization (caching features before the iterative
+solve); TIMIT gains 8x mostly from solver selection; VOC gains 12-15x from
+both.  Shapes to reproduce: every pipeline gets faster with more
+optimization, and the dominant source of improvement differs per pipeline.
+"""
+
+import time
+
+import pytest
+
+from repro.dataset import Context
+from repro.pipelines import amazon_pipeline, timit_pipeline, voc_pipeline
+from repro.workloads import amazon_reviews, timit_frames, voc_images
+
+from _common import fmt_row, once, report
+
+LEVELS = ["none", "pipe", "full"]
+
+
+def _builders():
+    return {
+        "amazon": lambda ctx: amazon_pipeline(
+            ctx, amazon_reviews(800, 1, vocab_size=1500, seed=0),
+            num_features=600, lbfgs_iters=25),
+        "timit": lambda ctx: timit_pipeline(
+            ctx, timit_frames(600, 1, dim=96, num_classes=10, seed=0),
+            num_feature_blocks=3, block_size=96),
+        "voc": lambda ctx: voc_pipeline(
+            ctx, voc_images(50, 1, size=48, num_classes=4, seed=0),
+            pca_dims=12, gmm_components=4, sampled_descriptors=100),
+    }
+
+
+def test_fig9_optimization_levels(benchmark):
+    widths = [10, 6, 10, 10, 10, 10]
+    lines = [fmt_row(["pipeline", "level", "total(s)", "optimize",
+                      "featurize", "solve"], widths)]
+    totals = {}
+
+    def run():
+        for name, build in _builders().items():
+            for level in LEVELS:
+                ctx = Context()
+                pipe = build(ctx)
+                start = time.perf_counter()
+                fitted = pipe.fit(level=level, sample_sizes=(20, 40))
+                total = time.perf_counter() - start
+                stages = fitted.training_report.stage_seconds()
+                totals[(name, level)] = total
+                lines.append(fmt_row(
+                    [name, level, f"{total:.2f}",
+                     f"{stages['Optimize']:.2f}",
+                     f"{stages['Featurize']:.2f}",
+                     f"{stages['Solve']:.2f}"], widths))
+        return totals
+
+    once(benchmark, run)
+
+    speedups = [fmt_row(["pipeline", "pipe-only", "full"], [10, 10, 10])]
+    for name in _builders():
+        speedups.append(fmt_row(
+            [name,
+             f"{totals[(name, 'none')] / totals[(name, 'pipe')]:.1f}x",
+             f"{totals[(name, 'none')] / totals[(name, 'full')]:.1f}x"],
+            [10, 10, 10]))
+    report("fig9_opt_levels", lines + [""] + speedups)
+
+    # Paper shape: full optimization beats no optimization on every
+    # pipeline, by a substantial factor on at least one.
+    ratios = [totals[(n, "none")] / totals[(n, "full")]
+              for n in _builders()]
+    assert all(r > 1.0 for r in ratios)
+    assert max(ratios) > 2.0

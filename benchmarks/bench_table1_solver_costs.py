@@ -1,0 +1,61 @@
+"""Table 1: resource requirements of the linear solvers.
+
+Prints each solver's cost profile (compute / network / memory terms) at
+paper-scale statistics, verifying the asymptotic shapes of Table 1:
+Local QR O(nd(d+k)), Dist. QR O(nd(d+k)/w), L-BFGS O(insk/w),
+Block O(ind(b+k)/w).
+"""
+
+import pytest
+
+from repro.cluster.resources import r3_4xlarge
+from repro.core.stats import DataStats
+from repro.nodes.learning.linear import LinearSolver
+
+from _common import fmt_row, once, report
+
+
+SCENARIOS = {
+    "amazon-sparse": DataStats(n=65_000_000, d=100_000, k=2, sparsity=0.001),
+    "timit-dense": DataStats(n=2_251_569, d=65_536, k=147, sparsity=1.0),
+    "small-dense": DataStats(n=1_000_000, d=1024, k=2, sparsity=1.0),
+}
+
+
+def test_table1_solver_cost_profiles(benchmark):
+    res = r3_4xlarge(16)
+    solver = LinearSolver()
+    lines = [fmt_row(["scenario", "solver", "compute(GFLOP)",
+                      "network(GB)", "memory(GB)", "feasible"],
+                     [14, 16, 16, 12, 12, 8])]
+
+    def build_table():
+        rows = []
+        for scen_name, stats in SCENARIOS.items():
+            for model, _op in solver.options():
+                profile = model.cost(stats, res.num_nodes)
+                rows.append(fmt_row([
+                    scen_name, model.name,
+                    f"{profile.flops / 1e9:.1f}",
+                    f"{profile.network / 1e9:.3f}",
+                    f"{profile.bytes / 1e9:.1f}",
+                    model.feasible(stats, res)],
+                    [14, 16, 16, 12, 12, 8]))
+        return rows
+
+    lines += once(benchmark, build_table)
+    report("table1_solver_costs", lines)
+
+    # Table 1 shape checks: distributed QR compute is ~1/w of local QR.
+    models = {m.name: m for m, _ in solver.options()}
+    stats = SCENARIOS["small-dense"]
+    local = models["local-qr"].cost(stats, 16)
+    dist = models["distributed-qr"].cost(stats, 16)
+    assert dist.flops < local.flops / 8
+    # Sparse L-BFGS compute scales with nnz, not d.
+    sparse = SCENARIOS["amazon-sparse"]
+    lbfgs_sparse = models["lbfgs"].cost(sparse, 16)
+    dense_version = DataStats(n=sparse.n, d=sparse.d, k=sparse.k,
+                              sparsity=1.0)
+    lbfgs_dense = models["lbfgs"].cost(dense_version, 16)
+    assert lbfgs_sparse.flops < lbfgs_dense.flops / 100

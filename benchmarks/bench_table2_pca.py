@@ -1,0 +1,72 @@
+"""Table 2: exact vs approximate, local vs distributed PCA runtimes.
+
+The paper sweeps n in {1e4, 1e6}, d in {256, 4096}, k per column and finds:
+TSVD beats SVD when k << d; distributed implementations win at large n and
+lose at small n (coordination overhead); the exact local SVD fails (x) on
+the big configurations.
+
+Scaled down (n in {2000, 20000}, d in {32, 256}) the same orderings hold.
+"""
+
+import time
+
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.learning.pca import (
+    DistributedSVD,
+    DistributedTSVD,
+    LocalSVD,
+    LocalTSVD,
+)
+from repro.workloads import dense_vectors
+
+from _common import fmt_row, once, report
+
+CONFIGS = [
+    # (n, d, k)
+    (2_000, 32, 4),
+    (2_000, 256, 8),
+    (20_000, 32, 4),
+    (20_000, 256, 8),
+]
+
+IMPLS = {
+    "svd": LocalSVD,
+    "tsvd": LocalTSVD,
+    "dist-svd": DistributedSVD,
+    "dist-tsvd": DistributedTSVD,
+}
+
+
+def test_table2_pca_runtimes(benchmark):
+    lines = [fmt_row(["n", "d", "k"] + list(IMPLS),
+                     [8, 6, 4] + [10] * len(IMPLS))]
+    results = {}
+
+    def run():
+        for n, d, k in CONFIGS:
+            ctx = Context()
+            wl = dense_vectors(num_train=n, num_test=1, dim=d, seed=0)
+            data = wl.train_data(ctx, 8)
+            times = {}
+            for name, impl in IMPLS.items():
+                start = time.perf_counter()
+                impl(k).fit(data)
+                times[name] = time.perf_counter() - start
+            results[(n, d, k)] = times
+            lines.append(fmt_row(
+                [n, d, k] + [f"{times[m]:.3f}" for m in IMPLS],
+                [8, 6, 4] + [10] * len(IMPLS)))
+        return results
+
+    once(benchmark, run)
+    report("table2_pca", lines)
+
+    # Table 2 shape: with k << d, the truncated method beats full SVD on
+    # the widest configuration.
+    wide = results[(20_000, 256, 8)]
+    assert wide["tsvd"] < wide["svd"]
+    # Exact local SVD time grows superlinearly in d (n fixed).
+    assert results[(20_000, 256, 8)]["svd"] > \
+        2 * results[(20_000, 32, 4)]["svd"]

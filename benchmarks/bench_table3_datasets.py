@@ -1,0 +1,64 @@
+"""Table 3: dataset characteristics — paper scale vs generated stand-ins.
+
+Prints the paper's row next to the generated workload's measured row so
+scaling factors are explicit.  The generated solve-input sparsity must
+match the paper's regime (sparse text vs dense vectors/images).
+"""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_DATASETS,
+    amazon_reviews,
+    cifar10_images,
+    imagenet_images,
+    measured_characteristics,
+    timit_frames,
+    voc_images,
+    youtube8m,
+)
+
+from _common import fmt_row, once, report
+
+WIDTHS = [12, 10, 12, 8, 14, 10]
+
+
+def _generated():
+    return {
+        "amazon": (amazon_reviews(2000, 500),
+                   dict(solve_features=2000, solve_density=0.02)),
+        "timit": (timit_frames(2000, 500, dim=440),
+                  dict(solve_features=2048, solve_density=1.0)),
+        "imagenet": (imagenet_images(200, 80),
+                     dict(solve_features=2 * 2 * 16 * 12,
+                          solve_density=1.0)),
+        "voc": (voc_images(120, 60),
+                dict(solve_features=2 * 8 * 32, solve_density=1.0)),
+        "cifar10": (cifar10_images(300, 100),
+                    dict(solve_features=2 * 2 * 2 * 32, solve_density=1.0)),
+        "youtube8m": (youtube8m(2000, 500),
+                      dict(solve_features=1024, solve_density=1.0)),
+    }
+
+
+def test_table3_dataset_characteristics(benchmark):
+    lines = [fmt_row(["dataset", "which", "num_train", "classes",
+                      "solve_feats", "density"], WIDTHS)]
+
+    rows = once(benchmark, _generated)
+    for name, (wl, solve) in rows.items():
+        paper = PAPER_DATASETS[name]
+        measured = measured_characteristics(wl, **solve)
+        lines.append(fmt_row(
+            [name, "paper", paper.num_train, paper.classes,
+             paper.solve_features, f"{paper.solve_density:g}"], WIDTHS))
+        lines.append(fmt_row(
+            [name, "generated", measured.num_train, measured.classes,
+             measured.solve_features, f"{measured.solve_density:.3f}"],
+            WIDTHS))
+        # Regime checks: sparse stays sparse, dense stays dense.
+        if paper.solve_density < 0.5:
+            assert measured.solve_density < 0.5
+        else:
+            assert measured.solve_density > 0.5
+    report("table3_datasets", lines)

@@ -1,0 +1,36 @@
+"""Strong-scaling simulation of the paper's three big pipelines (Fig. 12).
+
+Prices each pipeline's per-stage cost profiles on simulated clusters of
+8-128 r3.4xlarge nodes: ImageNet (featurization-bound) scales near-
+linearly; Amazon (aggregation tree) and TIMIT (solver coordination)
+flatten — the paper's Figure 12 shapes.
+
+Run:  python examples/scaling_simulation.py
+"""
+
+from repro.scaling import pipeline_scaling
+
+NODES = [8, 16, 32, 64, 128]
+
+
+def main():
+    for pipeline in ("amazon", "timit", "imagenet"):
+        print(f"\n{pipeline} (minutes per stage):")
+        results = pipeline_scaling(pipeline, NODES)
+        categories = sorted({c for b in results.values() for c in b})
+        header = f"{'nodes':>6} " + " ".join(f"{c:>14}" for c in categories)
+        print(header + f" {'total':>8} {'speedup':>8}")
+        base_total = None
+        for nodes in NODES:
+            breakdown = results[nodes]
+            total = sum(breakdown.values())
+            if base_total is None:
+                base_total = total
+            cols = " ".join(f"{breakdown.get(c, 0) / 60:>14.1f}"
+                            for c in categories)
+            print(f"{nodes:>6} {cols} {total / 60:>8.1f} "
+                  f"{base_total / total:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Operator-level optimization in action (paper Section 3).
+
+Shows the cost-based optimizer choosing different physical linear solvers
+and PCA implementations as the input statistics change: sparse text
+features -> L-BFGS; small dense -> exact QR; wide dense multiclass ->
+block solver; and the exact solver turning *infeasible* when the design
+matrix outgrows node memory.
+
+Run:  python examples/solver_selection.py
+"""
+
+from repro.cluster.resources import r3_4xlarge
+from repro.core.stats import DataStats
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.pca import PCAEstimator
+
+
+def show_choice(title, optimizable, stats, resources):
+    print(f"\n{title}")
+    print(f"  stats: n={stats.n:,} d={stats.d:,} k={stats.k} "
+          f"sparsity={stats.sparsity:g}")
+    for name, cost in optimizable.cost_table(stats, resources):
+        marker = ""
+        if cost == float("inf"):
+            marker = "   (infeasible)"
+        print(f"    {name:<18} {cost:12.1f} s{marker}")
+    chosen = optimizable.optimize(stats, resources)
+    print(f"  -> chosen: {type(chosen).__name__}")
+
+
+def main():
+    cluster = r3_4xlarge(16)
+    solver = LinearSolver()
+
+    show_choice("Amazon-like: 65M sparse text documents, binary",
+                solver,
+                DataStats(n=65_000_000, d=100_000, k=2, sparsity=0.001),
+                cluster)
+    show_choice("Small dense problem: exact solve is cheap",
+                solver,
+                DataStats(n=2_000_000, d=1024, k=2, sparsity=1.0),
+                cluster)
+    show_choice("TIMIT-like: 65k dense features, 147 classes",
+                solver,
+                DataStats(n=2_251_569, d=65_536, k=147, sparsity=1.0),
+                cluster)
+
+    pca = PCAEstimator(k=16)
+    show_choice("PCA: wide data, small k (approximate wins)",
+                pca, DataStats(n=10_000, d=4096, k=1), cluster)
+    show_choice("PCA: huge n (distributed wins)",
+                pca, DataStats(n=100_000_000, d=4096, k=1), cluster)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a Python reproduction of KeystoneML (ICDE 2017).
+
+KeystoneML captures end-to-end machine-learning pipelines as DAGs of
+high-level logical operators and optimizes them at two levels: per-operator
+(cost-based physical operator selection) and whole-pipeline (common
+sub-expression elimination and automatic materialization of reused
+intermediates under a memory budget).
+
+Quickstart::
+
+    from repro import Context, Pipeline
+    from repro.nodes.text import LowerCase, Tokenizer, NGramsFeaturizer, \
+        TermFrequency, CommonSparseFeatures
+    from repro.nodes.learning import LinearSolver
+
+    ctx = Context()
+    data = ctx.parallelize(texts)
+    labels = ctx.parallelize(one_hot_labels)
+
+    pipe = (LowerCase().and_then(Tokenizer())
+            .and_then(NGramsFeaturizer(1, 2))
+            .and_then(TermFrequency())
+            .and_then(CommonSparseFeatures(10_000), data)
+            .and_then(LinearSolver(), data, labels))
+    model = pipe.fit()
+    predictions = model.apply_dataset(ctx.parallelize(test_texts))
+"""
+
+from repro.cluster import ResourceDescriptor
+from repro.core import (
+    Estimator,
+    FittedPipeline,
+    LabelEstimator,
+    Pipeline,
+    Transformer,
+)
+from repro.cost import CostModel, CostProfile
+from repro.dataset import Context, Dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Context",
+    "CostModel",
+    "CostProfile",
+    "Dataset",
+    "Estimator",
+    "FittedPipeline",
+    "LabelEstimator",
+    "Pipeline",
+    "ResourceDescriptor",
+    "Transformer",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Simulated comparison systems (paper Section 5.2).
+
+Offline stand-ins for the systems the paper compares against.  Each
+reproduces the *trait* the paper attributes to the system, not its code:
+
+- :class:`VowpalWabbitSolver` — a specialized linear learner with one fixed
+  strategy (online SGD), regardless of input shape.
+- :class:`SystemMLSolver` — an optimizing linear-algebra system that always
+  runs the same algorithm (conjugate gradient) and must convert data into
+  its internal format before solving.
+- :mod:`repro.baselines.tensorflow_sim` — a minibatch-SGD system whose
+  scaling is bounded by per-step model coordination (Table 6).
+"""
+
+from repro.baselines.vowpal import VowpalWabbitSolver
+from repro.baselines.systemml import SystemMLSolver
+from repro.baselines.tensorflow_sim import (
+    TensorFlowSim,
+    keystone_cifar_stages,
+    keystone_cifar_time,
+    tensorflow_cifar_time,
+)
+
+__all__ = [
+    "SystemMLSolver",
+    "TensorFlowSim",
+    "VowpalWabbitSolver",
+    "keystone_cifar_stages",
+    "keystone_cifar_time",
+    "tensorflow_cifar_time",
+]

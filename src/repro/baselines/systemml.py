@@ -1,0 +1,102 @@
+"""SystemML-style baseline: fixed algorithm + input conversion.
+
+SystemML optimizes the *implementation* of linear-algebra operators for a
+chosen algorithm (here: conjugate gradient on the normal equations) but
+does not choose among logically equivalent algorithms, and requires a
+conversion step to move pipeline output into its internal binary-block
+matrix format (the overhead the paper observes when feature extraction
+cannot be pipelined into the solver).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.operators import Iterative, LabelEstimator
+from repro.dataset.dataset import Dataset
+from repro.nodes.learning._util import feature_dim, iter_xy_blocks, label_dim
+from repro.nodes.learning.linear import LinearMapper
+
+
+class SystemMLSolver(LabelEstimator, Iterative):
+    """Conjugate gradient on ``(A^T A + l2 I) X = A^T B``.
+
+    ``convert_input`` reproduces the format-conversion stage: the feature
+    dataset is materialized and re-blocked before any solving happens.
+    """
+
+    def __init__(self, max_iter: int = 10, l2_reg: float = 1e-6,
+                 block_rows: int = 1000, convert_input: bool = True):
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.max_iter = max_iter
+        self.l2_reg = l2_reg
+        self.block_rows = block_rows
+        self.convert_input = convert_input
+        self.weight = max_iter + 1
+
+    def _convert(self, data: Dataset, labels: Dataset) -> Dataset:
+        """Materialize and re-block into the "internal format".
+
+        The converted representation stays a distributed dataset (SystemML's
+        binary-block matrices are RDDs); each CG iteration re-scans it, just
+        as each KeystoneML solver pass re-scans its input.
+        """
+        converted = []
+        for a, b in iter_xy_blocks(data, labels, prefer_sparse=True):
+            n = b.shape[0]
+            for lo in range(0, n, self.block_rows):
+                hi = min(lo + self.block_rows, n)
+                block = a[lo:hi]
+                # Binary-block conversion: reindex + copy.
+                block = block.copy() if sp.issparse(block) \
+                    else np.array(block, copy=True)
+                converted.append((block, np.array(b[lo:hi], copy=True)))
+        return data.ctx.parallelize(converted,
+                                    max(data.num_partitions, 1))
+
+    def _iter_converted(self, blocks: Dataset):
+        for i in range(blocks.num_partitions):
+            for pair in blocks.partition(i):
+                yield pair
+
+    def fit(self, data: Dataset, labels: Dataset) -> LinearMapper:
+        d = feature_dim(data)
+        k = label_dim(labels)
+        if self.convert_input:
+            blocks = self._convert(data, labels)
+
+            def scan():
+                return self._iter_converted(blocks)
+        else:
+            def scan():
+                return iter_xy_blocks(data, labels, prefer_sparse=True)
+
+        def normal_matvec(x: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(x)
+            for a, _b in scan():
+                out += np.asarray(a.T @ np.asarray(a @ x))
+            return out + self.l2_reg * x
+
+        rhs = np.zeros((d, k))
+        for a, b in scan():
+            rhs += np.asarray(a.T @ b)
+
+        x = np.zeros((d, k))
+        r = rhs - normal_matvec(x)
+        p = r.copy()
+        rs_old = float(np.sum(r * r))
+        for _ in range(self.max_iter):
+            if rs_old < 1e-20:
+                break
+            ap = normal_matvec(p)
+            alpha = rs_old / max(float(np.sum(p * ap)), 1e-300)
+            x += alpha * p
+            r -= alpha * ap
+            rs_new = float(np.sum(r * r))
+            p = r + (rs_new / rs_old) * p
+            rs_old = rs_new
+        return LinearMapper(x)

@@ -1,0 +1,140 @@
+"""TensorFlow-style scaling simulation for the CIFAR comparison (Table 6).
+
+The paper's Table 6 compares time-to-84%-accuracy on CIFAR-10 between
+TensorFlow v0.8 (a CNN trained by synchronous minibatch SGD) and
+KeystoneML (convolutional featurization + a communication-avoiding solver)
+from 1 to 32 nodes.  The scaling shapes follow directly from the systems'
+coordination models, which is what we simulate:
+
+- **TensorFlow (strong scaling, fixed global batch)**: per-step compute
+  shrinks as ``1/w`` but every step synchronizes the full model over the
+  network; past a few nodes coordination dominates and total time grows.
+- **TensorFlow (weak scaling, batch = 128 x w)**: per-step compute stays
+  constant, steps-to-accuracy shrinks sub-linearly with batch size, and
+  beyond a critical batch size SGD stops converging to the target accuracy
+  (the paper's "xxx" entries).
+- **KeystoneML**: featurization is embarrassingly parallel and the solver
+  coordinates only ``O(log w)`` tree aggregations per pass, so total time
+  keeps falling out to 32 nodes.
+
+All constants are calibrated so the 1-node column is near the paper's
+(~184 min TF, ~235 min KeystoneML) and are documented inline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.resources import ResourceDescriptor
+from repro.cluster.simulator import ClusterSimulator, SimulatedStage
+from repro.cost.profile import CostProfile
+
+#: steps for the fixed-batch (128) CNN to reach 84% top-1 (paper-scale run)
+_STEPS_TO_ACCURACY = 60_000
+#: flops per example for forward+backward through the small CNN
+_FLOPS_PER_EXAMPLE = 40e6
+#: model size in bytes synchronized every step
+_MODEL_BYTES = 7e6
+#: per-step scheduling overhead, seconds
+_STEP_OVERHEAD = 1e-3
+#: largest global batch that still reaches 84% (weak scaling wall)
+_MAX_CONVERGENT_BATCH = 1024
+
+
+@dataclass
+class TensorFlowSim:
+    """Synchronous minibatch-SGD time-to-accuracy model."""
+
+    resources: ResourceDescriptor
+    base_batch: int = 128
+
+    def _step_seconds(self, batch: int, workers: int) -> float:
+        per_worker = batch / workers
+        compute = per_worker * _FLOPS_PER_EXAMPLE / self.resources.cpu_flops
+        # Synchronous parameter exchange: every step, each worker sends and
+        # receives the model; the most loaded link carries it ~log2(w) hops.
+        if workers > 1:
+            sync = (_MODEL_BYTES / self.resources.network_bandwidth
+                    * math.log2(workers) * 2.0)
+        else:
+            sync = 0.0
+        return compute + sync + _STEP_OVERHEAD
+
+    def _steps_needed(self, batch: int) -> Optional[int]:
+        """Steps to the target accuracy, or None if SGD fails to converge.
+
+        Larger batches reduce gradient variance only ~sqrt(batch), so
+        steps shrink sub-linearly; beyond the critical batch the run never
+        reaches the target (the paper's failed weak-scaling entries).
+        """
+        if batch > _MAX_CONVERGENT_BATCH:
+            return None
+        ratio = batch / self.base_batch
+        return int(_STEPS_TO_ACCURACY / math.sqrt(ratio))
+
+    def time_to_accuracy_minutes(self, workers: int,
+                                 scaling: str = "strong") -> Optional[float]:
+        if scaling == "strong":
+            batch = self.base_batch
+        elif scaling == "weak":
+            batch = self.base_batch * workers
+        else:
+            raise ValueError(f"scaling must be strong|weak, got {scaling!r}")
+        steps = self._steps_needed(batch)
+        if steps is None:
+            return None
+        return steps * self._step_seconds(batch, workers) / 60.0
+
+
+def tensorflow_cifar_time(workers: int, scaling: str,
+                          resources: Optional[ResourceDescriptor] = None
+                          ) -> Optional[float]:
+    """Minutes to 84% accuracy for TensorFlow at the given cluster size."""
+    res = (resources or ResourceDescriptor(
+        cpu_flops=85e9, network_bandwidth=1.25e9)).with_nodes(workers)
+    return TensorFlowSim(res).time_to_accuracy_minutes(workers, scaling)
+
+
+# -- KeystoneML side ----------------------------------------------------
+
+#: CIFAR training examples (paper augments to 500k)
+_N_EXAMPLES = 500_000
+#: flops per example for convolutional featurization
+_FEATURIZE_FLOPS = 1.2e9
+#: featurized dimensionality and classes for the solve
+_SOLVE_D, _SOLVE_K = 135_168 // 32, 10  # block-partitioned features
+#: solver passes
+_SOLVE_PASSES = 12
+
+
+def keystone_cifar_stages() -> List[SimulatedStage]:
+    """Pipeline stages for the KeystoneML CIFAR run, for ClusterSimulator."""
+
+    def featurize(w: int) -> CostProfile:
+        return CostProfile(flops=_N_EXAMPLES * _FEATURIZE_FLOPS / w,
+                           bytes=_N_EXAMPLES * 3072.0 * 8 / w,
+                           network=0.0)
+
+    def solve(w: int) -> CostProfile:
+        tree = max(math.log2(w), 1.0) if w > 1 else 1.0
+        flops = 4.0 * _SOLVE_PASSES * _N_EXAMPLES * _SOLVE_D * _SOLVE_K / w
+        network = 8.0 * _SOLVE_PASSES * _SOLVE_D * _SOLVE_K * tree
+        return CostProfile(flops=flops,
+                           bytes=8.0 * _N_EXAMPLES * _SOLVE_D / w,
+                           network=network)
+
+    return [SimulatedStage("featurize", featurize, "Featurization"),
+            SimulatedStage("solve", solve, "Model Solve")]
+
+
+def keystone_cifar_time(workers: int,
+                        resources: Optional[ResourceDescriptor] = None
+                        ) -> float:
+    """Minutes for the KeystoneML CIFAR pipeline at the given size."""
+    res = (resources or ResourceDescriptor(
+        cpu_flops=85e9, network_bandwidth=1.25e9,
+        memory_bandwidth=25e9)).with_nodes(workers)
+    sim = ClusterSimulator(res, overhead_per_stage=30.0)
+    return sim.total_seconds(keystone_cifar_stages()) / 60.0

@@ -1,0 +1,53 @@
+"""Vowpal-Wabbit-style baseline: online SGD, one strategy for everything.
+
+VW is a highly tuned specialized system for linear models; its defining
+trait for the paper's comparison (Figure 8) is that it runs the same
+online-gradient strategy regardless of problem shape, whereas KeystoneML's
+optimizing solver switches algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.operators import Iterative, LabelEstimator
+from repro.dataset.dataset import Dataset
+from repro.nodes.learning._util import feature_dim, iter_xy_blocks, label_dim
+from repro.nodes.learning.linear import LinearMapper
+
+
+class VowpalWabbitSolver(LabelEstimator, Iterative):
+    """Per-example adaptive-learning-rate SGD over several passes."""
+
+    def __init__(self, passes: int = 10, learning_rate: float = 0.5,
+                 power_t: float = 0.5, l2_reg: float = 1e-8):
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.passes = passes
+        self.learning_rate = learning_rate
+        self.power_t = power_t
+        self.l2_reg = l2_reg
+        self.weight = passes
+
+    def fit(self, data: Dataset, labels: Dataset) -> LinearMapper:
+        d = feature_dim(data)
+        k = label_dim(labels)
+        x = np.zeros((d, k))
+        t = 0
+        for _pass in range(self.passes):
+            for a, b in iter_xy_blocks(data, labels, prefer_sparse=True):
+                n_rows = b.shape[0]
+                # Small fixed minibatches keep per-example semantics while
+                # letting sparse algebra run in C.
+                step_rows = 8
+                for lo in range(0, n_rows, step_rows):
+                    hi = min(lo + step_rows, n_rows)
+                    t += hi - lo
+                    eta = self.learning_rate / (1 + t) ** self.power_t
+                    a_batch = a[lo:hi]
+                    resid = np.asarray(a_batch @ x) - b[lo:hi]
+                    grad = (2.0 * np.asarray(a_batch.T @ resid) / (hi - lo)
+                            + 2.0 * self.l2_reg * x)
+                    x -= eta * grad
+        return LinearMapper(x)

@@ -1,0 +1,30 @@
+"""Cluster resource descriptors, microbenchmarks and the cluster simulator.
+
+The paper collects a *cluster resource descriptor* via configuration data and
+microbenchmarks (per-node GFLOP/s, memory/disk bandwidth, network speed, node
+count).  We provide canned profiles for the paper's hardware and a local
+microbenchmark for the actual machine, plus a :class:`ClusterSimulator` that
+prices :class:`~repro.cost.CostProfile` sequences at different cluster sizes
+— the substitute for the paper's 8–128-node EC2 runs.
+"""
+
+from repro.cluster.resources import (
+    ResourceDescriptor,
+    blue_gene_q,
+    c3_4xlarge,
+    local_machine,
+    r3_4xlarge,
+)
+from repro.cluster.microbench import microbenchmark
+from repro.cluster.simulator import ClusterSimulator, SimulatedStage
+
+__all__ = [
+    "ClusterSimulator",
+    "ResourceDescriptor",
+    "SimulatedStage",
+    "blue_gene_q",
+    "c3_4xlarge",
+    "local_machine",
+    "microbenchmark",
+    "r3_4xlarge",
+]

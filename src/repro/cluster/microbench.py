@@ -1,0 +1,82 @@
+"""Local microbenchmarks used to build a resource descriptor.
+
+The paper collects the cluster descriptor "via configuration data and
+microbenchmarks".  This module measures the two quantities the cost model is
+most sensitive to on the actual interpreter: dense-matmul GFLOP/s and memory
+copy bandwidth.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster.resources import ResourceDescriptor
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_cpu_flops(n: int = 512, repeats: int = 3) -> float:
+    """Measure effective FLOP/s with an ``n x n`` dense matmul."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    elapsed = _time_best(lambda: a @ b, repeats)
+    return 2.0 * n ** 3 / max(elapsed, 1e-9)
+
+
+def measure_memory_bandwidth(size_mb: int = 64, repeats: int = 3) -> float:
+    """Measure memory bandwidth (bytes/s) with a large array copy."""
+    n = size_mb * 1024 * 1024 // 8
+    src = np.zeros(n)
+    dst = np.empty_like(src)
+    elapsed = _time_best(lambda: np.copyto(dst, src), repeats)
+    # A copy reads and writes each byte once.
+    return 2.0 * src.nbytes / max(elapsed, 1e-9)
+
+
+def measure_task_overhead(rows: int = 1000, partitions: int = 4,
+                          repeats: int = 3) -> float:
+    """Measure the fixed cost of one pass over a row dataset (seconds).
+
+    Iterative solvers pay this per pass: partition dispatch, row iteration
+    and block stacking.  Measured with sparse rows, the common case for the
+    pass-heavy solvers.
+    """
+    import scipy.sparse as sp
+
+    from repro.dataset.context import Context
+    from repro.nodes.learning._util import iter_blocks
+
+    ctx = Context()
+    row = sp.csr_matrix(([1.0] * 10, ([0] * 10, list(range(10)))),
+                        shape=(1, 100))
+    data = ctx.parallelize([row] * rows, partitions)
+
+    def one_pass():
+        for _block in iter_blocks(data, prefer_sparse=True):
+            pass
+
+    one_pass()  # warm up
+    return _time_best(one_pass, repeats)
+
+
+def microbenchmark(matmul_n: int = 512, copy_mb: int = 64,
+                   scan_rows: int = 1000) -> ResourceDescriptor:
+    """Build a single-node resource descriptor by measuring this machine."""
+    flops = measure_cpu_flops(matmul_n)
+    bandwidth = measure_memory_bandwidth(copy_mb)
+    overhead = measure_task_overhead(scan_rows)
+    return ResourceDescriptor(
+        num_nodes=1, cores_per_node=1, cpu_flops=flops,
+        memory_bytes=4e9, memory_bandwidth=bandwidth,
+        disk_bandwidth=0.5e9, network_bandwidth=float("inf"),
+        task_overhead=overhead, name="microbenchmarked-local")

@@ -1,0 +1,86 @@
+"""Cluster resource descriptors (paper Section 3).
+
+A :class:`ResourceDescriptor` captures what the cost model needs about the
+execution environment: node count and per-node compute, memory size and
+bandwidths.  Canned profiles approximate the paper's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ResourceDescriptor:
+    """Per-node capabilities plus cluster size.
+
+    Units: ``cpu_flops`` in FLOP/s, bandwidths in bytes/s, ``memory_bytes``
+    in bytes.  ``network_bandwidth`` is the speed of the most loaded link,
+    matching the paper's critical-path network cost convention.
+    """
+
+    num_nodes: int = 1
+    cores_per_node: int = 8
+    cpu_flops: float = 50e9
+    memory_bytes: float = 122e9
+    memory_bandwidth: float = 20e9
+    disk_bandwidth: float = 0.5e9
+    network_bandwidth: float = 1.25e9  # 10 Gb/s
+    #: seconds per distributed pass / task launch (scheduler overhead)
+    task_overhead: float = 0.0
+    name: str = "generic"
+
+    def with_nodes(self, num_nodes: int) -> "ResourceDescriptor":
+        """Same machines, different cluster size (for scaling sweeps)."""
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        return replace(self, num_nodes=num_nodes,
+                       name=f"{self.name} x{num_nodes}")
+
+    @property
+    def total_memory_bytes(self) -> float:
+        return self.memory_bytes * self.num_nodes
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores_per_node * self.num_nodes
+
+
+def r3_4xlarge(num_nodes: int = 16) -> ResourceDescriptor:
+    """The paper's evaluation machines: 8 physical cores, 122 GB RAM, SSD."""
+    return ResourceDescriptor(
+        num_nodes=num_nodes, cores_per_node=8, cpu_flops=85e9,
+        memory_bytes=122e9, memory_bandwidth=25e9, disk_bandwidth=0.4e9,
+        network_bandwidth=1.25e9, task_overhead=0.1, name="r3.4xlarge")
+
+
+def c3_4xlarge(num_nodes: int = 16) -> ResourceDescriptor:
+    """Compute-optimized nodes used in the Figure 6 solver experiments."""
+    return ResourceDescriptor(
+        num_nodes=num_nodes, cores_per_node=8, cpu_flops=110e9,
+        memory_bytes=30e9, memory_bandwidth=25e9, disk_bandwidth=0.3e9,
+        network_bandwidth=1.25e9, task_overhead=0.1, name="c3.4xlarge")
+
+
+def blue_gene_q(num_nodes: int = 256) -> ResourceDescriptor:
+    """Approximation of the IBM BlueGene machine from the TIMIT comparison."""
+    return ResourceDescriptor(
+        num_nodes=num_nodes, cores_per_node=16, cpu_flops=200e9,
+        memory_bytes=16e9, memory_bandwidth=40e9, disk_bandwidth=1e9,
+        network_bandwidth=2.5e9, task_overhead=0.02, name="BlueGene/Q")
+
+
+def local_machine(cpu_flops: float = 5e9, memory_bandwidth: float = 10e9,
+                  memory_bytes: float = 8e9,
+                  task_overhead: float = 5e-3) -> ResourceDescriptor:
+    """A single-node descriptor for in-process experiments.
+
+    Defaults are deliberately conservative; run
+    :func:`repro.cluster.microbench.microbenchmark` to measure the real
+    machine instead.
+    """
+    return ResourceDescriptor(
+        num_nodes=1, cores_per_node=1, cpu_flops=cpu_flops,
+        memory_bytes=memory_bytes, memory_bandwidth=memory_bandwidth,
+        disk_bandwidth=0.5e9, network_bandwidth=float("inf"),
+        task_overhead=task_overhead, name="local")

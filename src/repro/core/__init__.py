@@ -1,0 +1,39 @@
+"""KeystoneML's core: pipeline API, DAG, and the two-level optimizer."""
+
+from repro.core.operators import (
+    Estimator,
+    FunctionTransformer,
+    IdentityTransformer,
+    Iterative,
+    LabelEstimator,
+    Optimizable,
+    Transformer,
+)
+from repro.core.pipeline import FittedPipeline, Pipeline
+from repro.core.stats import DataStats, stats_from_rows
+from repro.core.executor import (
+    LEVEL_FULL,
+    LEVEL_NONE,
+    LEVEL_PIPE,
+    TrainingReport,
+    fit_pipeline,
+)
+
+__all__ = [
+    "DataStats",
+    "Estimator",
+    "FittedPipeline",
+    "FunctionTransformer",
+    "IdentityTransformer",
+    "Iterative",
+    "LabelEstimator",
+    "LEVEL_FULL",
+    "LEVEL_NONE",
+    "LEVEL_PIPE",
+    "Optimizable",
+    "Pipeline",
+    "TrainingReport",
+    "Transformer",
+    "fit_pipeline",
+    "stats_from_rows",
+]

@@ -1,0 +1,62 @@
+"""Common sub-expression elimination over the operator DAG (paper 4.2).
+
+Two nodes are the same sub-expression when they have the same kind, the same
+operator *instance*, and structurally identical parents.  Source nodes are
+keyed by the identity of their bound dataset, so re-binding the same
+training data in separate ``and_then`` calls still merges.  The rewrite is a
+bottom-up hash-consing pass; shared prefixes (e.g. a featurization chain
+used both to select common features and to train the classifier) collapse
+into a single computation, enabling reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core import graph as g
+
+
+def _node_key(node: g.OpNode, parent_keys: Tuple) -> Tuple:
+    if node.kind == g.SOURCE:
+        # None op = the pipeline input placeholder: never merge two distinct
+        # placeholders (they may be bound to different data at apply time).
+        if node.op is None:
+            return (g.SOURCE, node.id)
+        return (g.SOURCE, id(node.op))
+    return (node.kind, id(node.op) if node.op is not None else None,
+            parent_keys)
+
+
+def eliminate_common_subexpressions(sinks: List[g.OpNode]) -> List[g.OpNode]:
+    """Rewrite the DAG so structurally identical sub-DAGs are shared.
+
+    Returns new sink nodes (object identity is preserved for nodes that
+    were already canonical).
+    """
+    canonical: Dict[Tuple, g.OpNode] = {}
+    rewritten: Dict[int, g.OpNode] = {}
+    keys: Dict[int, Tuple] = {}
+
+    for node in g.ancestors(sinks):
+        new_parents = tuple(rewritten[p.id] for p in node.parents)
+        parent_keys = tuple(keys[p.id] for p in new_parents)
+        key = _node_key(node, parent_keys)
+        if key in canonical:
+            merged = canonical[key]
+        elif all(np_ is op_ for np_, op_ in zip(new_parents, node.parents)):
+            merged = node
+            canonical[key] = merged
+        else:
+            merged = g.OpNode(node.kind, node.op, new_parents, node.label)
+            canonical[key] = merged
+        rewritten[node.id] = merged
+        keys[merged.id] = key
+
+    return [rewritten[s.id] for s in sinks]
+
+
+def count_merged(sinks: List[g.OpNode]) -> int:
+    """Number of nodes CSE would remove (for reporting)."""
+    before = len(g.ancestors(sinks))
+    after = len(g.ancestors(eliminate_common_subexpressions(sinks)))
+    return before - after

@@ -1,0 +1,298 @@
+"""Pipeline fitting: optimize, train, and report (paper Figure 1, stages 2-4).
+
+``fit_pipeline`` is the single entry point behind
+:meth:`repro.core.pipeline.Pipeline.fit`.  It:
+
+1. applies whole-pipeline rewrites (common sub-expression elimination),
+2. profiles the DAG on data samples, selecting physical operators for
+   ``Optimizable`` nodes (operator-level optimization),
+3. chooses a materialization (cache) set under the memory budget,
+4. executes the training DAG depth-first — estimators are pipeline
+   breakers — with the chosen caching policy, and
+5. returns a :class:`~repro.core.pipeline.FittedPipeline` plus a
+   :class:`TrainingReport` with per-node timings and optimizer decisions.
+
+Optimization levels reproduce the paper's Figure 9 configurations:
+``"none"`` (no optimization), ``"pipe"`` (whole-pipeline only) and
+``"full"`` (operator + whole-pipeline).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.resources import ResourceDescriptor, local_machine
+from repro.core import graph as g
+from repro.core import materialization as mat
+from repro.core.cse import eliminate_common_subexpressions
+from repro.core.operators import Optimizable, Transformer
+from repro.core.profiler import PipelineProfile, profile_pipeline
+from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
+from repro.dataset.context import Context
+from repro.dataset.dataset import Dataset
+
+LEVEL_NONE = "none"
+LEVEL_PIPE = "pipe"
+LEVEL_FULL = "full"
+LEVELS = (LEVEL_NONE, LEVEL_PIPE, LEVEL_FULL)
+
+
+class ExclusiveTimer:
+    """Accumulates per-node wall time, excluding nested node time.
+
+    Dataset computations nest (computing a node's partition computes its
+    parents' partitions inside), so a plain timer would double count.  The
+    wrapper maintains a stack of inner-time accumulators.
+    """
+
+    def __init__(self):
+        self.times: Dict[int, float] = defaultdict(float)
+        self._stack: List[float] = []
+
+    def wrap(self, node_id: int, fn: Callable) -> Callable:
+        def wrapped(*args, **kwargs):
+            start = time.perf_counter()
+            self._stack.append(0.0)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                total = time.perf_counter() - start
+                inner = self._stack.pop()
+                self.times[node_id] += total - inner
+                if self._stack:
+                    self._stack[-1] += total
+        return wrapped
+
+    def time_block(self, node_id: int):
+        timer = self
+
+        class _Block:
+            def __enter__(self):
+                self.start = time.perf_counter()
+                timer._stack.append(0.0)
+                return self
+
+            def __exit__(self, *exc):
+                total = time.perf_counter() - self.start
+                inner = timer._stack.pop()
+                timer.times[node_id] += total - inner
+                if timer._stack:
+                    timer._stack[-1] += total
+                return False
+
+        return _Block()
+
+
+@dataclass
+class TrainingReport:
+    """What happened during fit: decisions and measured times."""
+
+    level: str
+    optimize_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    cse_nodes_removed: int = 0
+    cache_set: Set[int] = field(default_factory=set)
+    cache_set_labels: List[str] = field(default_factory=list)
+    selections: Dict[int, str] = field(default_factory=dict)
+    profile: Optional[PipelineProfile] = None
+    node_seconds: Dict[int, float] = field(default_factory=dict)
+    node_labels: Dict[int, str] = field(default_factory=dict)
+    estimator_seconds: Dict[int, float] = field(default_factory=dict)
+    recomputations: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.optimize_seconds + self.execute_seconds
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Coarse stage breakdown: Optimize / Featurize / Solve.
+
+        Estimator (fit) time counts as Solve; everything else executed on
+        the training flow counts as Featurize — the categories of the
+        paper's Figure 9 (Eval is measured by the caller on test data).
+        """
+        solve = sum(self.estimator_seconds.values())
+        featurize = sum(secs for nid, secs in self.node_seconds.items()
+                        if nid not in self.estimator_seconds)
+        return {"Optimize": self.optimize_seconds,
+                "Featurize": featurize,
+                "Solve": solve}
+
+
+def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
+                 level: str = LEVEL_FULL,
+                 mem_budget_bytes: float = float("inf"),
+                 sample_sizes: Tuple[int, int] = (256, 512),
+                 cache_strategy: Optional[str] = None,
+                 ctx: Optional[Context] = None,
+                 fuse: bool = False):
+    """Optimize and train a pipeline; returns a FittedPipeline.
+
+    ``level`` is one of ``"none" | "pipe" | "full"``.  ``cache_strategy``
+    overrides the materialization strategy (default: greedy for optimized
+    levels, none otherwise); see :mod:`repro.core.materialization`.
+    ``fuse`` additionally packs single-consumer transformer chains into
+    one stage (:mod:`repro.core.fusion`) before profiling.
+    """
+    from repro.core.pipeline import FittedPipeline, Pipeline
+
+    if level not in LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}; "
+                         f"expected one of {LEVELS}")
+    resources = resources or local_machine()
+    report = TrainingReport(level=level)
+
+    sink = pipeline.sink
+    input_node = pipeline.input_node
+    opt_start = time.perf_counter()
+
+    # -- whole-pipeline rewrite: CSE -----------------------------------
+    if level in (LEVEL_PIPE, LEVEL_FULL):
+        before = len(g.ancestors([sink]))
+        sink = eliminate_common_subexpressions([sink])[0]
+        report.cse_nodes_removed = before - len(g.ancestors([sink]))
+    if fuse:
+        from repro.core.fusion import fuse_transformer_chains
+
+        sink = fuse_transformer_chains([sink])[0]
+    g.validate_dag([sink])
+
+    # -- profiling + operator selection --------------------------------
+    profile: Optional[PipelineProfile] = None
+    if level != LEVEL_NONE:
+        profile = profile_pipeline([sink], resources,
+                                   sample_sizes=sample_sizes,
+                                   select_operators=(level == LEVEL_FULL))
+        report.profile = profile
+        report.selections = dict(profile.selections)
+
+    # -- materialization -------------------------------------------------
+    strategy = cache_strategy
+    if strategy is None:
+        strategy = mat.GREEDY if level != LEVEL_NONE else mat.NONE
+    use_lru = False
+    cache_ids: Set[int] = set()
+    if strategy != mat.NONE and profile is not None:
+        problem = mat.MaterializationProblem([sink], profile)
+        cache_ids, use_lru = mat.choose_cache_set(strategy, problem,
+                                                  mem_budget_bytes)
+    elif strategy in (mat.LRU, mat.ALL):
+        # Unprofiled LRU: mark everything cacheable, let the cache decide.
+        cache_ids = {n.id for n in g.ancestors([sink])
+                     if n.kind not in (g.ESTIMATOR,)
+                     and not n.is_pipeline_input}
+        use_lru = True
+    report.cache_set = set(cache_ids)
+    node_by_id = {n.id: n for n in g.ancestors([sink])}
+    report.cache_set_labels = sorted(
+        node_by_id[i].label for i in cache_ids if i in node_by_id)
+    report.optimize_seconds = time.perf_counter() - opt_start
+
+    # -- execution --------------------------------------------------------
+    exec_start = time.perf_counter()
+    if ctx is None:
+        ctx = Context(cache_budget_bytes=mem_budget_bytes)
+    if use_lru:
+        ctx.set_policy(AdmissionControlledLRUPolicy(), mem_budget_bytes)
+    else:
+        pinned = PinnedPolicy(set())
+        ctx.set_policy(pinned, mem_budget_bytes)
+
+    timer = ExclusiveTimer()
+    env: Dict[int, Any] = {}
+    fitted: Dict[int, Transformer] = {}
+
+    def dataset_of(node: g.OpNode) -> Dataset:
+        if node.id in env:
+            return env[node.id]
+        if node.kind == g.SOURCE:
+            if node.is_pipeline_input:
+                raise ValueError("training execution reached the pipeline "
+                                 "input placeholder; estimator training "
+                                 "data must be bound via and_then(est, data)")
+            ds = node.op
+            if ds.ctx is not ctx:
+                # Re-root foreign datasets into the execution context so the
+                # caching policy applies uniformly.
+                ds = ctx.parallelize(ds.collect(), ds.num_partitions)
+        elif node.kind == g.TRANSFORMER:
+            parent = dataset_of(node.parents[0])
+            ds = parent.map_partitions(
+                timer.wrap(node.id, node.op.apply_partition),
+                name=node.label)
+        elif node.kind == g.APPLY:
+            est_node, data_node = node.parents
+            model = fit_estimator(est_node)
+            parent = dataset_of(data_node)
+            ds = parent.map_partitions(
+                timer.wrap(node.id, model.apply_partition), name=node.label)
+        elif node.kind == g.GATHER:
+            parents = [dataset_of(p) for p in node.parents]
+            ds = parents[0].map(lambda x: [x], name="gather")
+            for p in parents[1:]:
+                ds = ds.zip(p).map(lambda pair: pair[0] + [pair[1]],
+                                   name="gather")
+        else:
+            raise ValueError(f"cannot execute node kind {node.kind}")
+        if node.id in cache_ids:
+            ds.cache()
+            if not use_lru:
+                ctx.cache.policy.cache_set.add(ds.id)
+        env[node.id] = ds
+        return ds
+
+    def fit_estimator(node: g.OpNode) -> Transformer:
+        if node.id in fitted:
+            return fitted[node.id]
+        data = dataset_of(node.parents[0])
+        with timer.time_block(node.id):
+            if len(node.parents) == 2:
+                labels = dataset_of(node.parents[1])
+                model = node.op.fit(data, labels)
+            else:
+                model = node.op.fit(data)
+        fitted[node.id] = model
+        report.estimator_seconds[node.id] = timer.times[node.id]
+        return model
+
+    # Fit every estimator reachable from the sink, in dependency order.
+    for node in g.ancestors([sink]):
+        if node.kind == g.ESTIMATOR:
+            fit_estimator(node)
+
+    report.execute_seconds = time.perf_counter() - exec_start
+    report.node_seconds = dict(timer.times)
+    report.node_labels = {n.id: n.label for n in g.ancestors([sink])}
+    report.recomputations = ctx.stats.total_computations()
+
+    # -- build the inference-only pipeline ------------------------------
+    def inference_node(node: g.OpNode, memo: Dict[int, g.OpNode]) -> g.OpNode:
+        if node.id in memo:
+            return memo[node.id]
+        if node.kind == g.APPLY:
+            data_parent = inference_node(node.parents[1], memo)
+            out = g.OpNode(g.TRANSFORMER, fitted[node.parents[0].id],
+                           (data_parent,), label=node.label)
+        elif node.kind == g.TRANSFORMER:
+            out = g.OpNode(g.TRANSFORMER, node.op,
+                           (inference_node(node.parents[0], memo),),
+                           label=node.label)
+        elif node.kind == g.GATHER:
+            out = g.OpNode(g.GATHER, None,
+                           tuple(inference_node(p, memo)
+                                 for p in node.parents), label="gather")
+        elif node.is_pipeline_input:
+            out = node
+        else:
+            raise ValueError(
+                f"node {node} cannot appear on the inference path")
+        memo[node.id] = out
+        return out
+
+    memo: Dict[int, g.OpNode] = {}
+    inference_sink = inference_node(sink, memo)
+    new_input = memo.get(input_node.id, input_node)
+    return FittedPipeline(new_input, inference_sink, training_report=report)

@@ -1,0 +1,95 @@
+"""Operator fusion: pack adjacent transformer nodes into one stage.
+
+KeystoneML packs operators "up until pipeline breakers into the same job"
+(paper §2.3).  In the in-process engine, each transformer node is one
+partition-level pass; fusing chains of transformer nodes into a single
+:class:`FusedTransformer` removes the per-node dispatch and is the
+rewrite-level analogue of Spark stage packing.
+
+Fusion is safe because transformers are deterministic and side-effect
+free.  A node is fusable into its parent when the parent is a transformer
+node with exactly one consumer (fusing a shared node would duplicate
+work — the opposite of what CSE just achieved).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core import graph as g
+from repro.core.operators import Transformer
+
+
+class FusedTransformer(Transformer):
+    """Composition of several transformers applied in sequence."""
+
+    def __init__(self, stages: List[Transformer]):
+        if not stages:
+            raise ValueError("FusedTransformer requires at least one stage")
+        self.stages = list(stages)
+        # A fused stage's scan count is the max of its members' (they run
+        # in one pass, but an iterative member would still re-pull inputs).
+        self.weight = max(getattr(s, "weight", 1) for s in stages)
+
+    def apply(self, item: Any) -> Any:
+        for stage in self.stages:
+            item = stage.apply(item)
+        return item
+
+    def apply_partition(self, items: List[Any]) -> List[Any]:
+        for stage in self.stages:
+            items = stage.apply_partition(items)
+        return items
+
+    def __repr__(self) -> str:
+        names = "+".join(type(s).__name__ for s in self.stages)
+        return f"FusedTransformer({names})"
+
+
+def fuse_transformer_chains(sinks: List[g.OpNode]) -> List[g.OpNode]:
+    """Rewrite the DAG, fusing single-consumer transformer chains.
+
+    Returns new sinks.  Nodes with multiple consumers, estimator nodes,
+    apply nodes and sources are left as fusion boundaries.
+    """
+    succ = g.successors_map(sinks)
+    rewritten: Dict[int, g.OpNode] = {}
+
+    def consumers(node: g.OpNode) -> int:
+        return len(succ.get(node.id, []))
+
+    def rebuild(node: g.OpNode) -> g.OpNode:
+        if node.id in rewritten:
+            return rewritten[node.id]
+        new_parents = tuple(rebuild(p) for p in node.parents)
+
+        if node.kind == g.TRANSFORMER:
+            parent = new_parents[0]
+            original_parent = node.parents[0]
+            if (parent.kind == g.TRANSFORMER
+                    and consumers(original_parent) == 1):
+                # Merge this node into its (already rebuilt) parent.
+                parent_ops = (parent.op.stages
+                              if isinstance(parent.op, FusedTransformer)
+                              else [parent.op])
+                fused = FusedTransformer(parent_ops + [node.op])
+                out = g.OpNode(g.TRANSFORMER, fused, parent.parents,
+                               label=repr(fused))
+                rewritten[node.id] = out
+                return out
+
+        if all(np_ is op_ for np_, op_ in zip(new_parents, node.parents)):
+            rewritten[node.id] = node
+            return node
+        out = g.OpNode(node.kind, node.op, new_parents, node.label)
+        rewritten[node.id] = out
+        return out
+
+    return [rebuild(s) for s in sinks]
+
+
+def count_fused(sinks: List[g.OpNode]) -> int:
+    """Number of nodes fusion removes (for reporting)."""
+    before = len(g.ancestors(sinks))
+    after = len(g.ancestors(fuse_transformer_chains(sinks)))
+    return before - after

@@ -1,0 +1,160 @@
+"""Automatic materialization (paper Section 4.3, Algorithm 1).
+
+Given per-node execution times, output sizes and iteration weights (from the
+pipeline profile), choose the set of nodes to cache that minimizes total
+execution time under a memory budget.
+
+Cost semantics (the paper's T(v)/C(v) recursion, written as a sum):
+
+- ``C(v)`` — number of times v's output is requested: each execution of a
+  successor ``p`` scans its inputs ``w_p`` times, and ``p`` executes once if
+  cached, ``C(p)`` times otherwise.  Sinks are requested once.
+- ``executions(v)`` = 1 if v is cached else ``C(v)``.
+- total time = sum over nodes of ``executions(v) * t(v)`` where ``t(v)`` is
+  the per-execution local time (all of v's iterations included).
+
+The greedy algorithm repeatedly caches the node giving the largest runtime
+reduction that still fits in memory, stopping when no node improves runtime
+(or memory is exhausted).  An exact exponential optimizer is provided for
+validating greedy quality on small DAGs — the stand-in for the paper's ILP,
+which it found too slow for optimization-time use.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core import graph as g
+from repro.core.profiler import PipelineProfile
+
+
+class MaterializationProblem:
+    """A costed DAG ready for cache-set search."""
+
+    def __init__(self, sinks: List[g.OpNode], profile: PipelineProfile):
+        self.sinks = sinks
+        self.order = g.ancestors(sinks)
+        self.succ = g.successors_map(sinks)
+        self.t = {n.id: profile.t(n.id) for n in self.order}
+        self.size = {n.id: profile.size(n.id) for n in self.order}
+        self.weight = {n.id: profile.nodes[n.id].weight for n in self.order}
+        self.sink_ids = {s.id for s in sinks}
+
+    # ------------------------------------------------------------------
+    def request_counts(self, cache_set: Set[int]) -> Dict[int, float]:
+        """C(v) for every node under the given cache set."""
+        counts: Dict[int, float] = {}
+        for node in reversed(self.order):
+            c = 1.0 if node.id in self.sink_ids else 0.0
+            for p in self.succ[node.id]:
+                executions = 1.0 if p.id in cache_set else counts[p.id]
+                c += self.weight[p.id] * executions
+            counts[node.id] = max(c, 1.0) if node.id in self.sink_ids else c
+        return counts
+
+    def estimate_runtime(self, cache_set: Set[int]) -> float:
+        """Total execution time of the DAG under the given cache set."""
+        counts = self.request_counts(cache_set)
+        total = 0.0
+        for node in self.order:
+            executions = 1.0 if node.id in cache_set else counts[node.id]
+            # A node never requested (count 0) costs nothing even if cached.
+            if counts[node.id] <= 0:
+                continue
+            total += executions * self.t[node.id]
+        return total
+
+    def candidates(self) -> List[g.OpNode]:
+        """Nodes whose output can usefully be cached (reused > once)."""
+        return [n for n in self.order if not n.is_pipeline_input]
+
+
+def greedy_cache_set(problem: MaterializationProblem,
+                     mem_budget: float) -> Set[int]:
+    """Algorithm 1: greedily build the cache set.
+
+    Each round picks the un-cached node whose addition minimizes estimated
+    runtime while fitting in remaining memory; stops when no addition
+    improves runtime or nothing fits.
+    """
+    cache: Set[int] = set()
+    mem_left = mem_budget
+    current = problem.estimate_runtime(cache)
+    candidates = problem.candidates()
+    while True:
+        best_node: Optional[g.OpNode] = None
+        best_runtime = current
+        for node in candidates:
+            if node.id in cache or problem.size[node.id] > mem_left:
+                continue
+            runtime = problem.estimate_runtime(cache | {node.id})
+            if runtime < best_runtime:
+                best_node = node
+                best_runtime = runtime
+        if best_node is None:
+            return cache
+        cache.add(best_node.id)
+        mem_left -= problem.size[best_node.id]
+        current = best_runtime
+
+
+def exact_cache_set(problem: MaterializationProblem,
+                    mem_budget: float,
+                    max_nodes: int = 20) -> Set[int]:
+    """Exhaustive optimum over all feasible cache sets (small DAGs only).
+
+    Reproduces the role of the paper's ILP formulation: a ground-truth
+    optimum used to validate the greedy algorithm, impractical for large
+    pipelines.
+    """
+    candidates = [n.id for n in problem.candidates()]
+    if len(candidates) > max_nodes:
+        raise ValueError(
+            f"exact optimizer limited to {max_nodes} candidate nodes, "
+            f"got {len(candidates)}")
+    best_set: Set[int] = set()
+    best_runtime = problem.estimate_runtime(set())
+    for r in range(1, len(candidates) + 1):
+        for combo in combinations(candidates, r):
+            if sum(problem.size[i] for i in combo) > mem_budget:
+                continue
+            runtime = problem.estimate_runtime(set(combo))
+            if runtime < best_runtime - 1e-12:
+                best_runtime = runtime
+                best_set = set(combo)
+    return best_set
+
+
+# ----------------------------------------------------------------------
+# Strategies (paper Section 5.4 comparison)
+# ----------------------------------------------------------------------
+
+GREEDY = "greedy"
+LRU = "lru"
+RULE_BASED = "rule"
+NONE = "none"
+ALL = "all"
+
+STRATEGIES = (GREEDY, LRU, RULE_BASED, NONE, ALL)
+
+
+def choose_cache_set(strategy: str, problem: MaterializationProblem,
+                     mem_budget: float) -> Tuple[Set[int], bool]:
+    """Pick the nodes marked for caching plus whether to use LRU admission.
+
+    Returns ``(node_ids, use_lru)``: under LRU every intermediate is marked
+    cacheable and the byte-budgeted LRU cache decides what stays (Spark's
+    default behaviour); under the rule-based strategy only estimator outputs
+    (fitted models, always retained by the executor) are kept, so no dataset
+    nodes are marked.  ``greedy`` pins the Algorithm-1 selection.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown caching strategy {strategy!r}; "
+                         f"expected one of {STRATEGIES}")
+    if strategy == NONE or strategy == RULE_BASED:
+        return set(), False
+    if strategy == LRU or strategy == ALL:
+        ids = {n.id for n in problem.candidates() if n.kind != g.ESTIMATOR}
+        return ids, strategy == LRU
+    return greedy_cache_set(problem, mem_budget), False

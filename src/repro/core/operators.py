@@ -1,0 +1,148 @@
+"""Logical operator types: Transformer, Estimator, and optimization mixins.
+
+These mirror the paper's Figure 3 API:
+
+- :class:`Transformer` — a deterministic, side-effect-free unary function,
+  applicable to single items or whole datasets.
+- :class:`Estimator` / :class:`LabelEstimator` — functions from data(+labels)
+  to a fitted :class:`Transformer`.
+- :class:`Optimizable` — a *logical* operator with several physical
+  implementations, each priced by a :class:`~repro.cost.CostModel`.
+- :class:`Iterative` — marker carrying ``weight``, the number of passes the
+  operator makes over its input (drives the materialization cost model).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
+
+from repro.cost.model import CostModel, estimate_cost
+
+if TYPE_CHECKING:
+    from repro.cluster.resources import ResourceDescriptor
+    from repro.core.stats import DataStats
+    from repro.dataset.dataset import Dataset
+
+
+class Transformer:
+    """Deterministic item-level function; maps datasets element-wise.
+
+    Subclasses implement :meth:`apply`.  Bulk application defaults to a
+    per-element map; operators with a faster batched path (BLAS over a whole
+    partition) override :meth:`apply_partition`.
+    """
+
+    #: passes over the input per execution (1 for ordinary transformers)
+    weight: int = 1
+
+    def apply(self, item: Any) -> Any:
+        raise NotImplementedError
+
+    def apply_partition(self, items: List[Any]) -> List[Any]:
+        return [self.apply(x) for x in items]
+
+    def apply_dataset(self, data: "Dataset") -> "Dataset":
+        return data.map_partitions(self.apply_partition,
+                                   name=type(self).__name__)
+
+    def __call__(self, item: Any) -> Any:
+        return self.apply(item)
+
+    # -- pipeline sugar -------------------------------------------------
+    def and_then(self, nxt, data=None, labels=None):
+        """Chain into a :class:`~repro.core.pipeline.Pipeline`."""
+        from repro.core.pipeline import Pipeline
+
+        return Pipeline.from_transformer(self).and_then(nxt, data, labels)
+
+    def to_pipeline(self):
+        from repro.core.pipeline import Pipeline
+
+        return Pipeline.from_transformer(self)
+
+
+class Estimator:
+    """Unsupervised operator: fit(data) -> Transformer."""
+
+    weight: int = 1
+
+    def fit(self, data: "Dataset") -> Transformer:
+        raise NotImplementedError
+
+
+class LabelEstimator:
+    """Supervised operator: fit(data, labels) -> Transformer."""
+
+    weight: int = 1
+
+    def fit(self, data: "Dataset", labels: "Dataset") -> Transformer:
+        raise NotImplementedError
+
+
+class Optimizable:
+    """Mixin for logical operators with multiple physical implementations.
+
+    ``options`` returns ``(cost_model, physical_operator)`` pairs; the
+    default :meth:`optimize` picks the feasible option with the lowest
+    estimated cost, mirroring the paper's per-operator optimizer.
+    """
+
+    def options(self) -> Sequence[Tuple[CostModel, Any]]:
+        raise NotImplementedError
+
+    def optimize(self, stats: "DataStats",
+                 resources: "ResourceDescriptor") -> Any:
+        best: Optional[Any] = None
+        best_cost = float("inf")
+        for model, op in self.options():
+            if not model.feasible(stats, resources):
+                continue
+            cost = estimate_cost(model, stats, resources)
+            if cost < best_cost:
+                best, best_cost = op, cost
+        if best is None:
+            raise RuntimeError(
+                f"{type(self).__name__}: no feasible physical operator "
+                f"for stats {stats}")
+        return best
+
+    def cost_table(self, stats: "DataStats",
+                   resources: "ResourceDescriptor") -> List[Tuple[str, float]]:
+        """Per-option estimated costs (for debugging and the benches)."""
+        out = []
+        for model, _op in self.options():
+            cost = (estimate_cost(model, stats, resources)
+                    if model.feasible(stats, resources) else float("inf"))
+            out.append((model.name, cost))
+        return out
+
+
+class Iterative:
+    """Marker: the operator makes ``weight`` passes over its input."""
+
+    weight: int = 1
+
+
+class IdentityTransformer(Transformer):
+    """Passes items through unchanged; useful as a pipeline seed."""
+
+    def apply(self, item: Any) -> Any:
+        return item
+
+
+class FunctionTransformer(Transformer):
+    """Wraps a plain function as a Transformer.
+
+    ``name`` is used in DAG labels; the function must be deterministic and
+    side-effect-free, as required by the execution model.
+    """
+
+    def __init__(self, fn, name: str = ""):
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "fn")
+
+    def apply(self, item: Any) -> Any:
+        return self.fn(item)
+
+    def __repr__(self) -> str:
+        return f"FunctionTransformer({self.name})"

@@ -1,0 +1,98 @@
+"""Hyperparameter tuning over pipelines (paper §7 future work).
+
+The paper plans to integrate hyperparameter search with the optimizer
+(citing TuPAQ [56]).  This module provides the basic harness: a grid (or
+random subsample of a grid) over pipeline-builder parameters, fitting one
+pipeline per configuration and scoring it on validation data, with the
+per-configuration optimizer decisions recorded so search results explain
+themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.pipeline import FittedPipeline, Pipeline
+
+
+@dataclass
+class TrialResult:
+    """One evaluated configuration."""
+
+    params: Dict[str, Any]
+    score: float
+    fit_seconds: float
+    selections: Dict[int, str] = field(default_factory=dict)
+    pipeline: Optional[FittedPipeline] = None
+
+
+@dataclass
+class SearchResult:
+    trials: List[TrialResult]
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return max(self.trials, key=lambda t: t.score)
+
+    def ranked(self) -> List[TrialResult]:
+        return sorted(self.trials, key=lambda t: t.score, reverse=True)
+
+
+def expand_grid(grid: Dict[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of parameter values, as a list of dicts."""
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    combos = itertools.product(*(grid[k] for k in keys))
+    return [dict(zip(keys, values)) for values in combos]
+
+
+class GridSearch:
+    """Fit-and-score a pipeline builder across a parameter grid.
+
+    ``builder(params) -> Pipeline`` constructs an unfitted pipeline;
+    ``scorer(fitted) -> float`` evaluates it (higher is better).  Set
+    ``max_trials`` to randomly subsample large grids (seeded).
+    """
+
+    def __init__(self, builder: Callable[[Dict[str, Any]], Pipeline],
+                 scorer: Callable[[FittedPipeline], float],
+                 grid: Dict[str, Sequence[Any]],
+                 max_trials: Optional[int] = None, seed: int = 0,
+                 fit_kwargs: Optional[Dict[str, Any]] = None,
+                 keep_pipelines: bool = False):
+        self.builder = builder
+        self.scorer = scorer
+        self.grid = grid
+        self.max_trials = max_trials
+        self.seed = seed
+        self.fit_kwargs = fit_kwargs or {}
+        self.keep_pipelines = keep_pipelines
+
+    def configurations(self) -> List[Dict[str, Any]]:
+        configs = expand_grid(self.grid)
+        if self.max_trials is not None and len(configs) > self.max_trials:
+            rng = random.Random(self.seed)
+            configs = rng.sample(configs, self.max_trials)
+        return configs
+
+    def run(self) -> SearchResult:
+        trials: List[TrialResult] = []
+        for params in self.configurations():
+            pipeline = self.builder(params)
+            start = time.perf_counter()
+            fitted = pipeline.fit(**self.fit_kwargs)
+            fit_seconds = time.perf_counter() - start
+            score = self.scorer(fitted)
+            trials.append(TrialResult(
+                params=params, score=score, fit_seconds=fit_seconds,
+                selections=dict(fitted.training_report.selections
+                                if fitted.training_report else {}),
+                pipeline=fitted if self.keep_pipelines else None))
+        return SearchResult(trials)

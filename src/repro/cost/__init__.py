@@ -1,0 +1,15 @@
+"""Cost model framework (paper Section 3).
+
+The cost of a physical operator ``f`` on statistics ``A_s`` with resources
+``R`` is split into an operator-specific part (a :class:`CostProfile` of
+flops, memory-bytes and network-bytes along the critical path) and a
+cluster-specific part (the weights ``R_exec``/``R_coord`` derived from the
+:class:`~repro.cluster.resources.ResourceDescriptor`)::
+
+    c(f, A_s, R) = R_exec * c_exec(f, A_s, R_w) + R_coord * c_coord(f, A_s, R_w)
+"""
+
+from repro.cost.profile import CostProfile
+from repro.cost.model import CostModel, estimate_cost, execution_seconds
+
+__all__ = ["CostProfile", "CostModel", "estimate_cost", "execution_seconds"]

@@ -1,0 +1,65 @@
+"""CostModel interface and the cost equation (paper Eq. 1).
+
+Operator developers implement :meth:`CostModel.cost` returning a
+:class:`~repro.cost.profile.CostProfile`; the optimizer converts profiles to
+comparable scalars (estimated seconds) using the cluster's resource
+descriptor.  As in the paper, the estimate need not equal real runtime — its
+job is to avoid order-of-magnitude mistakes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cost.profile import CostProfile
+
+if TYPE_CHECKING:
+    from repro.cluster.resources import ResourceDescriptor
+    from repro.core.stats import DataStats
+
+
+class CostModel:
+    """Operator-specific cost functions.
+
+    Subclasses describe one *physical* operator.  ``cost`` returns the
+    critical-path profile for training/applying the operator on data with
+    the given statistics using ``workers`` nodes.
+    """
+
+    #: Human-readable name of the physical operator this model prices.
+    name: str = "unnamed"
+
+    def cost(self, stats: "DataStats", workers: int) -> CostProfile:
+        raise NotImplementedError
+
+    def feasible(self, stats: "DataStats", resources: "ResourceDescriptor") -> bool:
+        """Whether the operator can run at all (e.g. memory fits).
+
+        Mirrors the paper's observation that e.g. the exact solver crashes
+        beyond 4k features on the Amazon workload: infeasible options are
+        excluded before costing.
+        """
+        return True
+
+
+def execution_seconds(profile: CostProfile,
+                      resources: "ResourceDescriptor") -> float:
+    """Convert a profile to estimated seconds on the given cluster.
+
+    ``R_exec`` weighs local compute (flops at the node's GFLOP/s, bytes at
+    memory bandwidth) and ``R_coord`` weighs network traffic at the link
+    speed.  Compute and memory traffic overlap is ignored — we take the sum,
+    which is pessimistic but monotone, which is all plan selection needs.
+    """
+    exec_time = (profile.flops / resources.cpu_flops
+                 + profile.bytes / resources.memory_bandwidth)
+    coord_time = (profile.network / resources.network_bandwidth
+                  + profile.tasks * resources.task_overhead)
+    return exec_time + coord_time
+
+
+def estimate_cost(model: CostModel, stats: "DataStats",
+                  resources: "ResourceDescriptor") -> float:
+    """Price one physical operator: Eq. (1) of the paper."""
+    profile = model.cost(stats, resources.num_nodes)
+    return execution_seconds(profile, resources)

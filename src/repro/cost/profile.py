@@ -1,0 +1,48 @@
+"""CostProfile: the operator-specific half of the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Critical-path resource requirements of one operator execution.
+
+    Mirrors the paper's ``CostProfile(flops, bytes, network)``:
+
+    - ``flops``: floating-point operations on the most loaded node.
+    - ``bytes``: bytes read/written through local memory on the most loaded
+      node (used to price memory-bandwidth-bound work).
+    - ``network``: bytes through the most loaded network link.
+    - ``tasks``: distributed passes / task launches (priced at the
+      cluster's per-task overhead).  The paper notes constants "are
+      necessary in practice"; the task term is what keeps iterative
+      solvers honestly priced when per-pass overhead rivals compute.
+
+    Profiles add component-wise, and scale by a constant, so per-stage
+    profiles compose into pipeline profiles.
+    """
+
+    flops: float = 0.0
+    bytes: float = 0.0
+    network: float = 0.0
+    tasks: float = 0.0
+
+    def __add__(self, other: "CostProfile") -> "CostProfile":
+        return CostProfile(self.flops + other.flops,
+                           self.bytes + other.bytes,
+                           self.network + other.network,
+                           self.tasks + other.tasks)
+
+    def __mul__(self, scalar: float) -> "CostProfile":
+        return CostProfile(self.flops * scalar,
+                           self.bytes * scalar,
+                           self.network * scalar,
+                           self.tasks * scalar)
+
+    __rmul__ = __mul__
+
+    @staticmethod
+    def zero() -> "CostProfile":
+        return CostProfile(0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,36 @@
+"""In-process substitute for a distributed dataflow engine (Spark RDDs).
+
+KeystoneML executes pipelines over lazy, partitioned, lineage-tracked
+collections.  This package provides the same semantics in a single process:
+
+- :class:`~repro.dataset.dataset.Dataset` — a lazy partitioned collection
+  supporting ``map``/``map_partitions``/``zip``/``cache`` with deterministic
+  recompute-on-cache-miss.
+- :class:`~repro.dataset.cache.CacheManager` — a byte-budgeted cache with
+  pluggable eviction policies (LRU, Spark-style admission-controlled LRU).
+- :class:`~repro.dataset.context.Context` — owns a cache manager and the
+  execution statistics used by the materialization experiments.
+"""
+
+from repro.dataset.cache import (
+    AdmissionControlledLRUPolicy,
+    CacheManager,
+    CachePolicy,
+    LRUPolicy,
+    PinnedPolicy,
+)
+from repro.dataset.context import Context, ExecutionStats
+from repro.dataset.dataset import Dataset
+from repro.dataset.sizing import estimate_size
+
+__all__ = [
+    "AdmissionControlledLRUPolicy",
+    "CacheManager",
+    "CachePolicy",
+    "Context",
+    "Dataset",
+    "ExecutionStats",
+    "LRUPolicy",
+    "PinnedPolicy",
+    "estimate_size",
+]

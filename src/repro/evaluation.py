@@ -1,0 +1,142 @@
+"""Evaluation metrics used in the paper's Table 5.
+
+Accuracy for Amazon/TIMIT/CIFAR, top-k error for ImageNet, and mean
+average precision for VOC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def accuracy(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """Fraction of exact class matches."""
+    if len(predicted) != len(actual):
+        raise ValueError(f"length mismatch: {len(predicted)} vs {len(actual)}")
+    if not actual:
+        raise ValueError("empty evaluation set")
+    hits = sum(1 for p, a in zip(predicted, actual) if p == a)
+    return hits / len(actual)
+
+
+def top_k_accuracy(score_rows: Sequence[np.ndarray],
+                   actual: Sequence[int], k: int = 5) -> float:
+    """Fraction of examples whose true class is in the top-k scores."""
+    if len(score_rows) != len(actual):
+        raise ValueError(f"length mismatch: {len(score_rows)} vs "
+                         f"{len(actual)}")
+    if not actual:
+        raise ValueError("empty evaluation set")
+    hits = 0
+    for scores, label in zip(score_rows, actual):
+        arr = np.asarray(scores).ravel()
+        kk = min(k, arr.size)
+        top = np.argpartition(-arr, kk - 1)[:kk]
+        if label in top:
+            hits += 1
+    return hits / len(actual)
+
+
+def mean_average_precision(score_rows: Sequence[np.ndarray],
+                           actual: Sequence[int],
+                           num_classes: int) -> float:
+    """Macro mAP: average precision per class, averaged over classes.
+
+    Each class is treated as a binary retrieval problem ranked by its
+    score column (the VOC evaluation protocol, simplified to single-label
+    ground truth).
+    """
+    scores = np.vstack([np.asarray(s).ravel() for s in score_rows])
+    labels = np.asarray(actual)
+    aps: List[float] = []
+    for c in range(num_classes):
+        relevant = labels == c
+        if not relevant.any():
+            continue
+        order = np.argsort(-scores[:, c])
+        rel_sorted = relevant[order]
+        cum_hits = np.cumsum(rel_sorted)
+        precision_at = cum_hits / (np.arange(len(rel_sorted)) + 1)
+        ap = float((precision_at * rel_sorted).sum() / rel_sorted.sum())
+        aps.append(ap)
+    if not aps:
+        raise ValueError("no classes present in the evaluation set")
+    return float(np.mean(aps))
+
+
+def confusion_matrix(predicted: Sequence[int], actual: Sequence[int],
+                     num_classes: int) -> np.ndarray:
+    """``C[i, j]`` = count of items with true class i predicted as j."""
+    if len(predicted) != len(actual):
+        raise ValueError(f"length mismatch: {len(predicted)} vs "
+                         f"{len(actual)}")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for p, a in zip(predicted, actual):
+        if not (0 <= int(p) < num_classes and 0 <= int(a) < num_classes):
+            raise ValueError(f"label out of range [0, {num_classes}): "
+                             f"predicted={p}, actual={a}")
+        matrix[int(a), int(p)] += 1
+    return matrix
+
+
+def precision_recall_f1(predicted: Sequence[int], actual: Sequence[int],
+                        num_classes: int) -> dict:
+    """Macro-averaged precision, recall and F1 over present classes."""
+    matrix = confusion_matrix(predicted, actual, num_classes)
+    precisions, recalls, f1s = [], [], []
+    for c in range(num_classes):
+        tp = matrix[c, c]
+        predicted_c = matrix[:, c].sum()
+        actual_c = matrix[c, :].sum()
+        if actual_c == 0:
+            continue
+        precision = tp / predicted_c if predicted_c else 0.0
+        recall = tp / actual_c
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    if not precisions:
+        raise ValueError("no classes present in the evaluation set")
+    return {"precision": float(np.mean(precisions)),
+            "recall": float(np.mean(recalls)),
+            "f1": float(np.mean(f1s))}
+
+
+class MulticlassMetrics:
+    """Bundle of evaluation results for one classifier run."""
+
+    def __init__(self, score_rows: Sequence[np.ndarray],
+                 actual: Sequence[int], num_classes: int):
+        self.scores = [np.asarray(s).ravel() for s in score_rows]
+        self.actual = list(actual)
+        self.num_classes = num_classes
+        self.predicted = [int(np.argmax(s)) for s in self.scores]
+
+    @property
+    def accuracy(self) -> float:
+        return accuracy(self.predicted, self.actual)
+
+    def top_k(self, k: int) -> float:
+        return top_k_accuracy(self.scores, self.actual, k)
+
+    @property
+    def mean_average_precision(self) -> float:
+        return mean_average_precision(self.scores, self.actual,
+                                      self.num_classes)
+
+    @property
+    def confusion(self) -> np.ndarray:
+        return confusion_matrix(self.predicted, self.actual,
+                                self.num_classes)
+
+    def summary(self) -> dict:
+        out = {"accuracy": self.accuracy,
+               "top_5": self.top_k(5),
+               "mAP": self.mean_average_precision}
+        out.update(precision_recall_f1(self.predicted, self.actual,
+                                       self.num_classes))
+        return out

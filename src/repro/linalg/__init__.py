@@ -1,0 +1,11 @@
+"""Distributed-style linear algebra over :class:`~repro.dataset.Dataset`.
+
+Row-partitioned matrices with the communication-avoiding primitives the
+KeystoneML solvers need: Gram matrices and cross-products via aggregation
+trees, and TSQR (tall-skinny QR) factorization.
+"""
+
+from repro.linalg.rowmatrix import RowMatrix
+from repro.linalg.tsqr import tsqr_r, tsqr_solve
+
+__all__ = ["RowMatrix", "tsqr_r", "tsqr_solve"]

@@ -1,0 +1,149 @@
+"""Row-partitioned matrix over a :class:`~repro.dataset.Dataset`.
+
+Rows may be dense 1-D numpy arrays or scipy sparse row vectors.  Operations
+are organized so per-partition work is a local BLAS call and cross-partition
+combination happens through an aggregation tree — the access pattern the
+paper's solver cost models (Table 1) describe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dataset.dataset import Dataset
+from repro.linalg.tsqr import tsqr_r, tsqr_solve
+
+
+def _partition_to_block(rows: List) -> np.ndarray:
+    """Stack a partition's rows into a dense 2-D block."""
+    if not rows:
+        return np.zeros((0, 0))
+    if sp.issparse(rows[0]):
+        return sp.vstack(rows).toarray()
+    return np.vstack([np.asarray(r).reshape(1, -1) for r in rows])
+
+
+def _partition_to_sparse_block(rows: List) -> sp.csr_matrix:
+    if not rows:
+        return sp.csr_matrix((0, 0))
+    if sp.issparse(rows[0]):
+        return sp.vstack(rows).tocsr()
+    return sp.csr_matrix(np.vstack(rows))
+
+
+class RowMatrix:
+    """An ``n x d`` matrix whose rows live in a dataset."""
+
+    def __init__(self, data: Dataset, num_cols: Optional[int] = None):
+        self.data = data
+        self._num_cols = num_cols
+
+    @property
+    def num_cols(self) -> int:
+        if self._num_cols is None:
+            first = self.data.first()
+            self._num_cols = (first.shape[1] if sp.issparse(first)
+                              else int(np.asarray(first).size))
+        return self._num_cols
+
+    def num_rows(self) -> int:
+        return self.data.count()
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+    def dense_blocks(self) -> List[np.ndarray]:
+        """Materialize each partition as a dense block (skips empties)."""
+        blocks = []
+        for i in range(self.data.num_partitions):
+            block = _partition_to_block(self.data.partition(i))
+            if block.size:
+                blocks.append(block)
+        return blocks
+
+    def sparse_blocks(self) -> List[sp.csr_matrix]:
+        blocks = []
+        for i in range(self.data.num_partitions):
+            rows = self.data.partition(i)
+            if rows:
+                blocks.append(_partition_to_sparse_block(rows))
+        return blocks
+
+    def to_dense(self) -> np.ndarray:
+        blocks = self.dense_blocks()
+        if not blocks:
+            return np.zeros((0, self._num_cols or 0))
+        return np.vstack(blocks)
+
+    # ------------------------------------------------------------------
+    # Communication-avoiding primitives
+    # ------------------------------------------------------------------
+    def gram(self) -> np.ndarray:
+        """``A^T A`` via per-partition syrk + combining tree."""
+        d = self.num_cols
+
+        def seq(acc: np.ndarray, row) -> np.ndarray:
+            raise RuntimeError("gram aggregates whole partitions")
+
+        # Aggregate per partition to keep the inner loop in BLAS.
+        partials = []
+        for i in range(self.data.num_partitions):
+            block = _partition_to_block(self.data.partition(i))
+            if block.size:
+                partials.append(block.T @ block)
+        result = np.zeros((d, d))
+        for p in partials:
+            result += p
+        return result
+
+    def t_times(self, other: "RowMatrix") -> np.ndarray:
+        """``A^T B`` where B is row-aligned with A (same partitioning)."""
+        if other.data.num_partitions != self.data.num_partitions:
+            raise ValueError("t_times requires aligned partitioning")
+        result: Optional[np.ndarray] = None
+        for i in range(self.data.num_partitions):
+            a = _partition_to_block(self.data.partition(i))
+            b = _partition_to_block(other.data.partition(i))
+            if a.size == 0:
+                continue
+            term = a.T @ b
+            result = term if result is None else result + term
+        if result is None:
+            raise ValueError("t_times over an empty matrix")
+        return result
+
+    def times(self, x: np.ndarray) -> Dataset:
+        """Row-wise product ``A x`` (x is ``d`` or ``d x k``)."""
+        def apply_row(row):
+            if sp.issparse(row):
+                return np.asarray(row @ x).ravel()
+            return np.asarray(row) @ x
+
+        return self.data.map(apply_row, name="times")
+
+    def qr_r(self) -> np.ndarray:
+        """R factor of A via TSQR."""
+        return tsqr_r(self.dense_blocks())
+
+    def solve_least_squares(self, labels: "RowMatrix",
+                            l2_reg: float = 0.0) -> np.ndarray:
+        """``argmin_X ||A X - B||_F^2 + l2 ||X||_F^2`` via TSQR."""
+        a_blocks = self.dense_blocks()
+        b_blocks = labels.dense_blocks()
+        return tsqr_solve(a_blocks, b_blocks, l2_reg)
+
+    def column_means(self) -> np.ndarray:
+        d = self.num_cols
+        total = np.zeros(d)
+        count = 0
+        for i in range(self.data.num_partitions):
+            block = _partition_to_block(self.data.partition(i))
+            if block.size:
+                total += block.sum(axis=0)
+                count += block.shape[0]
+        if count == 0:
+            raise ValueError("column_means over an empty matrix")
+        return total / count

@@ -1,0 +1,63 @@
+"""TSQR: communication-avoiding QR for tall-skinny matrices.
+
+Demmel et al.'s TSQR computes the R factor of a row-partitioned matrix by
+taking a local QR of each block and combining R factors pairwise up a tree.
+KeystoneML's exact distributed solver is built on it (paper Table 1,
+"Dist. QR").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def tsqr_r(blocks: List[np.ndarray]) -> np.ndarray:
+    """R factor of ``vstack(blocks)`` via a binary combining tree.
+
+    Each block must have at least as many... columns as the stack is wide;
+    blocks with fewer rows than columns are allowed (their local R is just
+    rectangular and still combines correctly).
+    """
+    if not blocks:
+        raise ValueError("tsqr_r requires at least one block")
+    level = [np.linalg.qr(b, mode="r") for b in blocks]
+    while len(level) > 1:
+        nxt = []
+        for j in range(0, len(level), 2):
+            if j + 1 < len(level):
+                stacked = np.vstack([level[j], level[j + 1]])
+                nxt.append(np.linalg.qr(stacked, mode="r"))
+            else:
+                nxt.append(level[j])
+        level = nxt
+    r = level[0]
+    d = r.shape[1]
+    # Pad to square when the total row count is below d.
+    if r.shape[0] < d:
+        r = np.vstack([r, np.zeros((d - r.shape[0], d))])
+    return r[:d, :]
+
+
+def tsqr_solve(a_blocks: List[np.ndarray], b_blocks: List[np.ndarray],
+               l2_reg: float = 0.0) -> np.ndarray:
+    """Least-squares solve ``min ||A X - B||_F`` via TSQR on ``[A | B]``.
+
+    Factoring the augmented matrix gives ``R = [[R_a, Q^T B], [0, *]]``, so
+    the solution is a ``d x k`` triangular solve without ever forming Q —
+    the standard communication-avoiding least-squares trick.
+    """
+    if len(a_blocks) != len(b_blocks):
+        raise ValueError("A and B must have matching block lists")
+    d = a_blocks[0].shape[1]
+    k = b_blocks[0].shape[1]
+    augmented = [np.hstack([a, b]) for a, b in zip(a_blocks, b_blocks)]
+    if l2_reg > 0:
+        # Append sqrt(lambda) * I rows: solves the ridge-regularized problem.
+        reg_block = np.hstack([np.sqrt(l2_reg) * np.eye(d), np.zeros((d, k))])
+        augmented.append(reg_block)
+    r = tsqr_r(augmented)
+    r_a = r[:d, :d]
+    qtb = r[:d, d:]
+    return np.linalg.solve(r_a + 1e-12 * np.eye(d), qtb)

@@ -1,0 +1,12 @@
+"""KeystoneML Standard Library: the operators pipelines are built from.
+
+Sub-modules group operators by domain:
+
+- :mod:`repro.nodes.text` — tokenization and sparse text featurization.
+- :mod:`repro.nodes.numeric` — scalers, normalizers, label encoding,
+  classifiers-from-scores.
+- :mod:`repro.nodes.images` — image transformers (grayscale, patches, SIFT).
+- :mod:`repro.nodes.convolution` — the Convolver and its physical variants.
+- :mod:`repro.nodes.learning` — estimators: linear solvers, PCA, GMM,
+  K-Means, Fisher vectors, random features, logistic regression.
+"""

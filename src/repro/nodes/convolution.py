@@ -1,0 +1,263 @@
+"""Convolution: one logical operator, three physical strategies (paper §3).
+
+A :class:`Convolver` applies a bank of ``b`` filters of size ``k x k x c``
+to an ``n x n x c`` image, producing ``m x m x b`` with ``m = n - k + 1``
+(valid cross-correlation).  Physical strategies and their paper cost models:
+
+- ``SeparableConvolver`` — two 1-D passes per (filter, channel); only valid
+  when every filter channel is (near) rank-1.  O(c b k m^2 + b k^3).
+- ``BLASConvolver`` — im2col + one matrix-matrix multiply.
+  O(c b k^2 m^2).
+- ``FFTConvolver`` — frequency-domain products; cost independent of k.
+  O(6 c b n^2 log n + 4 c b n^2).
+
+Figure 7's crossover: BLAS wins small k, FFT wins large k, separable wins
+whenever it applies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cost.model import CostModel
+from repro.cost.profile import CostProfile
+from repro.core.operators import Optimizable, Transformer
+
+DOUBLE = 8.0
+
+
+def _as_image(item) -> np.ndarray:
+    arr = np.asarray(item, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[:, :, None]
+    if arr.ndim != 3:
+        raise ValueError(f"expected an image (h, w, c), got shape {arr.shape}")
+    return arr
+
+
+def _check_filters(filters: np.ndarray) -> np.ndarray:
+    filters = np.asarray(filters, dtype=np.float64)
+    if filters.ndim == 3:
+        filters = filters[:, :, :, None]
+    if filters.ndim != 4 or filters.shape[1] != filters.shape[2]:
+        raise ValueError("filters must have shape (b, k, k, c), got "
+                         f"{filters.shape}")
+    return filters
+
+
+def separable_decomposition(filters: np.ndarray,
+                            tol: float = 1e-6) -> Optional[Tuple[np.ndarray,
+                                                                 np.ndarray]]:
+    """Rank-1 factors (u, v) per (filter, channel), or None if not separable.
+
+    Returns arrays of shape (b, c, k): ``filter[b,:,:,c] ~= outer(u, v)``.
+    """
+    filters = _check_filters(filters)
+    b, k, _k, c = filters.shape
+    us = np.zeros((b, c, k))
+    vs = np.zeros((b, c, k))
+    for i in range(b):
+        for ch in range(c):
+            mat = filters[i, :, :, ch]
+            u_svd, s, vt = np.linalg.svd(mat)
+            if mat.size and s[0] > 0:
+                rel_residual = (np.sum(s[1:] ** 2) / np.sum(s ** 2)
+                                if s.size > 1 else 0.0)
+                if rel_residual > tol:
+                    return None
+            scale = math.sqrt(s[0]) if s[0] > 0 else 0.0
+            us[i, ch] = u_svd[:, 0] * scale
+            vs[i, ch] = vt[0] * scale
+    return us, vs
+
+
+class _BaseConvolver(Transformer):
+    """Shared bookkeeping for the physical convolvers."""
+
+    def __init__(self, filters: np.ndarray,
+                 bias: Optional[np.ndarray] = None):
+        self.filters = _check_filters(filters)
+        self.num_filters = self.filters.shape[0]
+        self.filter_size = self.filters.shape[1]
+        self.bias = (np.zeros(self.num_filters) if bias is None
+                     else np.asarray(bias, dtype=np.float64))
+
+    def _finish(self, out: np.ndarray) -> np.ndarray:
+        return out + self.bias
+
+
+class BLASConvolver(_BaseConvolver):
+    """im2col + matrix multiply; the dense-linear-algebra strategy."""
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        k = self.filter_size
+        m_h, m_w = h - k + 1, w - k + 1
+        if m_h <= 0 or m_w <= 0:
+            raise ValueError(f"filter size {k} exceeds image {h}x{w}")
+        # (m_h, m_w, k, k, c) sliding view, flattened to (m_h*m_w, k*k*c).
+        view = np.lib.stride_tricks.sliding_window_view(img, (k, k), (0, 1))
+        patches = view.transpose(0, 1, 3, 4, 2).reshape(m_h * m_w, k * k * c)
+        fmat = self.filters.transpose(0, 1, 2, 3).reshape(
+            self.num_filters, k * k * c).T
+        out = patches @ fmat
+        return self._finish(out.reshape(m_h, m_w, self.num_filters))
+
+
+class FFTConvolver(_BaseConvolver):
+    """Frequency-domain valid cross-correlation; cost independent of k."""
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        k = self.filter_size
+        m_h, m_w = h - k + 1, w - k + 1
+        if m_h <= 0 or m_w <= 0:
+            raise ValueError(f"filter size {k} exceeds image {h}x{w}")
+        fft_h, fft_w = h + k - 1, w + k - 1
+        img_fft = np.fft.rfft2(img, s=(fft_h, fft_w), axes=(0, 1))
+        out = np.empty((m_h, m_w, self.num_filters))
+        # Cross-correlation == convolution with the flipped kernel.
+        flipped = self.filters[:, ::-1, ::-1, :]
+        for i in range(self.num_filters):
+            filt_fft = np.fft.rfft2(flipped[i], s=(fft_h, fft_w), axes=(0, 1))
+            prod = (img_fft * filt_fft).sum(axis=2)
+            full = np.fft.irfft2(prod, s=(fft_h, fft_w))
+            out[:, :, i] = full[k - 1:k - 1 + m_h, k - 1:k - 1 + m_w]
+        return self._finish(out)
+
+
+class SeparableConvolver(_BaseConvolver):
+    """Two 1-D passes per (filter, channel); valid only for rank-1 filters."""
+
+    def __init__(self, filters: np.ndarray,
+                 bias: Optional[np.ndarray] = None, tol: float = 1e-6):
+        super().__init__(filters, bias)
+        decomp = separable_decomposition(self.filters, tol)
+        if decomp is None:
+            raise ValueError("filters are not separable (rank > 1)")
+        self._us, self._vs = decomp
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        k = self.filter_size
+        m_h, m_w = h - k + 1, w - k + 1
+        if m_h <= 0 or m_w <= 0:
+            raise ValueError(f"filter size {k} exceeds image {h}x{w}")
+        # Two 1-D valid passes per channel, vectorized over all filters:
+        # rows pass contracts a (h, m_w, k) sliding view with v -> then the
+        # columns pass contracts a (m_h, k, m_w) view with u.  Cost is
+        # O(c b k m^2), the separable bound.
+        out = np.zeros((m_h, m_w, self.num_filters))
+        for ch in range(c):
+            row_view = np.lib.stride_tricks.sliding_window_view(
+                img[:, :, ch], k, axis=1)              # (h, m_w, k)
+            rows = np.tensordot(row_view, self._vs[:, ch, :],
+                                axes=([2], [1]))       # (h, m_w, b)
+            col_view = np.lib.stride_tricks.sliding_window_view(
+                rows, k, axis=0)                       # (m_h, m_w, b, k)
+            # Contract the k axis against each filter's u, keeping the
+            # filter axis aligned.
+            out += np.einsum("ywbk,bk->ywb", col_view, self._us[:, ch, :])
+        return self._finish(out)
+
+
+# ----------------------------------------------------------------------
+# Cost models
+# ----------------------------------------------------------------------
+
+class _ConvCostModel(CostModel):
+    def __init__(self, op: "_BaseConvolver", image_shape: Tuple[int, int, int]):
+        self.op = op
+        self.image_shape = image_shape
+
+    def _dims(self) -> Tuple[int, int, int, int, int]:
+        h, w, c = self.image_shape
+        k = self.op.filter_size
+        b = self.op.num_filters
+        m2 = max(h - k + 1, 1) * max(w - k + 1, 1)
+        return h, c, k, b, m2
+
+
+class SeparableCostModel(_ConvCostModel):
+    name = "separable"
+
+    def cost(self, stats, workers: int) -> CostProfile:
+        _h, c, k, b, m2 = self._dims()
+        per_image = 2.0 * c * b * k * m2 + b * k ** 3
+        n = max(stats.n, 1)
+        return CostProfile(per_image * n / max(workers, 1),
+                           DOUBLE * n * m2 * b / max(workers, 1), 0.0)
+
+    def feasible(self, stats, resources) -> bool:
+        return separable_decomposition(self.op.filters) is not None
+
+
+class BLASCostModel(_ConvCostModel):
+    name = "blas"
+
+    def cost(self, stats, workers: int) -> CostProfile:
+        _h, c, k, b, m2 = self._dims()
+        per_image = 2.0 * c * b * k * k * m2
+        n = max(stats.n, 1)
+        return CostProfile(per_image * n / max(workers, 1),
+                           DOUBLE * n * (m2 * k * k * c) / max(workers, 1),
+                           0.0)
+
+
+class FFTCostModel(_ConvCostModel):
+    name = "fft"
+
+    def cost(self, stats, workers: int) -> CostProfile:
+        h, c, k, b, _m2 = self._dims()
+        n_img = h + k - 1
+        n2 = float(n_img * n_img)
+        per_image = 6.0 * c * b * n2 * math.log2(max(n_img, 2)) \
+            + 4.0 * c * b * n2
+        n = max(stats.n, 1)
+        return CostProfile(per_image * n / max(workers, 1),
+                           DOUBLE * n * n2 * b / max(workers, 1), 0.0)
+
+
+class Convolver(Transformer, Optimizable):
+    """Logical convolution; the optimizer picks the physical strategy.
+
+    ``image_shape`` (h, w, c) parameterizes the cost models — image sizes
+    are data-dependent but known after profiling; passing them explicitly
+    keeps the cost functions pure.
+    """
+
+    def __init__(self, filters: np.ndarray,
+                 image_shape: Tuple[int, int, int],
+                 bias: Optional[np.ndarray] = None,
+                 default: str = "blas"):
+        self.filters = _check_filters(filters)
+        self.image_shape = tuple(image_shape)
+        self.bias = bias
+        self.default = default
+
+    def options(self) -> Sequence[Tuple[CostModel, Transformer]]:
+        blas = BLASConvolver(self.filters, self.bias)
+        fft = FFTConvolver(self.filters, self.bias)
+        opts: List[Tuple[CostModel, Transformer]] = [
+            (BLASCostModel(blas, self.image_shape), blas),
+            (FFTCostModel(fft, self.image_shape), fft),
+        ]
+        if separable_decomposition(self.filters) is not None:
+            sep = SeparableConvolver(self.filters, self.bias)
+            opts.insert(0, (SeparableCostModel(sep, self.image_shape), sep))
+        return opts
+
+    def _default_impl(self) -> Transformer:
+        for model, op in self.options():
+            if model.name == self.default:
+                return op
+        raise ValueError(f"unknown default convolver {self.default!r}")
+
+    def apply(self, item) -> np.ndarray:
+        return self._default_impl().apply(item)

@@ -1,0 +1,382 @@
+"""Image operators: grayscale, patches, SIFT/LCS descriptors, whitening,
+rectification and pooling (paper Table 4's image-pipeline vocabulary).
+
+Images are plain numpy arrays of shape ``(h, w, c)`` (or ``(h, w)`` for
+grayscale) with float values.  Descriptor extractors return one
+``(num_descriptors, dim)`` matrix per image, matching the KeystoneML
+convention of per-item descriptor sets fed into PCA / GMM / FisherVector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.operators import Estimator, Transformer
+from repro.dataset.dataset import Dataset
+
+
+def _as_image(item) -> np.ndarray:
+    arr = np.asarray(item, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[:, :, None]
+    if arr.ndim != 3:
+        raise ValueError(f"expected image (h, w[, c]), got shape {arr.shape}")
+    return arr
+
+
+class GrayScaler(Transformer):
+    """Color image -> single-channel luminance image (2-D array)."""
+
+    WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        if img.shape[2] == 1:
+            return img[:, :, 0]
+        w = self.WEIGHTS[:img.shape[2]]
+        return img[:, :, :len(w)] @ (w / w.sum())
+
+
+class PatchExtractor(Transformer):
+    """Extract all ``size x size`` patches at ``stride``, flattened to rows.
+
+    Output: ``(num_patches, size*size*c)``.
+    """
+
+    def __init__(self, size: int, stride: int = 1):
+        if size < 1 or stride < 1:
+            raise ValueError(f"size and stride must be >= 1, got "
+                             f"size={size} stride={stride}")
+        self.size = size
+        self.stride = stride
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        s = self.size
+        if h < s or w < s:
+            raise ValueError(f"image {h}x{w} smaller than patch size {s}")
+        view = np.lib.stride_tricks.sliding_window_view(img, (s, s), (0, 1))
+        view = view[::self.stride, ::self.stride]
+        n_h, n_w = view.shape[0], view.shape[1]
+        patches = view.transpose(0, 1, 3, 4, 2).reshape(n_h * n_w, s * s * c)
+        return patches
+
+
+class RandomPatchSampler(Transformer):
+    """Sample ``num_patches`` random ``size x size`` patches per image."""
+
+    def __init__(self, size: int, num_patches: int, seed: int = 0):
+        self.size = size
+        self.num_patches = num_patches
+        self.seed = seed
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        s = self.size
+        rng = np.random.default_rng((self.seed, h, w, int(img.sum()) & 0xFFFF))
+        ys = rng.integers(0, h - s + 1, size=self.num_patches)
+        xs = rng.integers(0, w - s + 1, size=self.num_patches)
+        out = np.empty((self.num_patches, s * s * c))
+        for i, (y, x) in enumerate(zip(ys, xs)):
+            out[i] = img[y:y + s, x:x + s, :].ravel()
+        return out
+
+
+class Windower(Transformer):
+    """Split an image into non-overlapping windows (list of sub-images)."""
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def apply(self, item) -> List[np.ndarray]:
+        img = _as_image(item)
+        h, w, _c = img.shape
+        s = self.window
+        out = []
+        for y in range(0, h - s + 1, s):
+            for x in range(0, w - s + 1, s):
+                out.append(img[y:y + s, x:x + s, :])
+        return out
+
+
+class SIFTExtractor(Transformer):
+    """Dense gradient-orientation-histogram descriptors (SIFT-like).
+
+    Grayscale image -> ``(num_patches, 128)``: patches of ``4*cell`` pixels
+    on a grid with ``stride``, each described by 4x4 cells x 8 orientation
+    bins, L2-normalized and clipped at 0.2 (Lowe's normalization).
+
+    This is the descriptor's dense-grid variant without scale-space
+    detection — statistically adequate for Fisher-vector pipelines over
+    synthetic data while keeping the same output geometry as the paper's
+    SIFT stage.
+    """
+
+    BINS = 8
+    GRID = 4  # cells per side -> GRID*GRID*BINS = 128 dims
+
+    def __init__(self, cell: int = 4, stride: int = 8):
+        if cell < 1 or stride < 1:
+            raise ValueError("cell and stride must be >= 1")
+        self.cell = cell
+        self.stride = stride
+
+    def apply(self, item) -> np.ndarray:
+        img = np.asarray(item, dtype=np.float64)
+        if img.ndim == 3:
+            img = GrayScaler().apply(img)
+        h, w = img.shape
+        patch = self.cell * self.GRID
+        if h < patch or w < patch:
+            raise ValueError(f"image {h}x{w} smaller than descriptor patch "
+                             f"{patch}")
+        gy, gx = np.gradient(img)
+        mag = np.hypot(gx, gy)
+        ang = np.mod(np.arctan2(gy, gx), 2 * np.pi)
+        bins = np.minimum((ang / (2 * np.pi) * self.BINS).astype(int),
+                          self.BINS - 1)
+        # Orientation-binned magnitude maps: (h, w, BINS)
+        binned = np.zeros((h, w, self.BINS))
+        ys, xs = np.indices((h, w))
+        binned[ys, xs, bins] = mag
+
+        descriptors = []
+        for y in range(0, h - patch + 1, self.stride):
+            for x in range(0, w - patch + 1, self.stride):
+                block = binned[y:y + patch, x:x + patch]
+                cells = block.reshape(self.GRID, self.cell,
+                                      self.GRID, self.cell, self.BINS)
+                hist = cells.sum(axis=(1, 3)).ravel()
+                norm = np.linalg.norm(hist) + 1e-12
+                hist = np.minimum(hist / norm, 0.2)
+                hist /= (np.linalg.norm(hist) + 1e-12)
+                descriptors.append(hist)
+        return np.vstack(descriptors)
+
+
+class LCSExtractor(Transformer):
+    """Local colour statistics descriptors.
+
+    For each grid patch: per-channel, per-subcell mean and standard
+    deviation, giving ``grid^2 * c * 2`` dimensions per descriptor.
+    """
+
+    def __init__(self, patch: int = 16, grid: int = 4, stride: int = 8):
+        if patch % grid:
+            raise ValueError(f"patch ({patch}) must be divisible by grid "
+                             f"({grid})")
+        self.patch = patch
+        self.grid = grid
+        self.stride = stride
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, c = img.shape
+        p, gcells = self.patch, self.grid
+        sub = p // gcells
+        descriptors = []
+        for y in range(0, h - p + 1, self.stride):
+            for x in range(0, w - p + 1, self.stride):
+                block = img[y:y + p, x:x + p, :]
+                cells = block.reshape(gcells, sub, gcells, sub, c)
+                means = cells.mean(axis=(1, 3)).ravel()
+                stds = cells.std(axis=(1, 3)).ravel()
+                descriptors.append(np.concatenate([means, stds]))
+        return np.vstack(descriptors)
+
+
+class ZCAWhitener(Estimator):
+    """Fit a ZCA whitening transform on (stacked) patch rows.
+
+    The fitted transformer maps rows x -> (x - mean) @ W with
+    ``W = E (Λ + eps)^(-1/2) E^T``.
+    """
+
+    def __init__(self, eps: float = 0.1):
+        self.eps = eps
+
+    def fit(self, data: Dataset) -> "ZCAWhitenTransformer":
+        # Imported here: repro.nodes.learning imports this module for the
+        # filter learner, so a top-level import would be circular.
+        from repro.nodes.learning._util import iter_blocks
+
+        total, count = None, 0
+        gram = None
+        for block in iter_blocks(data):
+            block = np.asarray(block)
+            if total is None:
+                total = block.sum(axis=0)
+                gram = block.T @ block
+            else:
+                total += block.sum(axis=0)
+                gram += block.T @ block
+            count += block.shape[0]
+        if count == 0:
+            raise ValueError("ZCA input is empty")
+        mean = total / count
+        cov = gram / count - np.outer(mean, mean)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        scale = 1.0 / np.sqrt(np.maximum(eigvals, 0) + self.eps)
+        w = (eigvecs * scale) @ eigvecs.T
+        return ZCAWhitenTransformer(mean, w)
+
+
+class ZCAWhitenTransformer(Transformer):
+    def __init__(self, mean: np.ndarray, w: np.ndarray):
+        self.mean = mean
+        self.w = w
+
+    def apply(self, rows) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        out = (arr - self.mean) @ self.w
+        return out[0] if np.asarray(rows).ndim == 1 else out
+
+
+class SymmetricRectifier(Transformer):
+    """``x -> [max(x - alpha, 0), max(-x - alpha, 0)]`` along the last axis.
+
+    Doubles the channel count; the standard nonlinearity in the CIFAR
+    (Coates & Ng) pipeline.
+    """
+
+    def __init__(self, alpha: float = 0.0):
+        self.alpha = alpha
+
+    def apply(self, item) -> np.ndarray:
+        arr = np.asarray(item, dtype=np.float64)
+        pos = np.maximum(arr - self.alpha, 0.0)
+        neg = np.maximum(-arr - self.alpha, 0.0)
+        return np.concatenate([pos, neg], axis=-1)
+
+
+class Pooler(Transformer):
+    """Sum- or max-pool a feature map (m, m, b) over a grid of regions.
+
+    Output is ``(grid, grid, b)`` flattened to ``grid^2 * b``.
+    """
+
+    def __init__(self, grid: int = 2, op: str = "sum"):
+        if grid < 1:
+            raise ValueError(f"grid must be >= 1, got {grid}")
+        if op not in ("sum", "max", "mean"):
+            raise ValueError(f"op must be sum|max|mean, got {op!r}")
+        self.grid = grid
+        self.op = op
+
+    def apply(self, item) -> np.ndarray:
+        fmap = np.asarray(item, dtype=np.float64)
+        if fmap.ndim == 2:
+            fmap = fmap[:, :, None]
+        h, w, b = fmap.shape
+        gsize_h = h // self.grid
+        gsize_w = w // self.grid
+        if gsize_h < 1 or gsize_w < 1:
+            raise ValueError(f"feature map {h}x{w} too small for grid "
+                             f"{self.grid}")
+        out = np.empty((self.grid, self.grid, b))
+        for i in range(self.grid):
+            for j in range(self.grid):
+                block = fmap[i * gsize_h:(i + 1) * gsize_h,
+                             j * gsize_w:(j + 1) * gsize_w]
+                if self.op == "sum":
+                    out[i, j] = block.sum(axis=(0, 1))
+                elif self.op == "max":
+                    out[i, j] = block.max(axis=(0, 1))
+                else:
+                    out[i, j] = block.mean(axis=(0, 1))
+        return out.ravel()
+
+
+class CenterCrop(Transformer):
+    """Crop the central ``size x size`` region of an image."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, _c = img.shape
+        s = self.size
+        if h < s or w < s:
+            raise ValueError(f"image {h}x{w} smaller than crop {s}")
+        y = (h - s) // 2
+        x = (w - s) // 2
+        return img[y:y + s, x:x + s, :]
+
+
+class Resizer(Transformer):
+    """Nearest-neighbour resize to ``(height, width)``."""
+
+    def __init__(self, height: int, width: int):
+        if height < 1 or width < 1:
+            raise ValueError("height and width must be >= 1")
+        self.height = height
+        self.width = width
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        h, w, _c = img.shape
+        ys = np.minimum((np.arange(self.height) * h / self.height)
+                        .astype(int), h - 1)
+        xs = np.minimum((np.arange(self.width) * w / self.width)
+                        .astype(int), w - 1)
+        return img[np.ix_(ys, xs)]
+
+
+class PixelNormalizer(Transformer):
+    """Normalize an image to zero mean / unit variance per image."""
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+
+    def apply(self, item) -> np.ndarray:
+        img = _as_image(item)
+        return (img - img.mean()) / (img.std() + self.eps)
+
+
+class HOGExtractor(Transformer):
+    """Histogram-of-oriented-gradients descriptor for a whole image.
+
+    A single global descriptor per image (``cells_y * cells_x * bins``),
+    complementary to the per-patch SIFT descriptor set; useful as a cheap
+    featurizer for small images.
+    """
+
+    def __init__(self, cell: int = 8, bins: int = 9):
+        if cell < 1 or bins < 1:
+            raise ValueError("cell and bins must be >= 1")
+        self.cell = cell
+        self.bins = bins
+
+    def apply(self, item) -> np.ndarray:
+        img = np.asarray(item, dtype=np.float64)
+        if img.ndim == 3:
+            img = GrayScaler().apply(img)
+        h, w = img.shape
+        cy, cx = h // self.cell, w // self.cell
+        if cy < 1 or cx < 1:
+            raise ValueError(f"image {h}x{w} smaller than cell {self.cell}")
+        gy, gx = np.gradient(img)
+        mag = np.hypot(gx, gy)
+        ang = np.mod(np.arctan2(gy, gx), np.pi)  # unsigned orientation
+        bin_idx = np.minimum((ang / np.pi * self.bins).astype(int),
+                             self.bins - 1)
+        hist = np.zeros((cy, cx, self.bins))
+        hcrop = cy * self.cell
+        wcrop = cx * self.cell
+        for b in range(self.bins):
+            weighted = np.where(bin_idx[:hcrop, :wcrop] == b,
+                                mag[:hcrop, :wcrop], 0.0)
+            hist[:, :, b] = weighted.reshape(
+                cy, self.cell, cx, self.cell).sum(axis=(1, 3))
+        out = hist.ravel()
+        return out / (np.linalg.norm(out) + 1e-12)

@@ -1,0 +1,73 @@
+"""Learning estimators: solvers, decompositions, mixtures, encoders."""
+
+from repro.nodes.learning.fisher import FisherVector, FisherVectorEstimator
+from repro.nodes.learning.filter_learning import ConvolutionalFilterLearner
+from repro.nodes.learning.gmm import GaussianMixtureModel, GMMEstimator
+from repro.nodes.learning.kmeans import (
+    ClusterAssigner,
+    KMeansEstimator,
+    kmeans_fit_array,
+)
+from repro.nodes.learning.linear import (
+    BlockCoordinateSolver,
+    BlockSolverCostModel,
+    DistributedQRCostModel,
+    DistributedQRSolver,
+    LBFGSCostModel,
+    LBFGSSolver,
+    LinearMapper,
+    LinearSolver,
+    LocalQRCostModel,
+    LocalQRSolver,
+    SGDCostModel,
+    SGDSolver,
+)
+from repro.nodes.learning.logistic import (
+    LogisticModel,
+    LogisticRegressionEstimator,
+)
+from repro.nodes.learning.pca import (
+    DistributedSVD,
+    DistributedTSVD,
+    LocalSVD,
+    LocalTSVD,
+    PCAEstimator,
+    PCATransformer,
+)
+from repro.nodes.learning.random_features import (
+    CosineRandomFeatures,
+    RandomFeaturesTransformer,
+)
+
+__all__ = [
+    "BlockCoordinateSolver",
+    "ConvolutionalFilterLearner",
+    "FisherVectorEstimator",
+    "BlockSolverCostModel",
+    "ClusterAssigner",
+    "CosineRandomFeatures",
+    "DistributedQRCostModel",
+    "DistributedQRSolver",
+    "DistributedSVD",
+    "DistributedTSVD",
+    "FisherVector",
+    "GMMEstimator",
+    "GaussianMixtureModel",
+    "KMeansEstimator",
+    "LBFGSCostModel",
+    "LBFGSSolver",
+    "LinearMapper",
+    "LinearSolver",
+    "LocalQRCostModel",
+    "LocalQRSolver",
+    "LocalSVD",
+    "LocalTSVD",
+    "LogisticModel",
+    "LogisticRegressionEstimator",
+    "PCAEstimator",
+    "PCATransformer",
+    "RandomFeaturesTransformer",
+    "SGDCostModel",
+    "SGDSolver",
+    "kmeans_fit_array",
+]

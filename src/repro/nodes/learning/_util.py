@@ -1,0 +1,83 @@
+"""Shared helpers for learning estimators operating on row datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dataset.dataset import Dataset
+
+Block = Union[np.ndarray, sp.csr_matrix]
+
+
+def rows_to_block(rows: List, prefer_sparse: bool = False) -> Block:
+    """Stack rows (dense vectors, sparse rows, or descriptor matrices)."""
+    if not rows:
+        return np.zeros((0, 0))
+    first = rows[0]
+    if sp.issparse(first):
+        stacked = sp.vstack(rows).tocsr()
+        return stacked if prefer_sparse or _keep_sparse(stacked) else \
+            stacked.toarray()
+    arrs = [np.atleast_2d(np.asarray(r, dtype=np.float64)) for r in rows]
+    return np.vstack(arrs)
+
+
+def _keep_sparse(m: sp.csr_matrix) -> bool:
+    total = m.shape[0] * m.shape[1]
+    return total > 0 and m.nnz / total < 0.5
+
+
+def iter_blocks(data: Dataset, prefer_sparse: bool = False) -> Iterator[Block]:
+    """Yield one stacked block per non-empty partition.
+
+    Each call re-reads the dataset partitions, so iterative algorithms that
+    call this once per pass exhibit the recompute-unless-cached behaviour
+    the materialization optimizer reasons about.
+    """
+    for i in range(data.num_partitions):
+        rows = data.partition(i)
+        if rows:
+            yield rows_to_block(rows, prefer_sparse)
+
+
+def iter_xy_blocks(data: Dataset, labels: Dataset,
+                   prefer_sparse: bool = False) -> Iterator[Tuple[Block, np.ndarray]]:
+    """Yield aligned (features, labels) blocks partition by partition."""
+    if data.num_partitions != labels.num_partitions:
+        raise ValueError(
+            "features and labels must be identically partitioned: "
+            f"{data.num_partitions} vs {labels.num_partitions}")
+    for i in range(data.num_partitions):
+        x_rows = data.partition(i)
+        y_rows = labels.partition(i)
+        if len(x_rows) != len(y_rows):
+            raise ValueError(f"partition {i}: {len(x_rows)} feature rows vs "
+                             f"{len(y_rows)} label rows")
+        if x_rows:
+            yield (rows_to_block(x_rows, prefer_sparse),
+                   np.asarray(rows_to_block(y_rows)))
+
+
+def feature_dim(data: Dataset) -> int:
+    first = data.first()
+    if sp.issparse(first):
+        return int(first.shape[-1])
+    return int(np.asarray(first).shape[-1])
+
+
+def label_dim(labels: Dataset) -> int:
+    first = labels.first()
+    arr = np.asarray(first)
+    return int(arr.size) if arr.ndim else 1
+
+
+def collect_dense(data: Dataset) -> np.ndarray:
+    """Materialize the whole dataset as one dense matrix (local solvers)."""
+    blocks = [np.asarray(b.todense()) if sp.issparse(b) else b
+              for b in iter_blocks(data)]
+    if not blocks:
+        raise ValueError("dataset is empty")
+    return np.vstack(blocks)

@@ -1,0 +1,73 @@
+"""Unsupervised convolution-filter learning (Coates & Ng, the CIFAR path).
+
+``ConvolutionalFilterLearner`` samples random patches from training images,
+ZCA-whitens them, runs K-Means, and returns a
+:class:`~repro.nodes.convolution.Convolver` whose filters fold the
+whitening in: responding to a whitened patch with centroid ``c`` equals
+convolving the raw image with ``W c`` plus a per-filter bias.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.operators import Estimator
+from repro.dataset.dataset import Dataset
+from repro.nodes.convolution import Convolver
+from repro.nodes.images import RandomPatchSampler, ZCAWhitener
+from repro.nodes.learning.kmeans import kmeans_fit_array
+
+
+class ConvolutionalFilterLearner(Estimator):
+    """Fit ZCA + K-Means filters from image patches; returns a Convolver."""
+
+    def __init__(self, num_filters: int, patch_size: int,
+                 image_shape: Tuple[int, int, int],
+                 patches_per_image: int = 10, max_images: int = 500,
+                 zca_eps: float = 0.1, kmeans_iters: int = 10, seed: int = 0,
+                 conv_strategy: str = "blas"):
+        if num_filters < 1:
+            raise ValueError(f"num_filters must be >= 1, got {num_filters}")
+        self.num_filters = num_filters
+        self.patch_size = patch_size
+        self.image_shape = tuple(image_shape)
+        self.patches_per_image = patches_per_image
+        self.max_images = max_images
+        self.zca_eps = zca_eps
+        self.kmeans_iters = kmeans_iters
+        self.seed = seed
+        self.conv_strategy = conv_strategy
+
+    def fit(self, data: Dataset) -> Convolver:
+        sampler = RandomPatchSampler(self.patch_size,
+                                     self.patches_per_image, self.seed)
+        patches = []
+        for img in data.take(self.max_images):
+            patches.append(sampler.apply(img))
+        stacked = np.vstack(patches)
+        if stacked.shape[0] < self.num_filters:
+            raise ValueError(
+                f"sampled {stacked.shape[0]} patches < num_filters="
+                f"{self.num_filters}; raise patches_per_image/max_images")
+
+        mean = stacked.mean(axis=0)
+        cov = np.cov(stacked - mean, rowvar=False)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        scale = 1.0 / np.sqrt(np.maximum(eigvals, 0) + self.zca_eps)
+        w = (eigvecs * scale) @ eigvecs.T
+
+        whitened = (stacked - mean) @ w
+        centroids = kmeans_fit_array(whitened, self.num_filters,
+                                     self.kmeans_iters, seed=self.seed)
+
+        # Fold whitening into the filters: (W x) . c == x . (W c) because
+        # W is symmetric; the mean shift becomes a per-filter bias.
+        folded = centroids @ w                       # (k, p)
+        bias = -(folded @ mean)                      # (k,)
+        s = self.patch_size
+        c = self.image_shape[2]
+        filters = folded.reshape(self.num_filters, s, s, c)
+        return Convolver(filters, self.image_shape, bias=bias,
+                         default=self.conv_strategy)

@@ -1,0 +1,120 @@
+"""K-Means (Lloyd's algorithm) over dataset partitions.
+
+Used by the CIFAR pipeline to learn convolution filters from whitened
+patches (Coates & Ng) and as the initializer for the GMM estimator.  Each
+iteration streams the partitions once, so it is :class:`Iterative` with
+``weight = max_iter`` for the materialization cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.operators import Estimator, Iterative, Transformer
+from repro.dataset.dataset import Dataset
+from repro.nodes.learning._util import iter_blocks
+
+
+def _dense(block) -> np.ndarray:
+    import scipy.sparse as sp
+
+    return np.asarray(block.todense()) if sp.issparse(block) else block
+
+
+def kmeans_fit_array(data: np.ndarray, k: int, max_iter: int,
+                     seed: int = 0, tol: float = 1e-6) -> np.ndarray:
+    """Plain in-memory Lloyd's iterations; returns k x d centroids."""
+    n = data.shape[0]
+    if n < k:
+        raise ValueError(f"need at least k={k} points, got {n}")
+    rng = np.random.default_rng(seed)
+    centroids = data[rng.choice(n, size=k, replace=False)].copy()
+    for _ in range(max_iter):
+        d2 = (np.sum(data ** 2, axis=1, keepdims=True)
+              - 2.0 * data @ centroids.T
+              + np.sum(centroids ** 2, axis=1))
+        assign = np.argmin(d2, axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = data[assign == j]
+            if len(members):
+                new_centroids[j] = members.mean(axis=0)
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        if shift < tol:
+            break
+    return centroids
+
+
+class ClusterAssigner(Transformer):
+    """Maps a vector (or descriptor matrix) to nearest-centroid ids."""
+
+    def __init__(self, centroids: np.ndarray):
+        self.centroids = np.asarray(centroids)
+
+    def apply(self, row):
+        arr = np.atleast_2d(np.asarray(row, dtype=np.float64))
+        d2 = (np.sum(arr ** 2, axis=1, keepdims=True)
+              - 2.0 * arr @ self.centroids.T
+              + np.sum(self.centroids ** 2, axis=1))
+        assign = np.argmin(d2, axis=1)
+        return int(assign[0]) if np.asarray(row).ndim == 1 else assign
+
+
+class KMeansEstimator(Estimator, Iterative):
+    """Distributed-style Lloyd's: per-partition sufficient statistics.
+
+    Rows may be vectors or descriptor matrices (stacked).  The fitted
+    transformer assigns cluster ids; the learned ``centroids_`` are also
+    consumed directly by filter-learning pipelines.
+    """
+
+    def __init__(self, k: int, max_iter: int = 20, seed: int = 0,
+                 tol: float = 1e-6):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.max_iter = max_iter
+        self.seed = seed
+        self.tol = tol
+        self.weight = max_iter
+        self.centroids_: Optional[np.ndarray] = None
+
+    def _init_centroids(self, data: Dataset) -> np.ndarray:
+        first_rows: List[np.ndarray] = []
+        for block in iter_blocks(data):
+            first_rows.append(_dense(block))
+            if sum(b.shape[0] for b in first_rows) >= self.k:
+                break
+        stacked = np.vstack(first_rows)
+        if stacked.shape[0] < self.k:
+            raise ValueError(f"need at least k={self.k} rows, got "
+                             f"{stacked.shape[0]}")
+        rng = np.random.default_rng(self.seed)
+        idx = rng.choice(stacked.shape[0], size=self.k, replace=False)
+        return stacked[idx].copy()
+
+    def fit(self, data: Dataset) -> ClusterAssigner:
+        centroids = self._init_centroids(data)
+        for _ in range(self.max_iter):
+            sums = np.zeros_like(centroids)
+            counts = np.zeros(self.k)
+            for block in iter_blocks(data):
+                block = _dense(block)
+                d2 = (np.sum(block ** 2, axis=1, keepdims=True)
+                      - 2.0 * block @ centroids.T
+                      + np.sum(centroids ** 2, axis=1))
+                assign = np.argmin(d2, axis=1)
+                np.add.at(sums, assign, block)
+                np.add.at(counts, assign, 1.0)
+            new_centroids = centroids.copy()
+            nonzero = counts > 0
+            new_centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+            shift = float(np.max(np.abs(new_centroids - centroids)))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        self.centroids_ = centroids
+        return ClusterAssigner(centroids)

@@ -1,0 +1,100 @@
+"""Logistic regression (softmax, L-BFGS) over dataset partitions.
+
+Used by the Amazon text pipeline and the YouTube-8M replication.  Like the
+linear solvers, each objective evaluation streams the feature dataset once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import minimize
+from scipy.special import logsumexp
+
+from repro.core.operators import Iterative, LabelEstimator, Transformer
+from repro.dataset.dataset import Dataset
+from repro.nodes.learning._util import feature_dim, iter_xy_blocks, label_dim
+
+
+class LogisticModel(Transformer):
+    """Applies fitted softmax weights; output is class probabilities."""
+
+    def __init__(self, weights: np.ndarray):
+        self.weights = np.asarray(weights)  # (d, k)
+
+    def scores(self, row) -> np.ndarray:
+        if sp.issparse(row):
+            return np.asarray(row @ self.weights).ravel()
+        return np.asarray(row, dtype=np.float64) @ self.weights
+
+    def apply(self, row) -> np.ndarray:
+        logits = self.scores(row)
+        logits = logits - logits.max()
+        p = np.exp(logits)
+        return p / p.sum()
+
+    def apply_partition(self, items: List) -> List[np.ndarray]:
+        if not items:
+            return []
+        if sp.issparse(items[0]):
+            logits = np.asarray((sp.vstack(items) @ self.weights))
+        else:
+            logits = np.vstack([np.asarray(r).reshape(1, -1)
+                                for r in items]) @ self.weights
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        p /= p.sum(axis=1, keepdims=True)
+        return list(p)
+
+
+def _class_indices(b: np.ndarray) -> np.ndarray:
+    """One-hot (or +1/-1 indicator) label rows -> integer class ids."""
+    return np.argmax(b, axis=1)
+
+
+class LogisticRegressionEstimator(LabelEstimator, Iterative):
+    """Multinomial logistic regression fit by L-BFGS.
+
+    Labels must be indicator rows (see
+    :class:`repro.nodes.numeric.ClassLabelIndicator`).
+    """
+
+    def __init__(self, max_iter: int = 50, l2_reg: float = 1e-6,
+                 tol: float = 1e-7):
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.max_iter = max_iter
+        self.l2_reg = l2_reg
+        self.tol = tol
+        self.weight = max_iter
+        self.iterations_run = 0
+
+    def fit(self, data: Dataset, labels: Dataset) -> LogisticModel:
+        d = feature_dim(data)
+        k = label_dim(labels)
+        n = data.count()
+        self.iterations_run = 0
+
+        def objective(x_flat: np.ndarray) -> Tuple[float, np.ndarray]:
+            x = x_flat.reshape(d, k)
+            loss = 0.0
+            grad = np.zeros((d, k))
+            for a, b in iter_xy_blocks(data, labels, prefer_sparse=True):
+                logits = np.asarray(a @ x)
+                y = _class_indices(np.asarray(b))
+                norm = logsumexp(logits, axis=1)
+                loss += float(np.sum(norm - logits[np.arange(len(y)), y]))
+                p = np.exp(logits - norm[:, None])
+                p[np.arange(len(y)), y] -= 1.0
+                grad += np.asarray(a.T @ p)
+            loss = loss / n + 0.5 * self.l2_reg * float(np.sum(x * x))
+            grad = grad / n + self.l2_reg * x
+            self.iterations_run += 1
+            return loss, grad.ravel()
+
+        result = minimize(objective, np.zeros(d * k), jac=True,
+                          method="L-BFGS-B", tol=self.tol,
+                          options={"maxiter": self.max_iter})
+        return LogisticModel(result.x.reshape(d, k))

@@ -1,0 +1,236 @@
+"""Text featurization operators (paper Figure 2's pipeline vocabulary).
+
+The text path mirrors KeystoneML's Amazon Reviews pipeline: raw string ->
+``Trim`` -> ``LowerCase`` -> ``Tokenizer`` -> ``NGramsFeaturizer`` ->
+``TermFrequency`` -> ``CommonSparseFeatures`` (an Estimator selecting the
+most frequent n-grams and mapping documents to sparse vectors).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.operators import Estimator, Transformer
+from repro.dataset.dataset import Dataset
+
+
+class Trim(Transformer):
+    """Strip leading/trailing whitespace from a document."""
+
+    def apply(self, item: str) -> str:
+        return item.strip()
+
+
+class LowerCase(Transformer):
+    """Lower-case a document."""
+
+    def apply(self, item: str) -> str:
+        return item.lower()
+
+
+class Tokenizer(Transformer):
+    """Split a document into tokens on a regular expression."""
+
+    def __init__(self, pattern: str = r"[^a-zA-Z0-9']+"):
+        self._splitter = re.compile(pattern)
+
+    def apply(self, item: str) -> List[str]:
+        return [t for t in self._splitter.split(item) if t]
+
+
+class NGramsFeaturizer(Transformer):
+    """Expand a token list into n-grams for n in [lo, hi].
+
+    N-grams are joined with spaces, so downstream operators treat them as
+    opaque terms.
+    """
+
+    def __init__(self, lo: int = 1, hi: int = 2):
+        if not 1 <= lo <= hi:
+            raise ValueError(f"require 1 <= lo <= hi, got lo={lo} hi={hi}")
+        self.lo = lo
+        self.hi = hi
+
+    def apply(self, tokens: List[str]) -> List[str]:
+        out: List[str] = []
+        for n in range(self.lo, self.hi + 1):
+            if n == 1:
+                out.extend(tokens)
+                continue
+            for i in range(len(tokens) - n + 1):
+                out.append(" ".join(tokens[i:i + n]))
+        return out
+
+
+class TermFrequency(Transformer):
+    """Map a term list to ``{term: weight(count)}``.
+
+    ``weighting`` maps the raw count to the stored weight; the paper's
+    example uses ``x => 1`` (binary presence).
+    """
+
+    def __init__(self, weighting: Optional[Callable[[int], float]] = None):
+        self.weighting = weighting or float
+
+    def apply(self, terms: List[str]) -> Dict[str, float]:
+        counts = Counter(terms)
+        return {term: self.weighting(c) for term, c in counts.items()}
+
+
+class SparseFeatureVectorizer(Transformer):
+    """Map ``{term: weight}`` to a 1 x d sparse row given a vocabulary."""
+
+    def __init__(self, vocabulary: Dict[str, int]):
+        self.vocabulary = vocabulary
+        self.dim = len(vocabulary)
+
+    def apply(self, term_weights: Dict[str, float]) -> sp.csr_matrix:
+        cols, vals = [], []
+        for term, weight in term_weights.items():
+            idx = self.vocabulary.get(term)
+            if idx is not None:
+                cols.append(idx)
+                vals.append(weight)
+        rows = np.zeros(len(cols), dtype=np.int32)
+        return sp.csr_matrix(
+            (np.asarray(vals, dtype=np.float64),
+             (rows, np.asarray(cols, dtype=np.int32))),
+            shape=(1, self.dim))
+
+
+class CommonSparseFeatures(Estimator):
+    """Select the ``num_features`` most frequent terms across the corpus.
+
+    Fitting aggregates document frequencies with a combining tree (the
+    aggregation the paper notes limits Amazon-pipeline scaling) and returns
+    a :class:`SparseFeatureVectorizer` over the selected vocabulary.
+    """
+
+    def __init__(self, num_features: int):
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        self.num_features = int(num_features)
+
+    def fit(self, data: Dataset) -> SparseFeatureVectorizer:
+        def seq(acc: Counter, term_weights: Dict[str, float]) -> Counter:
+            acc.update(term_weights.keys())
+            return acc
+
+        def comb(a: Counter, b: Counter) -> Counter:
+            a.update(b)
+            return a
+
+        counts = data.tree_aggregate(Counter(), seq, comb)
+        top = counts.most_common(self.num_features)
+        vocabulary = {term: i for i, (term, _count) in enumerate(top)}
+        return SparseFeatureVectorizer(vocabulary)
+
+
+class HashingTF(Transformer):
+    """Stateless alternative to CommonSparseFeatures: feature hashing."""
+
+    def __init__(self, num_features: int = 1 << 16):
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        self.num_features = int(num_features)
+
+    def apply(self, term_weights: Dict[str, float]) -> sp.csr_matrix:
+        accum: Dict[int, float] = {}
+        for term, weight in term_weights.items():
+            idx = hash(term) % self.num_features
+            accum[idx] = accum.get(idx, 0.0) + weight
+        cols = np.fromiter(accum.keys(), dtype=np.int32, count=len(accum))
+        vals = np.fromiter(accum.values(), dtype=np.float64, count=len(accum))
+        rows = np.zeros(len(cols), dtype=np.int32)
+        return sp.csr_matrix((vals, (rows, cols)),
+                             shape=(1, self.num_features))
+
+
+# Common English stop words (enough for featurization hygiene; the paper's
+# pipelines rely on frequency cutoffs rather than curated lists).
+_STOP_WORDS = frozenset("""
+a an and are as at be but by for from has have in is it its of on or that
+the this to was were will with not no i you he she they we him her them our
+your my me so if then than too very just about over under again once only
+""".split())
+
+
+class StopWordRemover(Transformer):
+    """Drop stop words from a token list."""
+
+    def __init__(self, extra_words: Optional[List[str]] = None):
+        self.stop_words = _STOP_WORDS | set(extra_words or ())
+
+    def apply(self, tokens: List[str]) -> List[str]:
+        return [t for t in tokens if t.lower() not in self.stop_words]
+
+
+class SuffixStemmer(Transformer):
+    """Light suffix-stripping stemmer (a Porter-lite).
+
+    Strips common inflectional suffixes in priority order; enough to merge
+    ``love/loves/loved/loving`` style variants in synthetic corpora.
+    """
+
+    SUFFIXES = ("ational", "iveness", "fulness", "ization", "ingly",
+                "edly", "ation", "ments", "ness", "ing", "ed", "ly", "es",
+                "s")
+
+    def __init__(self, min_stem: int = 3):
+        self.min_stem = min_stem
+
+    def apply(self, tokens: List[str]) -> List[str]:
+        out = []
+        for token in tokens:
+            for suffix in self.SUFFIXES:
+                if (token.endswith(suffix)
+                        and len(token) - len(suffix) >= self.min_stem):
+                    token = token[:-len(suffix)]
+                    break
+            out.append(token)
+        return out
+
+
+class IDFEstimator(Estimator):
+    """Fit inverse document frequencies over ``{term: weight}`` rows.
+
+    The fitted transformer rescales term weights by
+    ``log((1 + N) / (1 + df)) + 1`` (smoothed IDF); combined with
+    :class:`TermFrequency` this yields TF-IDF featurization.
+    """
+
+    def fit(self, data: Dataset) -> "IDFTransformer":
+        from collections import Counter as _Counter
+
+        def seq(acc, term_weights):
+            acc[0] += 1
+            acc[1].update(term_weights.keys())
+            return acc
+
+        def comb(a, b):
+            a[0] += b[0]
+            a[1].update(b[1])
+            return a
+
+        num_docs, doc_freq = data.aggregate(
+            [0, _Counter()], seq, lambda a, b: comb(a, b))
+        import math as _math
+
+        idf = {term: _math.log((1 + num_docs) / (1 + df)) + 1.0
+               for term, df in doc_freq.items()}
+        return IDFTransformer(idf, default=_math.log(1 + num_docs) + 1.0)
+
+
+class IDFTransformer(Transformer):
+    def __init__(self, idf: Dict[str, float], default: float):
+        self.idf = idf
+        self.default = default
+
+    def apply(self, term_weights: Dict[str, float]) -> Dict[str, float]:
+        return {term: w * self.idf.get(term, self.default)
+                for term, w in term_weights.items()}

@@ -1,0 +1,16 @@
+"""End-to-end pipeline builders for the paper's workloads (Table 4)."""
+
+from repro.pipelines.amazon import amazon_pipeline
+from repro.pipelines.cifar import cifar_pipeline
+from repro.pipelines.images import imagenet_pipeline, voc_pipeline
+from repro.pipelines.timit import timit_pipeline
+from repro.pipelines.youtube import youtube_pipeline
+
+__all__ = [
+    "amazon_pipeline",
+    "cifar_pipeline",
+    "imagenet_pipeline",
+    "timit_pipeline",
+    "voc_pipeline",
+    "youtube_pipeline",
+]

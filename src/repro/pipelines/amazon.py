@@ -1,0 +1,41 @@
+"""The Amazon Reviews text classification pipeline (paper Figure 2).
+
+``Trim -> LowerCase -> Tokenizer -> NGramsFeaturizer(1..2) ->
+TermFrequency -> CommonSparseFeatures -> LinearSolver``.
+
+The training data flows through the same featurization prefix both to
+select the common sparse features and to train the classifier — the
+common sub-expression the whole-pipeline optimizer merges and the
+materialization optimizer caches.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Pipeline
+from repro.dataset.context import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    NGramsFeaturizer,
+    TermFrequency,
+    Tokenizer,
+    Trim,
+)
+from repro.workloads.base import Workload
+
+
+def amazon_pipeline(ctx: Context, workload: Workload,
+                    num_features: int = 2000, ngrams: int = 2,
+                    lbfgs_iters: int = 30, partitions: int = 4) -> Pipeline:
+    """Build the text classification pipeline over a generated workload."""
+    data = workload.train_data(ctx, partitions)
+    labels = workload.train_label_vectors(ctx, partitions)
+    return (Pipeline.identity()
+            .and_then(Trim())
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(NGramsFeaturizer(1, ngrams))
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(num_features), data)
+            .and_then(LinearSolver(lbfgs_iters=lbfgs_iters), data, labels))

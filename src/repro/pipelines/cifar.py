@@ -1,0 +1,39 @@
+"""CIFAR-10 pipeline: learned convolution filters + rectify + pool + solve.
+
+The Coates & Ng [16] architecture the paper uses for its CIFAR comparison:
+random patches -> ZCA whitening -> K-Means filters -> convolution ->
+symmetric rectification -> spatial pooling -> linear solve.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Pipeline
+from repro.dataset.context import Context
+from repro.nodes.images import Pooler, SymmetricRectifier
+from repro.nodes.learning.filter_learning import ConvolutionalFilterLearner
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.numeric import Flatten
+from repro.workloads.base import Workload
+
+
+def cifar_pipeline(ctx: Context, workload: Workload,
+                   num_filters: int = 32, patch_size: int = 6,
+                   pool_grid: int = 2, alpha: float = 0.25,
+                   partitions: int = 4, seed: int = 0) -> Pipeline:
+    """Build the CIFAR convolutional featurization pipeline.
+
+    Solve features = ``pool_grid^2 * 2 * num_filters`` (the rectifier
+    doubles the filter responses).
+    """
+    data = workload.train_data(ctx, partitions)
+    labels = workload.train_label_vectors(ctx, partitions)
+    image_shape = workload.train_items[0].shape
+    learner = ConvolutionalFilterLearner(
+        num_filters=num_filters, patch_size=patch_size,
+        image_shape=image_shape, seed=seed)
+    return (Pipeline.identity()
+            .and_then(learner, data)
+            .and_then(SymmetricRectifier(alpha))
+            .and_then(Pooler(pool_grid, "sum"))
+            .and_then(Flatten())
+            .and_then(LinearSolver(), data, labels))

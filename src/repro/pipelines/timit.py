@@ -1,0 +1,36 @@
+"""The TIMIT kernel-SVM pipeline: gathered random features + linear solve.
+
+Approximates an RBF kernel machine (paper Section 5.1): several blocks of
+random cosine features are computed in parallel branches, gathered, and
+concatenated before a least-squares solve — exactly the structure
+``RandomFeatures, Pipeline.gather, LinearSolver`` of Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Pipeline
+from repro.dataset.context import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.random_features import CosineRandomFeatures
+from repro.nodes.numeric import VectorCombiner
+from repro.workloads.base import Workload
+
+
+def timit_pipeline(ctx: Context, workload: Workload,
+                   num_feature_blocks: int = 4, block_size: int = 512,
+                   gamma: float = 0.01, partitions: int = 4) -> Pipeline:
+    """Build the kernel-approximation pipeline.
+
+    Total solve features = ``num_feature_blocks * block_size`` (the paper
+    uses 528k; defaults give laptop scale).
+    """
+    data = workload.train_data(ctx, partitions)
+    labels = workload.train_label_vectors(ctx, partitions)
+    base = Pipeline.identity()
+    branches = [
+        base.and_then(CosineRandomFeatures(block_size, gamma, seed=i), data)
+        for i in range(num_feature_blocks)
+    ]
+    return (Pipeline.gather(branches)
+            .and_then(VectorCombiner())
+            .and_then(LinearSolver(), data, labels))

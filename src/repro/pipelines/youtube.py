@@ -1,0 +1,29 @@
+"""YouTube-8M replication: pre-featurized vectors + linear / logistic model.
+
+The benchmark's videos arrive already featurized by a deep network (1024-d
+frame means); the paper's replication trains a linear classifier in minutes
+and a slower converged logistic regression (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Pipeline
+from repro.dataset.context import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.logistic import LogisticRegressionEstimator
+from repro.workloads.base import Workload
+
+
+def youtube_pipeline(ctx: Context, workload: Workload,
+                     model: str = "linear", max_iter: int = 31,
+                     partitions: int = 4) -> Pipeline:
+    """Build the YouTube-8M classifier: ``model`` is linear | logistic."""
+    data = workload.train_data(ctx, partitions)
+    labels = workload.train_label_vectors(ctx, partitions)
+    if model == "linear":
+        est = LinearSolver()
+    elif model == "logistic":
+        est = LogisticRegressionEstimator(max_iter=max_iter)
+    else:
+        raise ValueError(f"model must be linear|logistic, got {model!r}")
+    return Pipeline.identity().and_then(est, data, labels)

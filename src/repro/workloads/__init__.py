@@ -1,0 +1,40 @@
+"""Synthetic workload generators standing in for the paper's datasets.
+
+The paper evaluates on Amazon Reviews (65M docs), TIMIT (2.2M frames),
+ImageNet (1.28M images), VOC 2007, CIFAR-10 and YouTube-8M.  None are
+available offline, so each generator produces a scaled-down synthetic
+dataset matched on the statistics the optimizer actually consumes —
+record counts, dimensionality, sparsity, record size, class structure —
+with genuinely learnable class signal so accuracy-versus-time experiments
+converge.
+"""
+
+from repro.workloads.text_gen import amazon_reviews
+from repro.workloads.speech_gen import timit_frames
+from repro.workloads.image_gen import (
+    cifar10_images,
+    imagenet_images,
+    voc_images,
+)
+from repro.workloads.vector_gen import dense_vectors, sparse_vectors, youtube8m
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    PAPER_DATASETS,
+    DatasetCharacteristics,
+    measured_characteristics,
+)
+
+__all__ = [
+    "DatasetCharacteristics",
+    "PAPER_DATASETS",
+    "Workload",
+    "amazon_reviews",
+    "cifar10_images",
+    "dense_vectors",
+    "imagenet_images",
+    "measured_characteristics",
+    "sparse_vectors",
+    "timit_frames",
+    "voc_images",
+    "youtube8m",
+]

@@ -1,0 +1,51 @@
+"""Common workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.dataset.context import Context
+from repro.dataset.dataset import Dataset
+
+
+@dataclass
+class Workload:
+    """A train/test split of raw items plus integer class labels."""
+
+    name: str
+    train_items: List[Any]
+    train_labels: List[int]
+    test_items: List[Any]
+    test_labels: List[int]
+    num_classes: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_train(self) -> int:
+        return len(self.train_items)
+
+    @property
+    def num_test(self) -> int:
+        return len(self.test_items)
+
+    def train_data(self, ctx: Context, partitions: int = 4) -> Dataset:
+        return ctx.parallelize(self.train_items, partitions)
+
+    def train_label_vectors(self, ctx: Context, partitions: int = 4,
+                            negative: float = -1.0) -> Dataset:
+        """One-hot (+1/negative) label rows aligned with ``train_data``."""
+        return ctx.parallelize(
+            [_one_hot(y, self.num_classes, negative)
+             for y in self.train_labels], partitions)
+
+    def test_data(self, ctx: Context, partitions: int = 4) -> Dataset:
+        return ctx.parallelize(self.test_items, partitions)
+
+
+def _one_hot(label: int, num_classes: int, negative: float) -> np.ndarray:
+    vec = np.full(num_classes, negative)
+    vec[int(label)] = 1.0
+    return vec

@@ -1,0 +1,96 @@
+"""Dataset characteristics registry (paper Table 3).
+
+``PAPER_DATASETS`` records the characteristics the paper reports;
+``measured_characteristics`` computes the same row for a generated
+workload, so the Table 3 bench can print paper-vs-generated side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dataset.sizing import estimate_size
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class DatasetCharacteristics:
+    """One row of Table 3."""
+
+    name: str
+    train_size_gb: float
+    num_train: int
+    test_size_gb: float
+    num_test: int
+    classes: int
+    data_type: str
+    solve_features: int
+    solve_density: float  # fraction of non-zeros in the solve input
+    solve_size_gb: float
+
+
+PAPER_DATASETS: Dict[str, DatasetCharacteristics] = {
+    "amazon": DatasetCharacteristics(
+        "Amazon", 13.97, 65_000_000, 3.88, 18_091_702, 2, "text",
+        100_000, 0.001, 89.1),
+    "timit": DatasetCharacteristics(
+        "TIMIT", 7.5, 2_251_569, 0.39, 115_934, 147, "440-dim vector",
+        528_000, 1.0, 8857.0),
+    "imagenet": DatasetCharacteristics(
+        "ImageNet", 74.0, 1_281_167, 3.3, 50_000, 1000, "10k pixels image",
+        262_144, 1.0, 2502.0),
+    "voc": DatasetCharacteristics(
+        "VOC", 0.428, 5000, 0.420, 5000, 20, "260k pixels image",
+        40_960, 1.0, 1.52),
+    "cifar10": DatasetCharacteristics(
+        "CIFAR-10", 0.500, 500_000, 0.001, 10_000, 10, "1024 pixels image",
+        135_168, 1.0, 62.9),
+    "youtube8m": DatasetCharacteristics(
+        "Youtube8m", 22.07, 5_786_881, 6.3, 1_652_167, 4800,
+        "1024-dim vector", 1024, 1.0, 44.15),
+}
+
+
+def _items_gb(items) -> float:
+    return estimate_size(items) / 1e9
+
+
+def measured_characteristics(workload: Workload,
+                             solve_features: Optional[int] = None,
+                             solve_density: Optional[float] = None
+                             ) -> DatasetCharacteristics:
+    """Compute a Table-3 row for a generated workload.
+
+    ``solve_features``/``solve_density`` describe the featurized solve
+    input when known (they depend on the pipeline, not the raw data);
+    when omitted they are estimated from the raw items.
+    """
+    first = workload.train_items[0]
+    if solve_features is None:
+        if sp.issparse(first):
+            solve_features = int(first.shape[-1])
+        else:
+            arr = np.asarray(first)
+            solve_features = int(arr.size) if arr.dtype != object else 0
+    if solve_density is None:
+        if sp.issparse(first):
+            solve_density = first.nnz / max(first.shape[-1], 1)
+        else:
+            solve_density = 1.0
+    solve_gb = (workload.num_train * solve_features * 8.0
+                * solve_density) / 1e9
+    return DatasetCharacteristics(
+        name=workload.name,
+        train_size_gb=_items_gb(workload.train_items),
+        num_train=workload.num_train,
+        test_size_gb=_items_gb(workload.test_items),
+        num_test=workload.num_test,
+        classes=workload.num_classes,
+        data_type=workload.metadata.get("type", "unknown"),
+        solve_features=solve_features,
+        solve_density=solve_density,
+        solve_size_gb=solve_gb)

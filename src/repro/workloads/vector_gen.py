@@ -1,0 +1,96 @@
+"""Generic dense/sparse vector workloads and the YouTube-8M stand-in.
+
+These back the solver micro-benchmarks (Figures 6 and 8): dense vectors
+reproduce the (binary) TIMIT solve inputs, sparse vectors reproduce the
+Amazon bag-of-n-grams solve inputs, with the feature dimension swept by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.workloads.base import Workload
+
+
+def dense_vectors(num_train: int = 1000, num_test: int = 200, dim: int = 512,
+                  num_classes: int = 2, class_separation: float = 1.5,
+                  seed: int = 0) -> Workload:
+    """Dense Gaussian class clusters (binary-TIMIT-like solve input)."""
+    rng = np.random.default_rng(seed)
+    directions = rng.standard_normal((num_classes, dim))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+
+    def make(n):
+        labels = rng.integers(num_classes, size=n)
+        x = rng.standard_normal((n, dim)) \
+            + class_separation * directions[labels]
+        return [row for row in x], [int(y) for y in labels]
+
+    train_items, train_labels = make(num_train)
+    test_items, test_labels = make(num_test)
+    return Workload("dense", train_items, train_labels, test_items,
+                    test_labels, num_classes,
+                    metadata={"dim": dim, "type": "dense-vector"})
+
+
+def sparse_vectors(num_train: int = 1000, num_test: int = 200,
+                   dim: int = 10_000, nnz_per_row: int = 20,
+                   num_classes: int = 2, signal: float = 2.0,
+                   seed: int = 0) -> Workload:
+    """Sparse rows with class-informative support (Amazon-like solve input)."""
+    rng = np.random.default_rng(seed)
+    # Each class prefers a distinct slice of the feature space.
+    class_support = [rng.choice(dim, size=dim // 10, replace=False)
+                     for _ in range(num_classes)]
+
+    def make_row(label: int) -> sp.csr_matrix:
+        k = max(nnz_per_row, 1)
+        n_class = rng.binomial(k, 0.4)
+        cols_class = rng.choice(class_support[label],
+                                size=min(n_class, len(class_support[label])),
+                                replace=False)
+        cols_rand = rng.choice(dim, size=k - len(cols_class), replace=False)
+        cols = np.unique(np.concatenate([cols_class, cols_rand]))
+        vals = np.abs(rng.standard_normal(len(cols))) + 0.1
+        vals[np.isin(cols, class_support[label])] *= signal
+        return sp.csr_matrix((vals, (np.zeros(len(cols), dtype=int), cols)),
+                             shape=(1, dim))
+
+    def make(n):
+        labels = [int(rng.integers(num_classes)) for _ in range(n)]
+        return [make_row(y) for y in labels], labels
+
+    train_items, train_labels = make(num_train)
+    test_items, test_labels = make(num_test)
+    return Workload("sparse", train_items, train_labels, test_items,
+                    test_labels, num_classes,
+                    metadata={"dim": dim, "nnz_per_row": nnz_per_row,
+                              "type": "sparse-vector"})
+
+
+def youtube8m(num_train: int = 2000, num_test: int = 500, dim: int = 1024,
+              num_classes: int = 25, seed: int = 0) -> Workload:
+    """YouTube-8M-like: pre-featurized dense 1024-d vectors, many classes.
+
+    The real benchmark has 4800 (multi-label) classes over 5.8M videos;
+    we flatten to single-label at reduced scale.
+    """
+    rng = np.random.default_rng(seed)
+    means = rng.standard_normal((num_classes, dim)) * 1.2
+
+    def make(n):
+        labels = rng.integers(num_classes, size=n)
+        x = means[labels] + rng.standard_normal((n, dim))
+        return [row for row in x], [int(y) for y in labels]
+
+    train_items, train_labels = make(num_train)
+    test_items, test_labels = make(num_test)
+    return Workload("youtube8m", train_items, train_labels, test_items,
+                    test_labels, num_classes,
+                    metadata={"dim": dim, "type": "dense-vector",
+                              "paper_scale": {"num_train": 5_786_881,
+                                              "classes": 4800}})

@@ -1,0 +1,115 @@
+"""Tests for the simulated comparison systems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SystemMLSolver,
+    TensorFlowSim,
+    VowpalWabbitSolver,
+    keystone_cifar_time,
+    tensorflow_cifar_time,
+)
+from repro.cluster.resources import ResourceDescriptor
+from repro.dataset import Context
+from repro.nodes.learning.linear import LinearMapper, LocalQRSolver
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+def _problem(ctx, n=300, d=8, k=2, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, d))
+    x_true = rng.standard_normal((d, k))
+    b = a @ x_true
+    return (ctx.parallelize(list(a), 4), ctx.parallelize(list(b), 4),
+            a, b, x_true)
+
+
+class TestVowpalWabbit:
+    def test_converges_towards_exact(self, ctx):
+        data, labels, a, b, x_true = _problem(ctx)
+        vw = VowpalWabbitSolver(passes=30).fit(data, labels)
+        zero = LinearMapper(np.zeros_like(vw.weights))
+        assert vw.training_loss(data, labels) < \
+            0.2 * zero.training_loss(data, labels)
+
+    def test_more_passes_help(self, ctx):
+        data, labels, *_ = _problem(ctx, seed=1)
+        few = VowpalWabbitSolver(passes=1).fit(data, labels)
+        many = VowpalWabbitSolver(passes=40).fit(data, labels)
+        assert many.training_loss(data, labels) <= \
+            few.training_loss(data, labels)
+
+    def test_invalid_passes(self):
+        with pytest.raises(ValueError, match="passes"):
+            VowpalWabbitSolver(passes=0)
+
+
+class TestSystemML:
+    def test_cg_matches_exact_solution(self, ctx):
+        data, labels, a, b, x_true = _problem(ctx)
+        sysml = SystemMLSolver(max_iter=50, l2_reg=1e-10).fit(data, labels)
+        np.testing.assert_allclose(sysml.weights, x_true, atol=1e-4)
+
+    def test_conversion_flag(self, ctx):
+        data, labels, *_ = _problem(ctx, seed=2)
+        converted = SystemMLSolver(max_iter=20).fit(data, labels)
+        direct = SystemMLSolver(max_iter=20, convert_input=False).fit(
+            data, labels)
+        np.testing.assert_allclose(converted.weights, direct.weights,
+                                   atol=1e-8)
+
+    def test_sparse_input(self, ctx):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(3)
+        rows = [sp.random(1, 30, density=0.3, format="csr",
+                          random_state=i) for i in range(100)]
+        x_true = rng.standard_normal((30, 2))
+        ys = [np.asarray(r @ x_true).ravel() for r in rows]
+        model = SystemMLSolver(max_iter=60, l2_reg=1e-10).fit(
+            ctx.parallelize(rows, 4), ctx.parallelize(ys, 4))
+        np.testing.assert_allclose(model.weights, x_true, atol=1e-3)
+
+    def test_invalid_iters(self):
+        with pytest.raises(ValueError, match="max_iter"):
+            SystemMLSolver(max_iter=0)
+
+
+class TestTensorFlowSim:
+    """Table 6's scaling shapes."""
+
+    def test_strong_scaling_improves_then_degrades(self):
+        times = {w: tensorflow_cifar_time(w, "strong")
+                 for w in (1, 2, 4, 8, 16, 32)}
+        best = min(times, key=times.get)
+        assert best in (2, 4, 8)          # optimum at small cluster
+        assert times[32] > times[best]    # coordination blows up
+        assert times[1] > times[best]
+
+    def test_weak_scaling_fails_at_large_scale(self):
+        assert tensorflow_cifar_time(16, "weak") is None
+        assert tensorflow_cifar_time(32, "weak") is None
+        assert tensorflow_cifar_time(4, "weak") is not None
+
+    def test_keystone_keeps_scaling(self):
+        times = [keystone_cifar_time(w) for w in (1, 2, 4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_keystone_overtakes_tensorflow(self):
+        """TF wins small clusters; KeystoneML wins at 8+ nodes (Table 6)."""
+        tf4 = tensorflow_cifar_time(4, "strong")
+        ks4 = keystone_cifar_time(4)
+        tf32 = tensorflow_cifar_time(32, "strong")
+        ks32 = keystone_cifar_time(32)
+        assert ks32 < tf32
+        assert ks32 < ks4
+
+    def test_invalid_scaling_mode(self):
+        sim = TensorFlowSim(ResourceDescriptor())
+        with pytest.raises(ValueError, match="strong|weak"):
+            sim.time_to_accuracy_minutes(4, scaling="diagonal")

@@ -1,0 +1,111 @@
+"""Tests for resource descriptors, microbenchmarks, and the simulator."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    ResourceDescriptor,
+    SimulatedStage,
+    blue_gene_q,
+    c3_4xlarge,
+    local_machine,
+    microbenchmark,
+    r3_4xlarge,
+)
+from repro.cluster.simulator import scaling_sweep
+from repro.cost.profile import CostProfile
+
+
+class TestResourceDescriptor:
+    def test_with_nodes(self):
+        base = r3_4xlarge(16)
+        bigger = base.with_nodes(64)
+        assert bigger.num_nodes == 64
+        assert bigger.cpu_flops == base.cpu_flops
+
+    def test_with_nodes_invalid(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            r3_4xlarge().with_nodes(0)
+
+    def test_totals(self):
+        res = ResourceDescriptor(num_nodes=4, cores_per_node=8,
+                                 memory_bytes=10e9)
+        assert res.total_cores == 32
+        assert res.total_memory_bytes == 40e9
+
+    def test_profiles_distinct(self):
+        names = {p().name for p in (r3_4xlarge, c3_4xlarge, blue_gene_q,
+                                    local_machine)}
+        assert len(names) == 4
+
+    def test_frozen(self):
+        res = r3_4xlarge()
+        with pytest.raises(Exception):
+            res.num_nodes = 5
+
+
+class TestMicrobenchmark:
+    def test_produces_plausible_rates(self):
+        res = microbenchmark(matmul_n=128, copy_mb=4)
+        # Any machine runs between 100 MFLOP/s and 100 TFLOP/s.
+        assert 1e8 < res.cpu_flops < 1e14
+        assert 1e8 < res.memory_bandwidth < 1e13
+        assert res.num_nodes == 1
+
+
+class TestSimulator:
+    def _stage(self, flops_fn):
+        return SimulatedStage("s", lambda w: CostProfile(flops=flops_fn(w)),
+                              "Compute")
+
+    def test_stage_time_includes_overhead(self):
+        sim = ClusterSimulator(ResourceDescriptor(cpu_flops=1e9),
+                               overhead_per_stage=2.0)
+        stage = self._stage(lambda w: 1e9)
+        assert sim.time_stage(stage) == pytest.approx(3.0)
+
+    def test_parallel_stage_scales_down(self):
+        stages = [self._stage(lambda w: 1e12 / w)]
+        res = ResourceDescriptor(cpu_flops=1e9)
+        t8 = ClusterSimulator(res.with_nodes(8), 0.0).total_seconds(stages)
+        t64 = ClusterSimulator(res.with_nodes(64), 0.0).total_seconds(stages)
+        assert t8 / t64 == pytest.approx(8.0)
+
+    def test_overhead_bounds_strong_scaling(self):
+        stages = [self._stage(lambda w: 1e10 / w)]
+        res = ResourceDescriptor(cpu_flops=1e9)
+        t1k = ClusterSimulator(res.with_nodes(1024), 2.0).total_seconds(stages)
+        assert t1k > 2.0  # cannot go below the fixed overhead
+
+    def test_breakdown_groups_by_category(self):
+        stages = [
+            SimulatedStage("a", lambda w: CostProfile(flops=1e9), "Feat"),
+            SimulatedStage("b", lambda w: CostProfile(flops=2e9), "Feat"),
+            SimulatedStage("c", lambda w: CostProfile(flops=1e9), "Solve"),
+        ]
+        sim = ClusterSimulator(ResourceDescriptor(cpu_flops=1e9), 0.0)
+        breakdown = sim.breakdown(stages)
+        assert breakdown["Feat"] == pytest.approx(3.0)
+        assert breakdown["Solve"] == pytest.approx(1.0)
+
+    def test_scaling_sweep_keys(self):
+        stages = [self._stage(lambda w: 1e9 / w)]
+        res = ResourceDescriptor(cpu_flops=1e9)
+        result = scaling_sweep(stages, res, [8, 16, 32])
+        assert sorted(result) == [8, 16, 32]
+        assert all("Compute" in v for v in result.values())
+
+    def test_network_term_grows_with_nodes(self):
+        """A stage whose network cost grows with w eventually dominates."""
+        import math
+
+        def profile(w):
+            return CostProfile(flops=1e12 / w,
+                               network=1e9 * math.log2(max(w, 2)))
+
+        stages = [SimulatedStage("solve", profile, "Solve")]
+        res = ResourceDescriptor(cpu_flops=1e9, network_bandwidth=1e8)
+        t_small = ClusterSimulator(res.with_nodes(8), 0.0).total_seconds(stages)
+        t_huge = ClusterSimulator(res.with_nodes(4096), 0.0).total_seconds(stages)
+        # Compute shrank 512x but network grew: sublinear overall speedup.
+        assert t_small / t_huge < 512

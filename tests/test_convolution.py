@@ -1,0 +1,180 @@
+"""Tests for the three convolution strategies and their cost models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import local_machine
+from repro.core.stats import DataStats
+from repro.cost.model import estimate_cost
+from repro.nodes.convolution import (
+    BLASConvolver,
+    BLASCostModel,
+    Convolver,
+    FFTConvolver,
+    FFTCostModel,
+    SeparableConvolver,
+    separable_decomposition,
+)
+
+
+def _random_filters(b=4, k=3, c=3, seed=0):
+    return np.random.default_rng(seed).standard_normal((b, k, k, c))
+
+
+def _separable_filters(b=4, k=3, c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    filters = np.empty((b, k, k, c))
+    for i in range(b):
+        for ch in range(c):
+            filters[i, :, :, ch] = np.outer(rng.standard_normal(k),
+                                            rng.standard_normal(k))
+    return filters
+
+
+def _image(n=16, c=3, seed=1):
+    return np.random.default_rng(seed).random((n, n, c))
+
+
+def _naive_conv(img, filters):
+    """Reference O(everything) implementation."""
+    b, k, _k, c = filters.shape
+    h, w, _c = img.shape
+    m_h, m_w = h - k + 1, w - k + 1
+    out = np.zeros((m_h, m_w, b))
+    for i in range(b):
+        for y in range(m_h):
+            for x in range(m_w):
+                out[y, x, i] = np.sum(img[y:y + k, x:x + k, :]
+                                      * filters[i])
+    return out
+
+
+class TestCorrectness:
+    def test_blas_matches_naive(self):
+        img, filters = _image(10), _random_filters(2, 3, 3)
+        np.testing.assert_allclose(BLASConvolver(filters).apply(img),
+                                   _naive_conv(img, filters), atol=1e-10)
+
+    def test_fft_matches_naive(self):
+        img, filters = _image(10), _random_filters(2, 3, 3)
+        np.testing.assert_allclose(FFTConvolver(filters).apply(img),
+                                   _naive_conv(img, filters), atol=1e-8)
+
+    def test_separable_matches_naive(self):
+        img, filters = _image(10), _separable_filters(2, 3, 3)
+        np.testing.assert_allclose(SeparableConvolver(filters).apply(img),
+                                   _naive_conv(img, filters), atol=1e-8)
+
+    def test_all_strategies_agree_on_separable_filters(self):
+        img = _image(12)
+        filters = _separable_filters(3, 5, 3)
+        blas = BLASConvolver(filters).apply(img)
+        fft = FFTConvolver(filters).apply(img)
+        sep = SeparableConvolver(filters).apply(img)
+        np.testing.assert_allclose(blas, fft, atol=1e-8)
+        np.testing.assert_allclose(blas, sep, atol=1e-8)
+
+    def test_bias_added(self):
+        img, filters = _image(8), _random_filters(2)
+        bias = np.array([1.0, -1.0])
+        plain = BLASConvolver(filters).apply(img)
+        biased = BLASConvolver(filters, bias).apply(img)
+        np.testing.assert_allclose(biased - plain,
+                                   np.broadcast_to(bias, plain.shape))
+
+    def test_output_shape(self):
+        out = BLASConvolver(_random_filters(5, 4)).apply(_image(20))
+        assert out.shape == (17, 17, 5)
+
+    def test_grayscale_image_accepted(self):
+        filters = _random_filters(2, 3, 1)
+        img = np.random.default_rng(0).random((10, 10))
+        out = BLASConvolver(filters).apply(img)
+        assert out.shape == (8, 8, 2)
+
+    def test_filter_larger_than_image(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            BLASConvolver(_random_filters(1, 8, 1)).apply(
+                np.zeros((4, 4, 1)))
+
+
+class TestSeparability:
+    def test_detects_separable(self):
+        assert separable_decomposition(_separable_filters()) is not None
+
+    def test_rejects_full_rank(self):
+        assert separable_decomposition(_random_filters()) is None
+
+    def test_separable_constructor_rejects_full_rank(self):
+        with pytest.raises(ValueError, match="not separable"):
+            SeparableConvolver(_random_filters())
+
+
+class TestLogicalConvolver:
+    def test_options_include_separable_only_when_applicable(self):
+        shape = (16, 16, 3)
+        sep_names = {m.name for m, _ in
+                     Convolver(_separable_filters(), shape).options()}
+        rand_names = {m.name for m, _ in
+                      Convolver(_random_filters(), shape).options()}
+        assert "separable" in sep_names
+        assert "separable" not in rand_names
+
+    def test_apply_uses_default(self):
+        img = _image(10)
+        filters = _random_filters(2)
+        conv = Convolver(filters, (10, 10, 3), default="fft")
+        np.testing.assert_allclose(conv.apply(img),
+                                   FFTConvolver(filters).apply(img),
+                                   atol=1e-8)
+
+    def test_invalid_default(self):
+        conv = Convolver(_random_filters(), (10, 10, 3), default="nope")
+        with pytest.raises(ValueError, match="unknown default"):
+            conv.apply(_image(10))
+
+    def test_optimize_selects_fft_for_large_k(self):
+        """Figure 7's crossover: FFT wins when k grows."""
+        res = local_machine()
+        stats = DataStats(n=100, d=1)
+        shape = (64, 64, 3)
+        small_k = Convolver(_random_filters(8, 3, 3), shape)
+        large_k = Convolver(_random_filters(8, 25, 3), shape)
+        assert type(small_k.optimize(stats, res)).__name__ == "BLASConvolver"
+        assert type(large_k.optimize(stats, res)).__name__ == "FFTConvolver"
+
+    def test_optimize_prefers_separable_when_valid(self):
+        res = local_machine()
+        stats = DataStats(n=100, d=1)
+        conv = Convolver(_separable_filters(8, 15, 3), (64, 64, 3))
+        assert isinstance(conv.optimize(stats, res), SeparableConvolver)
+
+
+class TestCostModels:
+    def test_blas_cost_grows_with_k_squared(self):
+        res = local_machine()
+        stats = DataStats(n=1000, d=1)
+        shape = (64, 64, 3)
+        c_small = estimate_cost(
+            BLASCostModel(BLASConvolver(_random_filters(8, 3)), shape),
+            stats, res)
+        c_large = estimate_cost(
+            BLASCostModel(BLASConvolver(_random_filters(8, 12)), shape),
+            stats, res)
+        assert c_large > 4 * c_small
+
+    def test_fft_cost_flat_in_k(self):
+        res = local_machine()
+        stats = DataStats(n=1000, d=1)
+        shape = (64, 64, 3)
+        c_small = estimate_cost(
+            FFTCostModel(FFTConvolver(_random_filters(8, 3)), shape),
+            stats, res)
+        c_large = estimate_cost(
+            FFTCostModel(FFTConvolver(_random_filters(8, 20)), shape),
+            stats, res)
+        assert c_large < 2 * c_small
+
+    def test_filters_shape_validation(self):
+        with pytest.raises(ValueError, match="filters must"):
+            BLASConvolver(np.zeros((2, 3, 4, 1)))

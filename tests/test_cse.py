@@ -1,0 +1,124 @@
+"""Tests for common sub-expression elimination (paper Section 4.2)."""
+
+import pytest
+
+from repro.core import graph as g
+from repro.core.cse import count_merged, eliminate_common_subexpressions
+from repro.core.operators import Estimator, FunctionTransformer, Transformer
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+
+
+class Inc(Transformer):
+    def apply(self, x):
+        return x + 1
+
+
+class CountingEstimator(Estimator):
+    """Counts fit invocations, to prove merged estimators fit once."""
+
+    def __init__(self):
+        self.fits = 0
+
+    def fit(self, data):
+        self.fits += 1
+        return Inc()
+
+
+def _nodes(sink):
+    return g.ancestors([sink])
+
+
+class TestMerging:
+    def test_identical_chains_merge(self):
+        ctx = Context()
+        ds = ctx.parallelize([1, 2, 3])
+        op = Inc()
+        # Two separately-built chains over the same op instance and data.
+        a = g.OpNode(g.TRANSFORMER, op, (g.source(ds),))
+        b = g.OpNode(g.TRANSFORMER, op, (g.source(ds),))
+        top = g.OpNode(g.GATHER, None, (a, b))
+        merged = eliminate_common_subexpressions([top])[0]
+        assert merged.parents[0] is merged.parents[1]
+
+    def test_different_ops_not_merged(self):
+        ctx = Context()
+        ds = ctx.parallelize([1])
+        a = g.OpNode(g.TRANSFORMER, Inc(), (g.source(ds),))
+        b = g.OpNode(g.TRANSFORMER, Inc(), (g.source(ds),))  # distinct op
+        top = g.OpNode(g.GATHER, None, (a, b))
+        merged = eliminate_common_subexpressions([top])[0]
+        assert merged.parents[0] is not merged.parents[1]
+
+    def test_sources_merge_by_dataset_identity(self):
+        ctx = Context()
+        ds = ctx.parallelize([1])
+        top = g.OpNode(g.GATHER, None, (g.source(ds), g.source(ds)))
+        merged = eliminate_common_subexpressions([top])[0]
+        assert merged.parents[0] is merged.parents[1]
+
+    def test_distinct_datasets_not_merged(self):
+        ctx = Context()
+        top = g.OpNode(g.GATHER, None, (g.source(ctx.parallelize([1])),
+                                        g.source(ctx.parallelize([1]))))
+        merged = eliminate_common_subexpressions([top])[0]
+        assert merged.parents[0] is not merged.parents[1]
+
+    def test_placeholders_never_merge(self):
+        top = g.OpNode(g.GATHER, None,
+                       (g.pipeline_input(), g.pipeline_input()))
+        merged = eliminate_common_subexpressions([top])[0]
+        assert merged.parents[0] is not merged.parents[1]
+
+    def test_count_merged(self):
+        ctx = Context()
+        ds = ctx.parallelize([1])
+        op = Inc()
+        a = g.OpNode(g.TRANSFORMER, op, (g.source(ds),))
+        b = g.OpNode(g.TRANSFORMER, op, (g.source(ds),))
+        top = g.OpNode(g.GATHER, None, (a, b))
+        assert count_merged([top]) == 2  # one source + one transformer
+
+    def test_already_canonical_graph_unchanged(self):
+        inp = g.pipeline_input()
+        sink = g.OpNode(g.TRANSFORMER, Inc(), (inp,))
+        merged = eliminate_common_subexpressions([sink])[0]
+        assert merged is sink
+
+
+class TestPipelineLevel:
+    def test_estimator_training_prefix_merges_with_main_flow(self):
+        """The paper's text-pipeline scenario: featurization reused by
+        both the feature selector and the classifier trains once."""
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        est1 = CountingEstimator()
+        est2 = CountingEstimator()
+        pipe = (Pipeline.identity()
+                .and_then(Inc())
+                .and_then(est1, data)
+                .and_then(est2, data))
+        before = len(_nodes(pipe.sink))
+        after = len(_nodes(eliminate_common_subexpressions([pipe.sink])[0]))
+        assert after < before
+
+    def test_execution_correct_after_cse(self):
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        pipe = (Pipeline.identity()
+                .and_then(Inc())
+                .and_then(CountingEstimator(), data)
+                .and_then(CountingEstimator(), data))
+        fit_plain = pipe.fit(level="none")
+        fit_cse = pipe.fit(level="pipe", sample_sizes=(2, 3))
+        assert fit_plain.apply(1.0) == fit_cse.apply(1.0)
+
+    def test_cse_reported_in_training_report(self):
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        pipe = (Pipeline.identity()
+                .and_then(Inc())
+                .and_then(CountingEstimator(), data)
+                .and_then(CountingEstimator(), data))
+        fitted = pipe.fit(level="pipe", sample_sizes=(2, 3))
+        assert fitted.training_report.cse_nodes_removed > 0

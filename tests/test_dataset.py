@@ -1,0 +1,220 @@
+"""Tests for the lazy partitioned Dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context, Dataset
+from repro.dataset.cache import LRUPolicy, PinnedPolicy
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+class TestConstruction:
+    def test_parallelize_roundtrip(self, ctx):
+        items = list(range(17))
+        assert ctx.parallelize(items).collect() == items
+
+    def test_partition_count(self, ctx):
+        ds = ctx.parallelize(range(10), 3)
+        assert ds.num_partitions == 3
+        assert sum(len(ds.partition(i)) for i in range(3)) == 10
+
+    def test_empty_dataset(self, ctx):
+        ds = ctx.parallelize([], 2)
+        assert ds.collect() == []
+        assert ds.count() == 0
+
+    def test_more_partitions_than_items(self, ctx):
+        ds = ctx.parallelize([1, 2], 5)
+        assert ds.collect() == [1, 2]
+
+    def test_invalid_partitions(self, ctx):
+        with pytest.raises(ValueError, match="num_partitions"):
+            Dataset.from_items(ctx, [1], 0)
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        ds = ctx.parallelize(range(10))
+        assert ds.map(lambda x: x * 2).collect() == [x * 2 for x in range(10)]
+
+    def test_map_is_lazy(self, ctx):
+        calls = []
+        ds = ctx.parallelize(range(4)).map(lambda x: calls.append(x) or x)
+        assert calls == []
+        ds.collect()
+        assert sorted(calls) == list(range(4))
+
+    def test_flat_map(self, ctx):
+        ds = ctx.parallelize([1, 2, 3], 2)
+        assert ds.flat_map(lambda x: [x] * x).collect() == [1, 2, 2, 3, 3, 3]
+
+    def test_filter(self, ctx):
+        ds = ctx.parallelize(range(10))
+        assert ds.filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_map_partitions(self, ctx):
+        ds = ctx.parallelize(range(10), 2)
+        out = ds.map_partitions(lambda rows: [sum(rows)])
+        assert out.collect() == [sum(range(5)), sum(range(5, 10))]
+
+    def test_zip(self, ctx):
+        a = ctx.parallelize(range(6), 3)
+        b = a.map(lambda x: x * 10)
+        assert a.zip(b).collect() == [(x, x * 10) for x in range(6)]
+
+    def test_zip_partition_mismatch(self, ctx):
+        a = ctx.parallelize(range(6), 3)
+        b = ctx.parallelize(range(6), 2)
+        with pytest.raises(ValueError, match="partition counts"):
+            a.zip(b)
+
+    def test_zip_length_mismatch(self, ctx):
+        a = ctx.parallelize(range(6), 2)
+        b = a.filter(lambda x: x > 0)
+        with pytest.raises(ValueError, match="length mismatch"):
+            a.zip(b).collect()
+
+    def test_zip_with_index(self, ctx):
+        ds = ctx.parallelize(["a", "b", "c"], 2)
+        assert ds.zip_with_index().collect() == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 1)
+        b = ctx.parallelize([3, 4], 2)
+        u = a.union(b)
+        assert u.collect() == [1, 2, 3, 4]
+        assert u.num_partitions == 3
+
+    def test_sample_deterministic(self, ctx):
+        ds = ctx.parallelize(range(1000), 4)
+        s1 = ds.sample(0.3, seed=7).collect()
+        s2 = ds.sample(0.3, seed=7).collect()
+        assert s1 == s2
+        assert 150 < len(s1) < 450
+
+    def test_sample_fraction_bounds(self, ctx):
+        ds = ctx.parallelize(range(10))
+        with pytest.raises(ValueError, match="fraction"):
+            ds.sample(1.5)
+
+    def test_glom(self, ctx):
+        ds = ctx.parallelize(range(4), 2)
+        assert ds.glom().collect() == [[0, 1], [2, 3]]
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(13), 5).count() == 13
+
+    def test_take_spans_partitions(self, ctx):
+        ds = ctx.parallelize(range(10), 5)
+        assert ds.take(7) == list(range(7))
+
+    def test_take_more_than_available(self, ctx):
+        assert ctx.parallelize([1, 2]).take(10) == [1, 2]
+
+    def test_first(self, ctx):
+        assert ctx.parallelize([9, 8, 7]).first() == 9
+
+    def test_first_empty_raises(self, ctx):
+        with pytest.raises(ValueError, match="empty"):
+            ctx.parallelize([]).first()
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(1, 11), 3).reduce(
+            lambda a, b: a + b) == 55
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(ValueError, match="empty"):
+            ctx.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_aggregate(self, ctx):
+        ds = ctx.parallelize(range(10), 4)
+        total = ds.aggregate(0, lambda acc, x: acc + x, lambda a, b: a + b)
+        assert total == 45
+
+    def test_tree_aggregate_matches_aggregate(self, ctx):
+        ds = ctx.parallelize(range(100), 7)
+        agg = ds.aggregate(0, lambda a, x: a + x, lambda a, b: a + b)
+        tree = ds.tree_aggregate(0, lambda a, x: a + x, lambda a, b: a + b)
+        assert agg == tree == sum(range(100))
+
+    def test_to_numpy(self, ctx):
+        rows = [np.arange(3, dtype=float) + i for i in range(4)]
+        out = ctx.parallelize(rows, 2).to_numpy()
+        assert out.shape == (4, 3)
+        np.testing.assert_allclose(out[2], np.arange(3) + 2)
+
+    def test_estimated_size_scales(self, ctx):
+        small = ctx.parallelize([np.zeros(10) for _ in range(8)], 2)
+        large = ctx.parallelize([np.zeros(1000) for _ in range(8)], 2)
+        assert large.estimated_size_bytes() > 50 * small.estimated_size_bytes()
+
+
+class TestCachingSemantics:
+    def test_recompute_counted_per_scan(self, ctx):
+        ds = ctx.parallelize(range(10), 2).map(lambda x: x + 1)
+        ds.collect()
+        ds.collect()
+        assert ctx.stats.compute_counts[ds.id] == 4  # 2 partitions x 2 scans
+
+    def test_cached_dataset_computes_once(self, ctx):
+        ds = ctx.parallelize(range(10), 2).map(lambda x: x + 1).cache()
+        ds.collect()
+        ds.collect()
+        assert ctx.stats.compute_counts[ds.id] == 2  # once per partition
+
+    def test_cache_serves_correct_values(self, ctx):
+        ds = ctx.parallelize(range(6), 2).map(lambda x: x * 3).cache()
+        first = ds.collect()
+        second = ds.collect()
+        assert first == second == [x * 3 for x in range(6)]
+
+    def test_unpersist_drops_entries(self, ctx):
+        ds = ctx.parallelize(range(6), 2).map(lambda x: x).cache()
+        ds.collect()
+        assert len(ctx.cache.entries) == 2
+        ds.unpersist()
+        assert len(ctx.cache.entries) == 0
+        ds.collect()
+        assert ctx.stats.compute_counts[ds.id] == 4
+
+    def test_uncached_parent_recomputed_through_child(self, ctx):
+        parent = ctx.parallelize(range(10), 2).map(lambda x: x + 1)
+        child = parent.map(lambda x: x * 2)
+        child.collect()
+        child.collect()
+        assert ctx.stats.compute_counts[parent.id] == 4
+
+    def test_cached_parent_shields_recompute(self, ctx):
+        parent = ctx.parallelize(range(10), 2).map(lambda x: x + 1).cache()
+        child = parent.map(lambda x: x * 2)
+        child.collect()
+        child.collect()
+        assert ctx.stats.compute_counts[parent.id] == 2
+
+    def test_budget_zero_caches_nothing(self):
+        ctx = Context(cache_budget_bytes=0, policy=LRUPolicy())
+        ds = ctx.parallelize(range(10), 2).map(lambda x: x).cache()
+        ds.collect()
+        ds.collect()
+        assert ctx.stats.compute_counts[ds.id] == 4
+
+    def test_pinned_policy_pins_by_dataset_id(self):
+        ctx = Context(policy=PinnedPolicy(set()))
+        ds = ctx.parallelize(range(10), 2).map(lambda x: x).cache()
+        other = ctx.parallelize(range(10), 2).map(lambda x: x).cache()
+        ctx.cache.policy.cache_set.add(ds.id)
+        ds.collect(); ds.collect()
+        other.collect(); other.collect()
+        assert ctx.stats.compute_counts[ds.id] == 2
+        assert ctx.stats.compute_counts[other.id] == 4
+
+    def test_partition_out_of_range(self, ctx):
+        ds = ctx.parallelize(range(4), 2)
+        with pytest.raises(IndexError):
+            ds.partition(2)

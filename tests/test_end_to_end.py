@@ -1,0 +1,121 @@
+"""Integration tests: all six paper pipelines train and beat chance."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.evaluation import accuracy, mean_average_precision, top_k_accuracy
+from repro.nodes.numeric import MaxClassifier
+from repro.pipelines import (
+    amazon_pipeline,
+    cifar_pipeline,
+    imagenet_pipeline,
+    timit_pipeline,
+    voc_pipeline,
+    youtube_pipeline,
+)
+from repro.workloads import (
+    amazon_reviews,
+    cifar10_images,
+    imagenet_images,
+    timit_frames,
+    voc_images,
+    youtube8m,
+)
+
+
+def _accuracy(fitted, ctx, workload):
+    scores = fitted.apply_dataset(workload.test_data(ctx)).collect()
+    preds = [MaxClassifier().apply(s) for s in scores]
+    return accuracy(preds, workload.test_labels), scores
+
+
+class TestAmazon:
+    def test_beats_chance_with_full_optimization(self):
+        ctx = Context()
+        wl = amazon_reviews(400, 100, vocab_size=1000, seed=0)
+        fitted = amazon_pipeline(ctx, wl, num_features=500).fit(
+            sample_sizes=(40, 80))
+        acc, _ = _accuracy(fitted, ctx, wl)
+        assert acc > 0.8  # chance = 0.5
+
+    def test_report_has_solver_selection(self):
+        # Large enough n that the sparse L-BFGS solver wins the cost
+        # comparison, as on the paper's full-size Amazon dataset.
+        ctx = Context()
+        wl = amazon_reviews(2500, 50, vocab_size=800, seed=1)
+        fitted = amazon_pipeline(ctx, wl, num_features=400).fit(
+            sample_sizes=(30, 60))
+        assert "LBFGSSolver" in fitted.training_report.selections.values()
+
+
+class TestTimit:
+    def test_beats_chance(self):
+        ctx = Context()
+        wl = timit_frames(500, 120, dim=64, num_classes=8, seed=0)
+        fitted = timit_pipeline(ctx, wl, num_feature_blocks=3,
+                                block_size=128, gamma=0.02).fit(
+            sample_sizes=(40, 80))
+        acc, _ = _accuracy(fitted, ctx, wl)
+        assert acc > 0.6  # chance = 0.125
+
+    def test_gather_structure_concatenates_features(self):
+        ctx = Context()
+        wl = timit_frames(100, 20, dim=16, num_classes=4, seed=1)
+        fitted = timit_pipeline(ctx, wl, num_feature_blocks=2,
+                                block_size=32).fit(level="none")
+        scores = fitted.apply(wl.test_items[0])
+        assert np.asarray(scores).shape == (4,)
+
+
+class TestVOC:
+    def test_beats_chance_and_reports_map(self):
+        ctx = Context()
+        wl = voc_images(80, 40, size=48, num_classes=4, noise=0.3, seed=0)
+        fitted = voc_pipeline(ctx, wl, pca_dims=16, gmm_components=4,
+                              sampled_descriptors=150).fit(
+            sample_sizes=(10, 20))
+        acc, scores = _accuracy(fitted, ctx, wl)
+        assert acc > 0.45  # chance = 0.25
+        m = mean_average_precision(scores, wl.test_labels, wl.num_classes)
+        assert m > 0.4
+
+
+class TestImageNet:
+    def test_top_k_beats_chance(self):
+        ctx = Context()
+        wl = imagenet_images(60, 30, size=48, num_classes=5, noise=0.3,
+                             seed=0)
+        fitted = imagenet_pipeline(ctx, wl, pca_dims=12, gmm_components=4,
+                                   sampled_descriptors=80).fit(
+            sample_sizes=(8, 16))
+        acc, scores = _accuracy(fitted, ctx, wl)
+        top2 = top_k_accuracy(scores, wl.test_labels, k=2)
+        assert top2 > 0.6  # chance top-2 = 0.4
+
+
+class TestCifar:
+    def test_beats_chance(self):
+        ctx = Context()
+        wl = cifar10_images(200, 80, num_classes=5, noise=0.3, seed=0)
+        fitted = cifar_pipeline(ctx, wl, num_filters=16, patch_size=5).fit(
+            sample_sizes=(20, 40))
+        acc, _ = _accuracy(fitted, ctx, wl)
+        assert acc > 0.5  # chance = 0.2
+
+
+class TestYoutube:
+    def test_linear_and_logistic(self):
+        ctx = Context()
+        wl = youtube8m(400, 100, dim=64, num_classes=10, seed=0)
+        for model in ("linear", "logistic"):
+            fitted = youtube_pipeline(ctx, wl, model=model).fit(
+                sample_sizes=(40, 80))
+            acc, _ = _accuracy(fitted, ctx, wl)
+            assert acc > 0.7  # chance = 0.1
+
+    def test_invalid_model(self):
+        ctx = Context()
+        wl = youtube8m(50, 10, dim=8, num_classes=3)
+        with pytest.raises(ValueError, match="linear|logistic"):
+            youtube_pipeline(ctx, wl, model="transformer")

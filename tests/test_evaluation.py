@@ -1,0 +1,67 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import accuracy, mean_average_precision, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_exact(self):
+        assert accuracy([1, 2, 3], [1, 2, 0]) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        assert accuracy([0, 1], [0, 1]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy([], [])
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self):
+        scores = [np.array([0.1, 0.9]), np.array([0.8, 0.2])]
+        assert top_k_accuracy(scores, [1, 1], k=1) == pytest.approx(0.5)
+
+    def test_topk_wider_net(self):
+        scores = [np.array([0.5, 0.4, 0.1])] * 2
+        assert top_k_accuracy(scores, [1, 2], k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(scores, [1, 2], k=3) == 1.0
+
+    def test_k_exceeds_classes(self):
+        scores = [np.array([0.5, 0.5])]
+        assert top_k_accuracy(scores, [0], k=10) == 1.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            top_k_accuracy([], [])
+
+
+class TestMAP:
+    def test_perfect_ranking(self):
+        scores = [np.array([1.0, 0.0]), np.array([0.9, 0.1]),
+                  np.array([0.0, 1.0])]
+        labels = [0, 0, 1]
+        assert mean_average_precision(scores, labels, 2) == pytest.approx(1.0)
+
+    def test_worst_ranking_for_one_class(self):
+        # Class 0's relevant item ranked last among three.
+        scores = [np.array([0.1]), np.array([0.5]), np.array([0.9])]
+        labels = [0, 1, 1]
+
+        # Single class: AP = precision at the relevant position = 1/3.
+        ap = mean_average_precision(
+            [np.concatenate([s, [0]]) for s in scores], labels, 1)
+        assert ap == pytest.approx(1 / 3)
+
+    def test_absent_class_skipped(self):
+        scores = [np.array([1.0, 0.0])]
+        assert mean_average_precision(scores, [0], 2) == 1.0
+
+    def test_no_classes_raises(self):
+        with pytest.raises(ValueError, match="no classes"):
+            mean_average_precision([np.zeros(3)], [7], 2)

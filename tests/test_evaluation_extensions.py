@@ -1,0 +1,71 @@
+"""Tests for confusion matrix, P/R/F1, and the metrics bundle."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    MulticlassMetrics,
+    confusion_matrix,
+    precision_recall_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        m = confusion_matrix([0, 1, 1, 0], [0, 1, 0, 0], 2)
+        assert m[0, 0] == 2   # true 0 predicted 0
+        assert m[0, 1] == 1   # true 0 predicted 1
+        assert m[1, 1] == 1
+
+    def test_total_preserved(self):
+        preds = [0, 1, 2, 1, 0]
+        actual = [2, 1, 0, 1, 0]
+        assert confusion_matrix(preds, actual, 3).sum() == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            confusion_matrix([0], [0, 1], 2)
+
+
+class TestPRF:
+    def test_perfect(self):
+        out = precision_recall_f1([0, 1, 0], [0, 1, 0], 2)
+        assert out == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_hand_computed(self):
+        # Class 0: tp=1, predicted 2, actual 1 -> p=0.5, r=1.0, f1=2/3
+        # Class 1: tp=1, predicted 1, actual 2 -> p=1.0, r=0.5, f1=2/3
+        out = precision_recall_f1([0, 0, 1], [0, 1, 1], 2)
+        assert out["precision"] == pytest.approx(0.75)
+        assert out["recall"] == pytest.approx(0.75)
+        assert out["f1"] == pytest.approx(2 / 3)
+
+    def test_absent_class_skipped(self):
+        out = precision_recall_f1([0, 0], [0, 0], 3)
+        assert out["recall"] == 1.0
+
+    def test_out_of_range_labels_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            precision_recall_f1([5], [5], 2)
+
+
+class TestMetricsBundle:
+    def _metrics(self):
+        scores = [np.array([0.9, 0.1, 0.0]),
+                  np.array([0.2, 0.7, 0.1]),
+                  np.array([0.5, 0.3, 0.2])]
+        return MulticlassMetrics(scores, [0, 1, 2], 3)
+
+    def test_accuracy(self):
+        assert self._metrics().accuracy == pytest.approx(2 / 3)
+
+    def test_top_k(self):
+        assert self._metrics().top_k(3) == 1.0
+
+    def test_confusion_shape(self):
+        assert self._metrics().confusion.shape == (3, 3)
+
+    def test_summary_keys(self):
+        summary = self._metrics().summary()
+        assert {"accuracy", "top_5", "mAP", "precision", "recall",
+                "f1"} <= set(summary)

@@ -1,0 +1,144 @@
+"""Failure injection: errors surface clearly, never silently corrupt."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import Estimator, LabelEstimator, Transformer
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+from repro.nodes.learning.linear import LBFGSSolver, LocalQRSolver
+
+
+class ExplodingTransformer(Transformer):
+    """Fails on a specific poison value."""
+
+    def apply(self, x):
+        if x == "poison":
+            raise RuntimeError("poisoned item reached the transformer")
+        return x
+
+
+class ExplodingEstimator(Estimator):
+    def fit(self, data):
+        raise RuntimeError("estimator exploded during fit")
+
+
+class TestErrorPropagation:
+    def test_transformer_error_surfaces_on_action(self):
+        ctx = Context()
+        ds = ctx.parallelize(["ok", "poison"], 2).map(
+            ExplodingTransformer().apply)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            ds.collect()
+
+    def test_lazy_until_action(self):
+        ctx = Context()
+        # Building the plan never executes the poisoned element.
+        ds = ctx.parallelize(["poison"], 1).map(ExplodingTransformer().apply)
+        ds2 = ds.map(lambda x: x)  # still no execution
+        assert ds2.num_partitions == 1
+
+    def test_estimator_error_fails_fit(self):
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0], 1)
+        pipe = Pipeline.identity().and_then(ExplodingEstimator(), data)
+        with pytest.raises(RuntimeError, match="exploded"):
+            pipe.fit(level="none")
+
+    def test_profiler_propagates_operator_errors(self):
+        ctx = Context()
+        data = ctx.parallelize(["a", "poison", "b"] * 20, 2)
+        pipe = (Pipeline.identity()
+                .and_then(ExplodingTransformer())
+                .and_then(ExplodingEstimator(), data))
+        # Profiling executes on a sample that contains the poison value.
+        with pytest.raises(RuntimeError):
+            pipe.fit(level="full", sample_sizes=(10, 20))
+
+    def test_cached_dataset_does_not_cache_failures(self):
+        ctx = Context()
+        state = {"fail": True}
+
+        def flaky(x):
+            if state["fail"]:
+                raise RuntimeError("transient")
+            return x
+
+        ds = ctx.parallelize([1, 2], 1).map(flaky).cache()
+        with pytest.raises(RuntimeError):
+            ds.collect()
+        state["fail"] = False
+        assert ds.collect() == [1, 2]  # recovers; no poisoned cache entry
+
+
+class TestDegenerateInputs:
+    def test_solver_on_single_row(self):
+        ctx = Context()
+        data = ctx.parallelize([np.array([1.0, 2.0])], 1)
+        labels = ctx.parallelize([np.array([1.0])], 1)
+        model = LocalQRSolver(l2_reg=1e-3).fit(data, labels)
+        assert np.all(np.isfinite(model.weights))
+
+    def test_solver_with_empty_partitions(self):
+        ctx = Context()
+        # 2 rows across 4 partitions: two partitions are empty.
+        data = ctx.parallelize([np.ones(3), np.zeros(3)], 4)
+        labels = ctx.parallelize([np.ones(1), -np.ones(1)], 4)
+        model = LBFGSSolver(max_iter=10).fit(data, labels)
+        assert model.weights.shape == (3, 1)
+
+    def test_solver_on_empty_dataset(self):
+        ctx = Context()
+        data = ctx.parallelize([], 2)
+        labels = ctx.parallelize([], 2)
+        with pytest.raises((ValueError, ZeroDivisionError)):
+            LocalQRSolver().fit(data, labels)
+
+    def test_constant_features_with_ridge(self):
+        ctx = Context()
+        rows = [np.ones(4)] * 20
+        ys = [np.array([1.0, -1.0])] * 20
+        model = LocalQRSolver(l2_reg=1e-3).fit(
+            ctx.parallelize(rows, 2), ctx.parallelize(ys, 2))
+        assert np.all(np.isfinite(model.weights))
+
+    def test_mismatched_feature_label_counts(self):
+        ctx = Context()
+        data = ctx.parallelize([np.ones(2)] * 10, 2)
+        labels = ctx.parallelize([np.ones(1)] * 8, 2)
+        with pytest.raises(ValueError):
+            LBFGSSolver(max_iter=2).fit(data, labels)
+
+    def test_nan_features_produce_nan_not_hang(self):
+        ctx = Context()
+        rows = [np.array([np.nan, 1.0])] * 10
+        ys = [np.array([1.0])] * 10
+        model = LBFGSSolver(max_iter=3).fit(ctx.parallelize(rows, 2),
+                                            ctx.parallelize(ys, 2))
+        # The solver terminates; result may be NaN but must not hang.
+        assert model.weights.shape == (2, 1)
+
+
+class TestPipelineMisuse:
+    def test_apply_unfitted_pipeline_has_no_apply(self):
+        pipe = Pipeline.identity()
+        assert not hasattr(pipe, "apply")
+
+    def test_double_fit_is_independent(self):
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0, 3.0], 1)
+
+        class Mean(Estimator):
+            def fit(self, d):
+                m = sum(d.collect()) / d.count()
+
+                class Sub(Transformer):
+                    def apply(self, x, _m=m):
+                        return x - _m
+
+                return Sub()
+
+        pipe = Pipeline.identity().and_then(Mean(), data)
+        a = pipe.fit(level="none")
+        b = pipe.fit(level="none")
+        assert a.apply(5.0) == b.apply(5.0)

@@ -1,0 +1,119 @@
+"""Tests for operator fusion (stage packing)."""
+
+import pytest
+
+from repro.core import graph as g
+from repro.core.fusion import (
+    FusedTransformer,
+    count_fused,
+    fuse_transformer_chains,
+)
+from repro.core.operators import Estimator, Transformer
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+
+
+class Add(Transformer):
+    def __init__(self, c):
+        self.c = c
+
+    def apply(self, x):
+        return x + self.c
+
+
+class Mul(Transformer):
+    def __init__(self, c):
+        self.c = c
+
+    def apply(self, x):
+        return x * self.c
+
+
+class MeanEst(Estimator):
+    def fit(self, data):
+        values = data.collect()
+        return Add(-sum(values) / len(values))
+
+
+class TestFusedTransformer:
+    def test_composes_in_order(self):
+        fused = FusedTransformer([Add(1), Mul(10)])
+        assert fused.apply(2) == 30  # (2 + 1) * 10
+
+    def test_partition_matches_itemwise(self):
+        fused = FusedTransformer([Add(1), Mul(2)])
+        assert fused.apply_partition([1, 2, 3]) == [4, 6, 8]
+
+    def test_weight_is_max(self):
+        heavy = Add(0)
+        heavy.weight = 7
+        assert FusedTransformer([Add(1), heavy]).weight == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FusedTransformer([])
+
+
+class TestChainFusion:
+    def _chain(self, n):
+        inp = g.pipeline_input()
+        node = inp
+        for i in range(n):
+            node = g.OpNode(g.TRANSFORMER, Add(i), (node,))
+        return inp, node
+
+    def test_chain_collapses_to_one_node(self):
+        _inp, sink = self._chain(4)
+        fused = fuse_transformer_chains([sink])[0]
+        nodes = g.ancestors([fused])
+        transformer_nodes = [n for n in nodes if n.kind == g.TRANSFORMER]
+        assert len(transformer_nodes) == 1
+        assert isinstance(transformer_nodes[0].op, FusedTransformer)
+
+    def test_fused_semantics_preserved(self):
+        _inp, sink = self._chain(3)
+        fused_sink = fuse_transformer_chains([sink])[0]
+        # Evaluate both chains on a value.
+        def eval_chain(node, x):
+            if node.kind == g.SOURCE:
+                return x
+            return node.op.apply(eval_chain(node.parents[0], x))
+
+        assert eval_chain(fused_sink, 10) == eval_chain(sink, 10)
+
+    def test_shared_node_not_fused(self):
+        inp = g.pipeline_input()
+        shared = g.OpNode(g.TRANSFORMER, Add(1), (inp,))
+        left = g.OpNode(g.TRANSFORMER, Mul(2), (shared,))
+        right = g.OpNode(g.TRANSFORMER, Mul(3), (shared,))
+        sink = g.OpNode(g.GATHER, None, (left, right))
+        fused = fuse_transformer_chains([sink])[0]
+        # shared has two consumers: stays a separate node.
+        labels = [n.op for n in g.ancestors([fused])
+                  if n.kind == g.TRANSFORMER]
+        assert not any(isinstance(op, FusedTransformer) for op in labels)
+
+    def test_count_fused(self):
+        _inp, sink = self._chain(4)
+        assert count_fused([sink]) == 3
+
+    def test_estimator_boundary(self):
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        pipe = (Pipeline.identity().and_then(Add(1)).and_then(Mul(2))
+                .and_then(MeanEst(), data).and_then(Add(5)))
+        fused = fuse_transformer_chains([pipe.sink])[0]
+        kinds = [n.kind for n in g.ancestors([fused])]
+        assert g.ESTIMATOR in kinds  # estimator survives as a boundary
+
+
+class TestExecutorIntegration:
+    def test_fit_with_fusion_same_result(self):
+        ctx = Context()
+        data = ctx.parallelize([float(i) for i in range(20)], 2)
+        pipe = (Pipeline.identity().and_then(Add(1)).and_then(Mul(2))
+                .and_then(MeanEst(), data))
+        plain = pipe.fit(level="pipe", sample_sizes=(5, 10))
+        fused = pipe.fit(level="pipe", sample_sizes=(5, 10), fuse=True)
+        for x in (0.0, 3.5, -2.0):
+            assert plain.apply(x) == pytest.approx(fused.apply(x))

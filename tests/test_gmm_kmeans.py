@@ -1,0 +1,169 @@
+"""Tests for K-Means, the GMM estimator, and Fisher-vector encoding."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.learning.fisher import FisherVector, FisherVectorEstimator
+from repro.nodes.learning.gmm import GMMEstimator, GaussianMixtureModel
+from repro.nodes.learning.kmeans import (
+    ClusterAssigner,
+    KMeansEstimator,
+    kmeans_fit_array,
+)
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+def _clustered_points(n_per=100, centers=((0, 0), (10, 0), (0, 10)),
+                      spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for c in centers:
+        points.extend(np.asarray(c) + spread * rng.standard_normal(
+            (n_per, len(c))))
+    rng.shuffle(points)
+    return [np.asarray(p) for p in points]
+
+
+class TestKMeansArray:
+    def test_recovers_centers(self):
+        pts = np.vstack(_clustered_points())
+        centroids = kmeans_fit_array(pts, 3, max_iter=30, seed=1)
+        targets = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        for t in targets:
+            assert np.min(np.linalg.norm(centroids - t, axis=1)) < 0.5
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least"):
+            kmeans_fit_array(np.ones((2, 3)), 5, 10)
+
+
+class TestKMeansEstimator:
+    def test_distributed_matches_quality(self, ctx):
+        pts = _clustered_points(seed=2)
+        est = KMeansEstimator(3, max_iter=30, seed=1)
+        assigner = est.fit(ctx.parallelize(pts, 4))
+        targets = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        for t in targets:
+            assert np.min(np.linalg.norm(est.centroids_ - t, axis=1)) < 0.5
+        assert isinstance(assigner, ClusterAssigner)
+
+    def test_assigner_consistent(self, ctx):
+        pts = _clustered_points(seed=3)
+        assigner = KMeansEstimator(3, max_iter=20, seed=1).fit(
+            ctx.parallelize(pts, 4))
+        same_cluster = assigner.apply(np.array([0.1, 0.1]))
+        assert assigner.apply(np.array([0.0, 0.2])) == same_cluster
+        assert assigner.apply(np.array([10.0, 0.0])) != same_cluster
+
+    def test_assigner_matrix_input(self, ctx):
+        pts = _clustered_points()
+        assigner = KMeansEstimator(3, max_iter=5, seed=0).fit(
+            ctx.parallelize(pts, 2))
+        out = assigner.apply(np.vstack(pts[:10]))
+        assert out.shape == (10,)
+
+    def test_weight_equals_iterations(self):
+        assert KMeansEstimator(2, max_iter=17).weight == 17
+
+    def test_too_few_rows(self, ctx):
+        with pytest.raises(ValueError, match="at least"):
+            KMeansEstimator(10).fit(ctx.parallelize(
+                [np.zeros(2), np.ones(2)], 1))
+
+
+class TestGMM:
+    def test_recovers_means(self, ctx):
+        pts = _clustered_points(seed=4)
+        gmm = GMMEstimator(3, max_iter=20, seed=1).fit(
+            ctx.parallelize(pts, 4))
+        targets = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        for t in targets:
+            assert np.min(np.linalg.norm(gmm.means - t, axis=1)) < 0.5
+
+    def test_weights_sum_to_one(self, ctx):
+        gmm = GMMEstimator(3, max_iter=10, seed=0).fit(
+            ctx.parallelize(_clustered_points(), 4))
+        assert gmm.weights.sum() == pytest.approx(1.0)
+        assert np.all(gmm.weights > 0)
+
+    def test_responsibilities_rows_sum_to_one(self, ctx):
+        pts = _clustered_points()
+        gmm = GMMEstimator(3, max_iter=5, seed=0).fit(
+            ctx.parallelize(pts, 4))
+        resp = gmm.responsibilities(np.vstack(pts[:20]))
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+
+    def test_em_increases_likelihood(self, ctx):
+        pts = _clustered_points(seed=5)
+        data = ctx.parallelize(pts, 4)
+        stacked = np.vstack(pts)
+        ll_few = GMMEstimator(3, max_iter=1, seed=2).fit(
+            data).log_likelihood(stacked)
+        ll_many = GMMEstimator(3, max_iter=15, seed=2).fit(
+            data).log_likelihood(stacked)
+        assert ll_many >= ll_few - 1e-6
+
+    def test_variance_floor(self, ctx):
+        # Identical points would collapse variance without the floor.
+        pts = [np.zeros(2)] * 50 + [np.ones(2)] * 50
+        gmm = GMMEstimator(2, max_iter=10, min_variance=1e-3,
+                           seed=0).fit(ctx.parallelize(pts, 2))
+        assert np.all(gmm.variances >= 1e-3 - 1e-12)
+
+    def test_apply_returns_responsibilities(self, ctx):
+        gmm = GMMEstimator(2, max_iter=3, seed=0).fit(
+            ctx.parallelize(_clustered_points(centers=((0, 0), (8, 8))), 2))
+        out = gmm.apply(np.array([0.0, 0.0]))
+        assert out.shape == (2,)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_matrix_rows_stacked(self, ctx):
+        """Descriptor-matrix rows (n_desc, d) are handled."""
+        rng = np.random.default_rng(0)
+        mats = [rng.standard_normal((10, 2)) for _ in range(30)]
+        gmm = GMMEstimator(2, max_iter=3, seed=0).fit(
+            ctx.parallelize(mats, 2))
+        assert gmm.means.shape == (2, 2)
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError, match="num_components"):
+            GMMEstimator(0)
+
+
+class TestFisherVector:
+    def _gmm(self, d=3, k=2):
+        return GaussianMixtureModel(
+            weights=np.full(k, 1.0 / k),
+            means=np.vstack([np.zeros(d), np.ones(d) * 5]),
+            variances=np.ones((k, d)))
+
+    def test_output_dim(self):
+        fv = FisherVector(self._gmm())
+        desc = np.random.default_rng(0).standard_normal((7, 3))
+        assert fv.apply(desc).shape == (12,)  # 2 * K * d
+        assert fv.output_dim == 12
+
+    def test_zero_gradient_at_component_means(self):
+        """Descriptors exactly at the means give (near) zero mean-gradient."""
+        gmm = self._gmm()
+        fv = FisherVector(gmm)
+        out = fv.apply(gmm.means.copy())
+        mu_part = out[:6]
+        np.testing.assert_allclose(mu_part, 0.0, atol=1e-6)
+
+    def test_single_descriptor(self):
+        fv = FisherVector(self._gmm())
+        assert fv.apply(np.zeros(3)).shape == (12,)
+
+    def test_estimator_returns_encoder(self):
+        ctx = Context()
+        pts = _clustered_points(centers=((0, 0), (8, 8)))
+        est = FisherVectorEstimator(GMMEstimator(2, max_iter=3, seed=0))
+        fv = est.fit(ctx.parallelize(pts, 2))
+        assert isinstance(fv, FisherVector)
+        assert est.weight == GMMEstimator(2, max_iter=3).weight

@@ -1,0 +1,90 @@
+"""Tests for CenterCrop, Resizer, PixelNormalizer, HOGExtractor."""
+
+import numpy as np
+import pytest
+
+from repro.nodes.images import (
+    CenterCrop,
+    HOGExtractor,
+    PixelNormalizer,
+    Resizer,
+)
+
+
+def _image(h=32, w=32, c=3, seed=0):
+    return np.random.default_rng(seed).random((h, w, c))
+
+
+class TestCenterCrop:
+    def test_shape(self):
+        out = CenterCrop(16).apply(_image(32, 32))
+        assert out.shape == (16, 16, 3)
+
+    def test_centered(self):
+        img = np.zeros((8, 8, 1))
+        img[3:5, 3:5, 0] = 1.0
+        out = CenterCrop(2).apply(img)
+        np.testing.assert_allclose(out[:, :, 0], 1.0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="smaller"):
+            CenterCrop(64).apply(_image(32, 32))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="size"):
+            CenterCrop(0)
+
+
+class TestResizer:
+    def test_shape(self):
+        out = Resizer(10, 20).apply(_image(32, 32))
+        assert out.shape == (10, 20, 3)
+
+    def test_identity_resize(self):
+        img = _image(8, 8)
+        np.testing.assert_allclose(Resizer(8, 8).apply(img), img)
+
+    def test_upscale(self):
+        img = np.arange(4.0).reshape(2, 2, 1)
+        out = Resizer(4, 4).apply(img)
+        assert out.shape == (4, 4, 1)
+        assert out[0, 0, 0] == img[0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Resizer(0, 4)
+
+
+class TestPixelNormalizer:
+    def test_zero_mean_unit_std(self):
+        out = PixelNormalizer().apply(_image(16, 16))
+        assert abs(out.mean()) < 1e-10
+        assert abs(out.std() - 1.0) < 1e-6
+
+    def test_constant_image_safe(self):
+        out = PixelNormalizer().apply(np.full((4, 4, 1), 3.0))
+        assert np.all(np.isfinite(out))
+
+
+class TestHOG:
+    def test_dims(self):
+        out = HOGExtractor(cell=8, bins=9).apply(_image(32, 32))
+        assert out.shape == (4 * 4 * 9,)
+
+    def test_normalized(self):
+        out = HOGExtractor().apply(_image(32, 32, 1, seed=1))
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-6)
+
+    def test_oriented_structure(self):
+        """A pure horizontal gradient concentrates one orientation bin."""
+        img = np.tile(np.linspace(0, 1, 32), (32, 1))
+        out = HOGExtractor(cell=8, bins=9).apply(img)
+        per_bin = out.reshape(-1, 9).sum(axis=0)
+        assert per_bin.max() > 5 * (np.median(per_bin) + 1e-12)
+
+    def test_color_accepted(self):
+        assert HOGExtractor().apply(_image(16, 16, 3)).ndim == 1
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="smaller"):
+            HOGExtractor(cell=16).apply(np.zeros((8, 8)))

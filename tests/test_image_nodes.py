@@ -1,0 +1,193 @@
+"""Tests for image operators."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.images import (
+    GrayScaler,
+    LCSExtractor,
+    PatchExtractor,
+    Pooler,
+    RandomPatchSampler,
+    SIFTExtractor,
+    SymmetricRectifier,
+    Windower,
+    ZCAWhitener,
+)
+
+
+def _image(h=32, w=32, c=3, seed=0):
+    return np.random.default_rng(seed).random((h, w, c))
+
+
+class TestGrayScaler:
+    def test_output_2d(self):
+        gray = GrayScaler().apply(_image())
+        assert gray.shape == (32, 32)
+
+    def test_constant_image(self):
+        img = np.full((8, 8, 3), 0.5)
+        np.testing.assert_allclose(GrayScaler().apply(img), 0.5)
+
+    def test_single_channel_passthrough(self):
+        img = np.random.default_rng(0).random((8, 8))
+        np.testing.assert_allclose(GrayScaler().apply(img), img)
+
+
+class TestPatchExtractor:
+    def test_count_and_dim(self):
+        patches = PatchExtractor(4, stride=4).apply(_image(16, 16, 3))
+        assert patches.shape == (16, 48)  # 4x4 grid of 4x4x3 patches
+
+    def test_stride_one(self):
+        patches = PatchExtractor(3, stride=1).apply(_image(8, 8, 1))
+        assert patches.shape == (36, 9)
+
+    def test_content_matches_manual_slice(self):
+        img = _image(8, 8, 1, seed=1)
+        patches = PatchExtractor(3, stride=1).apply(img)
+        np.testing.assert_allclose(patches[0],
+                                   img[0:3, 0:3, :].ravel())
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="smaller"):
+            PatchExtractor(10).apply(_image(4, 4, 1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PatchExtractor(0)
+
+
+class TestRandomPatchSampler:
+    def test_shape(self):
+        out = RandomPatchSampler(5, 12, seed=0).apply(_image())
+        assert out.shape == (12, 75)
+
+    def test_deterministic_per_image(self):
+        img = _image(seed=2)
+        a = RandomPatchSampler(5, 6, seed=1).apply(img)
+        b = RandomPatchSampler(5, 6, seed=1).apply(img)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWindower:
+    def test_window_count(self):
+        windows = Windower(8).apply(_image(16, 16, 3))
+        assert len(windows) == 4
+        assert windows[0].shape == (8, 8, 3)
+
+
+class TestSIFT:
+    def test_descriptor_shape(self):
+        desc = SIFTExtractor(cell=4, stride=8).apply(_image(32, 32, 1))
+        assert desc.shape[1] == 128
+        assert desc.shape[0] == 9  # 3x3 grid of 16px patches at stride 8
+
+    def test_color_input_grayscaled(self):
+        desc = SIFTExtractor().apply(_image(32, 32, 3))
+        assert desc.shape[1] == 128
+
+    def test_descriptors_normalized(self):
+        desc = SIFTExtractor().apply(_image(48, 48, 1, seed=3))
+        norms = np.linalg.norm(desc, axis=1)
+        assert np.all(norms < 1.01)
+        # Clipped at 0.2 then renormalized, so entries stay bounded.
+        assert np.all(desc <= 1.0)
+        assert np.all(desc >= 0.0)
+
+    def test_oriented_structure_activates_matching_bins(self):
+        """A horizontal gradient concentrates energy in few bins."""
+        img = np.tile(np.linspace(0, 1, 32), (32, 1))
+        desc = SIFTExtractor().apply(img)
+        hist = desc.sum(axis=0).reshape(-1, 8).sum(axis=0)
+        assert hist.max() > 3 * np.median(hist + 1e-9)
+
+    def test_too_small_image(self):
+        with pytest.raises(ValueError, match="smaller"):
+            SIFTExtractor(cell=4).apply(np.zeros((8, 8)))
+
+
+class TestLCS:
+    def test_shape(self):
+        desc = LCSExtractor(patch=16, grid=4, stride=16).apply(
+            _image(32, 32, 3))
+        assert desc.shape == (4, 96)  # 2x2 patches, 4*4*3*2 dims
+
+    def test_constant_patch_zero_std(self):
+        img = np.full((16, 16, 3), 0.7)
+        desc = LCSExtractor(patch=16, grid=4, stride=16).apply(img)
+        means, stds = desc[0, :48], desc[0, 48:]
+        np.testing.assert_allclose(means, 0.7)
+        np.testing.assert_allclose(stds, 0.0, atol=1e-12)
+
+    def test_indivisible_grid(self):
+        with pytest.raises(ValueError, match="divisible"):
+            LCSExtractor(patch=10, grid=4)
+
+
+class TestZCA:
+    def test_whitens_covariance(self):
+        ctx = Context()
+        rng = np.random.default_rng(0)
+        # Correlated 2-D data.
+        base = rng.standard_normal((2000, 2))
+        mix = np.array([[2.0, 1.5], [0.0, 0.5]])
+        rows = list(base @ mix)
+        whitener = ZCAWhitener(eps=1e-8).fit(ctx.parallelize(rows, 4))
+        out = whitener.apply(np.vstack(rows))
+        cov = np.cov(out, rowvar=False)
+        np.testing.assert_allclose(cov, np.eye(2), atol=0.15)
+
+    def test_vector_input(self):
+        ctx = Context()
+        rows = [np.random.default_rng(i).random(3) for i in range(50)]
+        whitener = ZCAWhitener().fit(ctx.parallelize(rows, 2))
+        out = whitener.apply(rows[0])
+        assert out.shape == (3,)
+
+    def test_empty_raises(self):
+        ctx = Context()
+        with pytest.raises(ValueError, match="empty"):
+            ZCAWhitener().fit(ctx.parallelize([], 1))
+
+
+class TestRectifierAndPooler:
+    def test_rectifier_doubles_channels(self):
+        fmap = np.random.default_rng(0).standard_normal((4, 4, 3))
+        out = SymmetricRectifier(0.1).apply(fmap)
+        assert out.shape == (4, 4, 6)
+        assert np.all(out >= 0)
+
+    def test_rectifier_split_is_consistent(self):
+        x = np.array([[[1.0, -2.0]]])
+        out = SymmetricRectifier(0.5).apply(x)
+        np.testing.assert_allclose(out.ravel(), [0.5, 0.0, 0.0, 1.5])
+
+    def test_pooler_sum(self):
+        fmap = np.ones((4, 4, 2))
+        out = Pooler(2, "sum").apply(fmap)
+        assert out.shape == (8,)
+        np.testing.assert_allclose(out, 4.0)
+
+    def test_pooler_max(self):
+        fmap = np.zeros((4, 4, 1))
+        fmap[0, 0, 0] = 9.0
+        out = Pooler(2, "max").apply(fmap)
+        assert out[0] == 9.0
+
+    def test_pooler_mean(self):
+        fmap = np.ones((4, 4, 1)) * 3
+        np.testing.assert_allclose(Pooler(2, "mean").apply(fmap), 3.0)
+
+    def test_pooler_2d_input(self):
+        out = Pooler(2, "sum").apply(np.ones((4, 4)))
+        assert out.shape == (4,)
+
+    def test_pooler_invalid_op(self):
+        with pytest.raises(ValueError, match="op must"):
+            Pooler(2, "median")
+
+    def test_pooler_grid_too_large(self):
+        with pytest.raises(ValueError, match="too small"):
+            Pooler(8).apply(np.ones((4, 4, 1)))

@@ -1,0 +1,158 @@
+"""Tests for random features, logistic regression, and filter learning."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.convolution import Convolver
+from repro.nodes.learning.filter_learning import ConvolutionalFilterLearner
+from repro.nodes.learning.logistic import LogisticRegressionEstimator
+from repro.nodes.learning.random_features import (
+    CosineRandomFeatures,
+    RandomFeaturesTransformer,
+)
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+class TestRandomFeatures:
+    def test_output_dim(self, ctx):
+        data = ctx.parallelize([np.ones(5)] * 10, 2)
+        t = CosineRandomFeatures(64, gamma=0.5, seed=0).fit(data)
+        assert t.apply(np.ones(5)).shape == (64,)
+
+    def test_kernel_approximation(self, ctx):
+        """z(x).z(y) approximates the RBF kernel exp(-gamma ||x-y||^2 / 2)."""
+        rng = np.random.default_rng(0)
+        gamma = 0.3
+        x = rng.standard_normal(8)
+        y = rng.standard_normal(8)
+        data = ctx.parallelize([x, y], 1)
+        t = CosineRandomFeatures(20_000, gamma=gamma, seed=1).fit(data)
+        approx = float(t.apply(x) @ t.apply(y))
+        exact = float(np.exp(-gamma * np.sum((x - y) ** 2) / 2))
+        assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_deterministic_with_seed(self, ctx):
+        data = ctx.parallelize([np.ones(4)] * 5, 1)
+        a = CosineRandomFeatures(16, seed=3).fit(data)
+        b = CosineRandomFeatures(16, seed=3).fit(data)
+        np.testing.assert_allclose(a.w, b.w)
+
+    def test_different_seeds_differ(self, ctx):
+        data = ctx.parallelize([np.ones(4)] * 5, 1)
+        a = CosineRandomFeatures(16, seed=1).fit(data)
+        b = CosineRandomFeatures(16, seed=2).fit(data)
+        assert not np.allclose(a.w, b.w)
+
+    def test_partition_matches_single(self, ctx):
+        rng = np.random.default_rng(0)
+        rows = [rng.standard_normal(6) for _ in range(5)]
+        t = RandomFeaturesTransformer(rng.standard_normal((6, 8)),
+                                      rng.uniform(0, 6, 8))
+        batch = t.apply_partition(rows)
+        np.testing.assert_allclose(np.vstack(batch),
+                                   np.vstack([t.apply(r) for r in rows]))
+
+    def test_invalid_num_features(self):
+        with pytest.raises(ValueError, match="num_features"):
+            CosineRandomFeatures(0)
+
+    def test_bounded_output(self, ctx):
+        data = ctx.parallelize([np.ones(4) * 100] * 3, 1)
+        t = CosineRandomFeatures(32, seed=0).fit(data)
+        out = t.apply(np.ones(4) * 100)
+        assert np.all(np.abs(out) <= np.sqrt(2.0 / 32) + 1e-12)
+
+
+class TestLogisticRegression:
+    def _problem(self, ctx, n=300, d=6, seed=0):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((d, 3)) * 2
+        x = rng.standard_normal((n, d))
+        y = np.argmax(x @ w + 0.1 * rng.standard_normal((n, 3)), axis=1)
+        one_hot = -np.ones((n, 3))
+        one_hot[np.arange(n), y] = 1.0
+        data = ctx.parallelize(list(x), 4)
+        labels = ctx.parallelize(list(one_hot), 4)
+        return data, labels, x, y
+
+    def test_learns_separable_problem(self, ctx):
+        data, labels, x, y = self._problem(ctx)
+        model = LogisticRegressionEstimator(max_iter=100).fit(data, labels)
+        preds = np.argmax(np.vstack(model.apply_partition(list(x))), axis=1)
+        assert (preds == y).mean() > 0.9
+
+    def test_probabilities_sum_to_one(self, ctx):
+        data, labels, x, _ = self._problem(ctx)
+        model = LogisticRegressionEstimator(max_iter=20).fit(data, labels)
+        p = model.apply(x[0])
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_regularization_shrinks(self, ctx):
+        data, labels, *_ = self._problem(ctx)
+        small = LogisticRegressionEstimator(max_iter=50, l2_reg=1e-8).fit(
+            data, labels)
+        big = LogisticRegressionEstimator(max_iter=50, l2_reg=10.0).fit(
+            data, labels)
+        assert np.linalg.norm(big.weights) < np.linalg.norm(small.weights)
+
+    def test_invalid_iters(self):
+        with pytest.raises(ValueError, match="max_iter"):
+            LogisticRegressionEstimator(max_iter=0)
+
+
+class TestFilterLearning:
+    def _images(self, n=30, size=16, seed=0):
+        rng = np.random.default_rng(seed)
+        return [rng.random((size, size, 3)) for _ in range(n)]
+
+    def test_returns_convolver_with_bias(self, ctx):
+        data = ctx.parallelize(self._images(), 2)
+        learner = ConvolutionalFilterLearner(
+            num_filters=4, patch_size=4, image_shape=(16, 16, 3),
+            patches_per_image=20, seed=0)
+        conv = learner.fit(data)
+        assert isinstance(conv, Convolver)
+        assert conv.filters.shape == (4, 4, 4, 3)
+        assert conv.bias.shape == (4,)
+
+    def test_convolver_applies(self, ctx):
+        data = ctx.parallelize(self._images(), 2)
+        conv = ConvolutionalFilterLearner(
+            num_filters=4, patch_size=4, image_shape=(16, 16, 3),
+            patches_per_image=20, seed=0).fit(data)
+        out = conv.apply(self._images(1, seed=9)[0])
+        assert out.shape == (13, 13, 4)
+
+    def test_whitening_folding_equivalence(self, ctx):
+        """Convolving with folded filters equals whiten-then-dot on a patch."""
+        data = ctx.parallelize(self._images(seed=1), 2)
+        learner = ConvolutionalFilterLearner(
+            num_filters=3, patch_size=4, image_shape=(16, 16, 3),
+            patches_per_image=30, seed=0)
+        conv = learner.fit(data)
+        img = self._images(1, seed=7)[0]
+        patch = img[0:4, 0:4, :].ravel()
+        response = conv.apply(img)[0, 0, :]
+        # Recompute the folded response directly: filters already include W.
+        manual = conv.filters.reshape(3, -1) @ img[0:4, 0:4, :].reshape(
+            4, 4, 3).ravel() + conv.bias
+        # filters stored (b, s, s, c): flatten order must match patch order.
+        np.testing.assert_allclose(response, manual, atol=1e-8)
+
+    def test_too_few_patches(self, ctx):
+        data = ctx.parallelize(self._images(2), 1)
+        learner = ConvolutionalFilterLearner(
+            num_filters=50, patch_size=4, image_shape=(16, 16, 3),
+            patches_per_image=5, max_images=2)
+        with pytest.raises(ValueError, match="patches"):
+            learner.fit(data)
+
+    def test_invalid_filters(self):
+        with pytest.raises(ValueError, match="num_filters"):
+            ConvolutionalFilterLearner(0, 4, (16, 16, 3))

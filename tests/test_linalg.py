@@ -1,0 +1,143 @@
+"""Tests for TSQR and the row-partitioned matrix."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.linalg import RowMatrix, tsqr_r, tsqr_solve
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+def _random_blocks(rng, n_blocks, rows, cols):
+    return [rng.standard_normal((rows, cols)) for _ in range(n_blocks)]
+
+
+class TestTSQR:
+    def test_r_matches_numpy_up_to_sign(self):
+        rng = np.random.default_rng(0)
+        blocks = _random_blocks(rng, 4, 25, 6)
+        r_tsqr = tsqr_r(blocks)
+        r_np = np.linalg.qr(np.vstack(blocks), mode="r")
+        # R is unique up to row signs.
+        np.testing.assert_allclose(np.abs(r_tsqr), np.abs(r_np), atol=1e-8)
+
+    def test_r_gram_identity(self):
+        """R^T R == A^T A regardless of sign convention."""
+        rng = np.random.default_rng(1)
+        blocks = _random_blocks(rng, 3, 40, 5)
+        a = np.vstack(blocks)
+        r = tsqr_r(blocks)
+        np.testing.assert_allclose(r.T @ r, a.T @ a, atol=1e-8)
+
+    def test_single_block(self):
+        rng = np.random.default_rng(2)
+        blocks = _random_blocks(rng, 1, 30, 4)
+        r = tsqr_r(blocks)
+        np.testing.assert_allclose(r.T @ r, blocks[0].T @ blocks[0],
+                                   atol=1e-8)
+
+    def test_short_blocks(self):
+        """Blocks with fewer rows than columns still combine correctly."""
+        rng = np.random.default_rng(3)
+        blocks = _random_blocks(rng, 8, 3, 6)
+        a = np.vstack(blocks)
+        r = tsqr_r(blocks)
+        np.testing.assert_allclose(r.T @ r, a.T @ a, atol=1e-8)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            tsqr_r([])
+
+    def test_solve_matches_lstsq(self):
+        rng = np.random.default_rng(4)
+        a_blocks = _random_blocks(rng, 4, 30, 8)
+        x_true = rng.standard_normal((8, 3))
+        b_blocks = [a @ x_true for a in a_blocks]
+        x = tsqr_solve(a_blocks, b_blocks)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_solve_with_ridge_shrinks(self):
+        rng = np.random.default_rng(5)
+        a_blocks = _random_blocks(rng, 2, 50, 5)
+        b_blocks = [rng.standard_normal((50, 2)) for _ in range(2)]
+        x_plain = tsqr_solve(a_blocks, b_blocks, l2_reg=0.0)
+        x_ridge = tsqr_solve(a_blocks, b_blocks, l2_reg=100.0)
+        assert np.linalg.norm(x_ridge) < np.linalg.norm(x_plain)
+
+    def test_solve_block_mismatch(self):
+        with pytest.raises(ValueError, match="matching block"):
+            tsqr_solve([np.eye(2)], [])
+
+
+class TestRowMatrix:
+    def _matrix(self, ctx, rng, n=40, d=6, partitions=4):
+        rows = [rng.standard_normal(d) for _ in range(n)]
+        return RowMatrix(ctx.parallelize(rows, partitions)), np.vstack(rows)
+
+    def test_shape_accessors(self, ctx):
+        rng = np.random.default_rng(0)
+        rm, dense = self._matrix(ctx, rng)
+        assert rm.num_cols == 6
+        assert rm.num_rows() == 40
+
+    def test_to_dense(self, ctx):
+        rng = np.random.default_rng(1)
+        rm, dense = self._matrix(ctx, rng)
+        np.testing.assert_allclose(rm.to_dense(), dense)
+
+    def test_gram(self, ctx):
+        rng = np.random.default_rng(2)
+        rm, dense = self._matrix(ctx, rng)
+        np.testing.assert_allclose(rm.gram(), dense.T @ dense, atol=1e-8)
+
+    def test_t_times(self, ctx):
+        rng = np.random.default_rng(3)
+        rows_a = [rng.standard_normal(5) for _ in range(30)]
+        a_ds = ctx.parallelize(rows_a, 3)
+        b_ds = a_ds.map(lambda r: r * 2 + 1)
+        a = np.vstack(rows_a)
+        b = a * 2 + 1
+        result = RowMatrix(a_ds).t_times(RowMatrix(b_ds))
+        np.testing.assert_allclose(result, a.T @ b, atol=1e-8)
+
+    def test_times(self, ctx):
+        rng = np.random.default_rng(4)
+        rm, dense = self._matrix(ctx, rng)
+        x = rng.standard_normal((6, 2))
+        out = np.vstack(rm.times(x).collect())
+        np.testing.assert_allclose(out, dense @ x, atol=1e-10)
+
+    def test_qr_r_gram(self, ctx):
+        rng = np.random.default_rng(5)
+        rm, dense = self._matrix(ctx, rng)
+        r = rm.qr_r()
+        np.testing.assert_allclose(r.T @ r, dense.T @ dense, atol=1e-8)
+
+    def test_solve_least_squares(self, ctx):
+        rng = np.random.default_rng(6)
+        rm, dense = self._matrix(ctx, rng, n=60, d=5)
+        x_true = rng.standard_normal((5, 2))
+        labels_rows = list(dense @ x_true)
+        labels = RowMatrix(ctx.parallelize(labels_rows, 4))
+        x = rm.solve_least_squares(labels)
+        np.testing.assert_allclose(x, x_true, atol=1e-6)
+
+    def test_column_means(self, ctx):
+        rng = np.random.default_rng(7)
+        rm, dense = self._matrix(ctx, rng)
+        np.testing.assert_allclose(rm.column_means(), dense.mean(axis=0),
+                                   atol=1e-10)
+
+    def test_sparse_rows(self, ctx):
+        import scipy.sparse as sp
+
+        rows = [sp.random(1, 20, density=0.3, format="csr",
+                          random_state=i) for i in range(15)]
+        rm = RowMatrix(ctx.parallelize(rows, 3))
+        dense = np.vstack([r.toarray() for r in rows])
+        np.testing.assert_allclose(rm.gram(), dense.T @ dense, atol=1e-8)
+        assert rm.num_cols == 20

@@ -1,0 +1,171 @@
+"""Tests for the automatic-materialization optimizer (Algorithm 1)."""
+
+import pytest
+
+from repro.core import graph as g
+from repro.core import materialization as mat
+from repro.core.operators import Transformer
+from repro.core.profiler import NodeProfile, PipelineProfile
+
+
+class _Op(Transformer):
+    def __init__(self, weight=1):
+        self.weight = weight
+
+    def apply(self, x):
+        return x
+
+
+def _profile_for(nodes, times, sizes):
+    profile = PipelineProfile()
+    for node in nodes:
+        profile.nodes[node.id] = NodeProfile(
+            node=node, t_seconds=times[node.id], size_bytes=sizes[node.id],
+            stats=None, weight=node.weight)
+    return profile
+
+
+def _chain_with_iterative_sink(iterations=10, t_feat=5.0, feat_size=100.0):
+    """source -> featurize -> solver(weight=iterations)"""
+    src = g.source("data")
+    feat = g.OpNode(g.TRANSFORMER, _Op(), (src,), label="featurize")
+    solver = g.OpNode(g.TRANSFORMER, _Op(weight=iterations), (feat,),
+                      label="solver")
+    times = {src.id: 1.0, feat.id: t_feat, solver.id: 2.0}
+    sizes = {src.id: 50.0, feat.id: feat_size, solver.id: 1.0}
+    nodes = [src, feat, solver]
+    problem = mat.MaterializationProblem(
+        [solver], _profile_for(nodes, times, sizes))
+    return problem, src, feat, solver
+
+
+class TestCostFormulas:
+    def test_request_counts_chain(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10)
+        counts = problem.request_counts(set())
+        assert counts[solver.id] == 1
+        assert counts[feat.id] == 10      # solver scans input 10 times
+        assert counts[src.id] == 10       # uncached feat recomputes 10x
+
+    def test_caching_shields_upstream(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10)
+        counts = problem.request_counts({feat.id})
+        assert counts[feat.id] == 10      # still requested 10 times
+        assert counts[src.id] == 1        # but computed once
+
+    def test_runtime_no_cache(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10, t_feat=5.0)
+        # solver once (2) + feat 10x (50) + src 10x (10)
+        assert problem.estimate_runtime(set()) == pytest.approx(62.0)
+
+    def test_runtime_with_cache(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10, t_feat=5.0)
+        # solver once (2) + feat once (5) + src once (1)
+        assert problem.estimate_runtime({feat.id}) == pytest.approx(8.0)
+
+    def test_diamond_counts(self):
+        src = g.source("d")
+        shared = g.OpNode(g.TRANSFORMER, _Op(), (src,))
+        left = g.OpNode(g.TRANSFORMER, _Op(weight=3), (shared,))
+        right = g.OpNode(g.TRANSFORMER, _Op(weight=2), (shared,))
+        sink = g.OpNode(g.GATHER, None, (left, right))
+        nodes = [src, shared, left, right, sink]
+        times = {n.id: 1.0 for n in nodes}
+        sizes = {n.id: 1.0 for n in nodes}
+        problem = mat.MaterializationProblem(
+            [sink], _profile_for(nodes, times, sizes))
+        counts = problem.request_counts(set())
+        assert counts[shared.id] == 5  # 3 + 2
+
+    def test_weights_compound_down_the_chain(self):
+        src = g.source("d")
+        a = g.OpNode(g.TRANSFORMER, _Op(weight=3), (src,))
+        b = g.OpNode(g.TRANSFORMER, _Op(weight=4), (a,))
+        nodes = [src, a, b]
+        problem = mat.MaterializationProblem(
+            [b], _profile_for(nodes, {n.id: 1.0 for n in nodes},
+                              {n.id: 1.0 for n in nodes}))
+        counts = problem.request_counts(set())
+        assert counts[a.id] == 4
+        assert counts[src.id] == 12  # 4 computations of a, 3 scans each
+
+
+class TestGreedy:
+    def test_caches_reused_featurization(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10)
+        cache = mat.greedy_cache_set(problem, mem_budget=1000.0)
+        assert feat.id in cache
+
+    def test_respects_memory_budget(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(
+            10, feat_size=100.0)
+        cache = mat.greedy_cache_set(problem, mem_budget=60.0)
+        assert feat.id not in cache       # too big
+        assert src.id in cache            # second-best option fits
+
+    def test_zero_budget_caches_nothing(self):
+        problem, *_ = _chain_with_iterative_sink(10)
+        assert mat.greedy_cache_set(problem, mem_budget=0.0) == set()
+
+    def test_no_benefit_no_cache(self):
+        """A straight-line pipeline with weight-1 nodes gains nothing."""
+        src = g.source("d")
+        a = g.OpNode(g.TRANSFORMER, _Op(), (src,))
+        nodes = [src, a]
+        problem = mat.MaterializationProblem(
+            [a], _profile_for(nodes, {n.id: 1.0 for n in nodes},
+                              {n.id: 1.0 for n in nodes}))
+        assert mat.greedy_cache_set(problem, 1e9) == set()
+
+    def test_greedy_never_worse_than_uncached(self):
+        problem, *_ = _chain_with_iterative_sink(7)
+        cache = mat.greedy_cache_set(problem, 1e9)
+        assert problem.estimate_runtime(cache) <= \
+            problem.estimate_runtime(set())
+
+
+class TestExact:
+    def test_matches_greedy_on_simple_chain(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10)
+        greedy = mat.greedy_cache_set(problem, 1000.0)
+        exact = mat.exact_cache_set(problem, 1000.0)
+        assert problem.estimate_runtime(exact) <= \
+            problem.estimate_runtime(greedy) + 1e-9
+
+    def test_exact_respects_budget(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(
+            10, feat_size=100.0)
+        exact = mat.exact_cache_set(problem, 60.0)
+        total = sum(problem.size[i] for i in exact)
+        assert total <= 60.0
+
+    def test_too_many_nodes_rejected(self):
+        problem, *_ = _chain_with_iterative_sink(2)
+        with pytest.raises(ValueError, match="limited"):
+            mat.exact_cache_set(problem, 1e9, max_nodes=1)
+
+
+class TestStrategies:
+    def test_unknown_strategy(self):
+        problem, *_ = _chain_with_iterative_sink(2)
+        with pytest.raises(ValueError, match="unknown caching strategy"):
+            mat.choose_cache_set("wat", problem, 1e9)
+
+    def test_none_and_rule_cache_nothing(self):
+        problem, *_ = _chain_with_iterative_sink(2)
+        for strategy in (mat.NONE, mat.RULE_BASED):
+            ids, lru = mat.choose_cache_set(strategy, problem, 1e9)
+            assert ids == set()
+            assert not lru
+
+    def test_lru_marks_everything(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(2)
+        ids, lru = mat.choose_cache_set(mat.LRU, problem, 1e9)
+        assert lru
+        assert feat.id in ids
+
+    def test_greedy_strategy_routes_to_algorithm(self):
+        problem, src, feat, solver = _chain_with_iterative_sink(10)
+        ids, lru = mat.choose_cache_set(mat.GREEDY, problem, 1e9)
+        assert not lru
+        assert feat.id in ids

@@ -1,0 +1,77 @@
+"""Tests for MinMaxScaler, InterceptAdder, FeatureSelector, Clip."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dataset import Context
+from repro.nodes.numeric import (
+    ClipTransformer,
+    FeatureSelector,
+    InterceptAdder,
+    MinMaxScaler,
+)
+
+
+class TestMinMaxScaler:
+    def test_scales_to_unit_interval(self):
+        ctx = Context()
+        rng = np.random.default_rng(0)
+        rows = [rng.uniform(-5, 10, size=4) for _ in range(200)]
+        scaler = MinMaxScaler().fit(ctx.parallelize(rows, 4))
+        out = np.vstack([scaler.apply(r) for r in rows])
+        assert out.min() >= -1e-12
+        assert out.max() <= 1 + 1e-12
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_safe(self):
+        ctx = Context()
+        rows = [np.array([1.0, 5.0]), np.array([2.0, 5.0])]
+        scaler = MinMaxScaler().fit(ctx.parallelize(rows, 1))
+        out = scaler.apply(np.array([1.5, 5.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_empty_raises(self):
+        ctx = Context()
+        with pytest.raises(ValueError, match="empty"):
+            MinMaxScaler().fit(ctx.parallelize([], 1))
+
+
+class TestInterceptAdder:
+    def test_dense(self):
+        out = InterceptAdder().apply(np.array([2.0, 3.0]))
+        np.testing.assert_allclose(out, [2.0, 3.0, 1.0])
+
+    def test_sparse(self):
+        row = sp.csr_matrix(([5.0], ([0], [1])), shape=(1, 3))
+        out = InterceptAdder().apply(row)
+        assert sp.issparse(out)
+        np.testing.assert_allclose(out.toarray().ravel(), [0, 5, 0, 1])
+
+
+class TestFeatureSelector:
+    def test_dense_selection(self):
+        sel = FeatureSelector([2, 0])
+        np.testing.assert_allclose(sel.apply(np.array([10.0, 20.0, 30.0])),
+                                   [30.0, 10.0])
+
+    def test_sparse_selection(self):
+        row = sp.csr_matrix(np.array([[1.0, 2.0, 3.0]]))
+        out = FeatureSelector([1]).apply(row)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 2.0
+
+    def test_empty_indices(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FeatureSelector([])
+
+
+class TestClip:
+    def test_clips_both_ends(self):
+        out = ClipTransformer(-1, 1).apply(np.array([-5.0, 0.5, 5.0]))
+        np.testing.assert_allclose(out, [-1.0, 0.5, 1.0])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="lo"):
+            ClipTransformer(2, 1)

@@ -1,0 +1,162 @@
+"""Tests for numeric vector operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dataset import Context
+from repro.nodes.numeric import (
+    Cacher,
+    ClassLabelIndicator,
+    ColumnSampler,
+    Densify,
+    Flatten,
+    MaxClassifier,
+    Normalizer,
+    SignedPower,
+    Sparsify,
+    StandardScaler,
+    TopKClassifier,
+    VectorCombiner,
+)
+
+
+class TestConversions:
+    def test_densify(self):
+        row = sp.csr_matrix(([3.0], ([0], [1])), shape=(1, 4))
+        np.testing.assert_allclose(Densify().apply(row), [0, 3, 0, 0])
+
+    def test_sparsify_roundtrip(self):
+        vec = np.array([0.0, 1.0, 0.0, 2.0])
+        row = Sparsify().apply(vec)
+        assert sp.issparse(row)
+        np.testing.assert_allclose(Densify().apply(row), vec)
+
+    def test_flatten_matrix(self):
+        out = Flatten().apply(np.ones((2, 3)))
+        assert out.shape == (6,)
+
+    def test_flatten_sparse(self):
+        out = Flatten().apply(sp.csr_matrix((1, 5)))
+        assert out.shape == (5,)
+
+
+class TestNormalizer:
+    def test_unit_norm(self):
+        out = Normalizer().apply(np.array([3.0, 4.0]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_zero_vector_safe(self):
+        out = Normalizer().apply(np.zeros(3))
+        assert np.all(np.isfinite(out))
+
+    def test_matrix_rows_normalized(self):
+        mat = np.array([[3.0, 4.0], [6.0, 8.0]])
+        out = Normalizer().apply(mat)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), [1.0, 1.0])
+
+    def test_sparse_row(self):
+        row = sp.csr_matrix(np.array([[3.0, 4.0]]))
+        out = Normalizer().apply(row)
+        assert abs(np.sqrt(out.multiply(out).sum()) - 1.0) < 1e-6
+
+
+class TestSignedPower:
+    def test_preserves_sign(self):
+        out = SignedPower(0.5).apply(np.array([-4.0, 9.0]))
+        np.testing.assert_allclose(out, [-2.0, 3.0])
+
+    def test_identity_power(self):
+        vec = np.array([-1.5, 2.5])
+        np.testing.assert_allclose(SignedPower(1.0).apply(vec), vec)
+
+
+class TestStandardScaler:
+    def test_standardizes(self):
+        ctx = Context()
+        rng = np.random.default_rng(0)
+        rows = [rng.normal(5.0, 2.0, size=4) for _ in range(500)]
+        scaler = StandardScaler().fit(ctx.parallelize(rows, 4))
+        out = np.vstack([scaler.apply(r) for r in rows])
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-6)
+
+    def test_without_std(self):
+        ctx = Context()
+        rows = [np.array([1.0, 10.0]), np.array([3.0, 20.0])]
+        scaler = StandardScaler(with_std=False).fit(ctx.parallelize(rows, 1))
+        out = scaler.apply(np.array([2.0, 15.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0], atol=1e-9)
+
+
+class TestColumnSampler:
+    def test_subsamples_large_matrix(self):
+        sampler = ColumnSampler(10, seed=0)
+        out = sampler.apply(np.arange(200.0).reshape(50, 4))
+        assert out.shape == (10, 4)
+
+    def test_passes_small_matrix(self):
+        mat = np.ones((5, 4))
+        out = ColumnSampler(10).apply(mat)
+        assert out.shape == (5, 4)
+
+    def test_deterministic(self):
+        mat = np.arange(400.0).reshape(100, 4)
+        a = ColumnSampler(7, seed=3).apply(mat)
+        b = ColumnSampler(7, seed=3).apply(mat)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ColumnSampler(5).apply(np.ones(10))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            ColumnSampler(0)
+
+
+class TestLabels:
+    def test_indicator(self):
+        vec = ClassLabelIndicator(4).apply(2)
+        np.testing.assert_allclose(vec, [-1, -1, 1, -1])
+
+    def test_indicator_custom_negative(self):
+        vec = ClassLabelIndicator(3, negative=0.0).apply(0)
+        np.testing.assert_allclose(vec, [1, 0, 0])
+
+    def test_indicator_needs_multiclass(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            ClassLabelIndicator(1)
+
+    def test_max_classifier(self):
+        assert MaxClassifier().apply(np.array([0.1, 0.9, 0.5])) == 1
+
+    def test_max_classifier_sparse(self):
+        row = sp.csr_matrix(np.array([[0.0, 2.0, 1.0]]))
+        assert MaxClassifier().apply(row) == 1
+
+    def test_topk(self):
+        out = TopKClassifier(2).apply(np.array([0.1, 0.9, 0.5]))
+        assert out == [1, 2]
+
+    def test_topk_larger_than_dims(self):
+        out = TopKClassifier(10).apply(np.array([0.3, 0.1]))
+        assert out == [0, 1]
+
+    def test_topk_invalid(self):
+        with pytest.raises(ValueError, match="k must"):
+            TopKClassifier(0)
+
+
+class TestCombiners:
+    def test_vector_combiner(self):
+        out = VectorCombiner().apply([np.ones(2), np.zeros(3)])
+        np.testing.assert_allclose(out, [1, 1, 0, 0, 0])
+
+    def test_vector_combiner_with_sparse(self):
+        out = VectorCombiner().apply([sp.csr_matrix(np.ones((1, 2))),
+                                      np.zeros(2)])
+        assert out.shape == (4,)
+
+    def test_cacher_identity(self):
+        assert Cacher().apply("anything") == "anything"

@@ -1,0 +1,136 @@
+"""Tests for the four PCA implementations and their cost models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourceDescriptor, local_machine, \
+    r3_4xlarge
+from repro.core.stats import DataStats
+from repro.dataset import Context
+from repro.nodes.learning.pca import (
+    DistributedSVD,
+    DistributedTSVD,
+    LocalSVD,
+    LocalTSVD,
+    PCAEstimator,
+)
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=4)
+
+
+def _anisotropic_data(ctx, n=300, d=12, k_strong=3, seed=0):
+    """Data with k_strong dominant directions; returns (dataset, basis)."""
+    rng = np.random.default_rng(seed)
+    basis, _ = np.linalg.qr(rng.standard_normal((d, d)))
+    scales = np.ones(d) * 0.05
+    scales[:k_strong] = [10.0, 6.0, 3.0][:k_strong]
+    data = rng.standard_normal((n, d)) * scales @ basis.T
+    return ctx.parallelize(list(data), 4), basis[:, :k_strong]
+
+
+def _subspace_error(components, target_basis):
+    """Largest principal angle proxy between two subspaces (0 = equal)."""
+    q1, _ = np.linalg.qr(components)
+    q2, _ = np.linalg.qr(target_basis)
+    sigma = np.linalg.svd(q1.T @ q2, compute_uv=False)
+    return 1.0 - sigma.min()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("impl_cls", [LocalSVD, LocalTSVD,
+                                          DistributedSVD, DistributedTSVD])
+    def test_recovers_dominant_subspace(self, ctx, impl_cls):
+        data, basis = _anisotropic_data(ctx)
+        transformer = impl_cls(3).fit(data)
+        assert transformer.components.shape == (12, 3)
+        assert _subspace_error(transformer.components, basis) < 0.05
+
+    def test_implementations_agree_on_projection_energy(self, ctx):
+        data, _ = _anisotropic_data(ctx, seed=1)
+        dense = np.vstack(data.collect())
+        energies = []
+        for impl_cls in (LocalSVD, LocalTSVD, DistributedSVD,
+                         DistributedTSVD):
+            t = impl_cls(3).fit(data)
+            projected = (dense - t.mean) @ t.components
+            energies.append(np.sum(projected ** 2))
+        ref = energies[0]
+        for e in energies[1:]:
+            assert e == pytest.approx(ref, rel=0.02)
+
+    def test_transformer_applies_to_descriptor_matrix(self, ctx):
+        data, _ = _anisotropic_data(ctx)
+        t = LocalSVD(2).fit(data)
+        out = t.apply(np.vstack(data.take(5)))
+        assert out.shape == (5, 2)
+
+    def test_transformer_applies_to_vector(self, ctx):
+        data, _ = _anisotropic_data(ctx)
+        t = LocalSVD(2).fit(data)
+        assert t.apply(data.first()).shape == (2,)
+
+    def test_mean_centering(self, ctx):
+        rng = np.random.default_rng(2)
+        rows = list(rng.standard_normal((100, 5)) + 100.0)
+        t = LocalSVD(2).fit(ctx.parallelize(rows, 2))
+        projected = np.vstack([t.apply(r) for r in rows])
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_empty_input_raises(self, ctx):
+        with pytest.raises(ValueError, match="empty"):
+            LocalSVD(2).fit(ctx.parallelize([], 1))
+
+    def test_tsvd_deterministic_with_seed(self, ctx):
+        data, _ = _anisotropic_data(ctx)
+        a = LocalTSVD(3, seed=5).fit(data)
+        b = LocalTSVD(3, seed=5).fit(data)
+        np.testing.assert_allclose(a.components, b.components)
+
+
+class TestLogicalOperator:
+    def test_default_fit(self, ctx):
+        data, basis = _anisotropic_data(ctx)
+        t = PCAEstimator(3).fit(data)
+        assert _subspace_error(t.components, basis) < 0.05
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k must"):
+            PCAEstimator(0)
+
+    def test_unknown_default(self, ctx):
+        data, _ = _anisotropic_data(ctx)
+        with pytest.raises(ValueError, match="unknown default"):
+            PCAEstimator(2, default="quantum-svd").fit(data)
+
+    def test_options_count(self):
+        assert len(PCAEstimator(2).options()) == 4
+
+
+class TestSelection:
+    """Table 2's selection patterns."""
+
+    def _choice(self, n, d, k, res):
+        est = PCAEstimator(k)
+        return type(est.optimize(DataStats(n=n, d=d, k=1), res)).__name__
+
+    def test_small_data_small_k_local_approx(self):
+        choice = self._choice(10_000, 4096, 16, r3_4xlarge(16))
+        assert choice in ("LocalTSVD", "DistributedTSVD")
+
+    def test_small_data_exact_when_k_near_d(self):
+        choice = self._choice(10_000, 256, 200, r3_4xlarge(16))
+        assert "SVD" in choice and "TSVD" not in choice
+
+    def test_large_data_goes_distributed(self):
+        choice = self._choice(100_000_000, 4096, 16, r3_4xlarge(16))
+        assert choice.startswith("Distributed")
+
+    def test_local_infeasible_when_too_big(self):
+        from repro.nodes.learning.pca import LocalSVDCostModel
+
+        model = LocalSVDCostModel(LocalSVD(16))
+        stats = DataStats(n=1_000_000_000, d=4096)
+        assert not model.feasible(stats, r3_4xlarge(16))

@@ -1,0 +1,185 @@
+"""Tests for the Pipeline construction API and FittedPipeline semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import graph as g
+from repro.core.operators import (
+    Estimator,
+    FunctionTransformer,
+    LabelEstimator,
+    Transformer,
+)
+from repro.core.pipeline import FittedPipeline, Pipeline
+from repro.dataset import Context
+
+
+class AddConst(Transformer):
+    def __init__(self, c):
+        self.c = c
+
+    def apply(self, x):
+        return x + self.c
+
+
+class MeanShift(Estimator):
+    """Fit: learns the dataset mean; transformer subtracts it."""
+
+    def fit(self, data):
+        values = data.collect()
+        mean = sum(values) / len(values)
+        return AddConst(-mean)
+
+
+class OffsetToLabel(LabelEstimator):
+    """Fit: learns mean(label - value); transformer adds it."""
+
+    def fit(self, data, labels):
+        pairs = list(zip(data.collect(), labels.collect()))
+        offset = sum(l - d for d, l in pairs) / len(pairs)
+        return AddConst(offset)
+
+
+@pytest.fixture
+def ctx():
+    return Context(default_partitions=2)
+
+
+class TestChaining:
+    def test_transformer_chain(self, ctx):
+        pipe = AddConst(1).and_then(AddConst(10))
+        fitted = pipe.fit(level="none")
+        assert fitted.apply(0) == 11
+
+    def test_identity_pipeline(self, ctx):
+        fitted = Pipeline.identity().and_then(AddConst(5)).fit(level="none")
+        assert fitted.apply(1) == 6
+
+    def test_estimator_requires_data(self):
+        with pytest.raises(TypeError, match="requires a data"):
+            Pipeline.identity().and_then(MeanShift())
+
+    def test_label_estimator_requires_labels(self, ctx):
+        data = ctx.parallelize([1.0, 2.0])
+        with pytest.raises(TypeError, match="labels"):
+            Pipeline.identity().and_then(OffsetToLabel(), data)
+
+    def test_unsupervised_estimator_rejects_labels(self, ctx):
+        data = ctx.parallelize([1.0])
+        with pytest.raises(TypeError, match="unsupervised"):
+            Pipeline.identity().and_then(MeanShift(), data, data)
+
+    def test_transformer_rejects_data(self, ctx):
+        data = ctx.parallelize([1.0])
+        with pytest.raises(TypeError, match="not accepted"):
+            Pipeline.identity().and_then(AddConst(1), data)
+
+    def test_chain_unknown_type(self):
+        with pytest.raises(TypeError, match="cannot chain"):
+            Pipeline.identity().and_then(42)
+
+    def test_pipeline_splice(self, ctx):
+        first = Pipeline.identity().and_then(AddConst(1))
+        second = Pipeline.identity().and_then(AddConst(10))
+        fitted = first.and_then(second).fit(level="none")
+        assert fitted.apply(0) == 11
+
+
+class TestEstimatorSemantics:
+    def test_estimator_fits_on_prefix_of_data(self, ctx):
+        data = ctx.parallelize([0.0, 2.0, 4.0])  # prefix adds 1 -> mean 3
+        pipe = (Pipeline.identity()
+                .and_then(AddConst(1))
+                .and_then(MeanShift(), data))
+        fitted = pipe.fit(level="none")
+        # apply: (x + 1) - mean(data + 1) = x + 1 - 3
+        assert fitted.apply(10.0) == pytest.approx(8.0)
+
+    def test_label_estimator(self, ctx):
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        labels = ctx.parallelize([11.0, 12.0, 13.0])
+        pipe = Pipeline.identity().and_then(OffsetToLabel(), data, labels)
+        fitted = pipe.fit(level="none")
+        assert fitted.apply(5.0) == pytest.approx(15.0)
+
+    def test_downstream_estimator_sees_fitted_upstream(self, ctx):
+        data = ctx.parallelize([2.0, 4.0])
+        # First estimator centers (mean 3); second learns offset to labels.
+        labels = ctx.parallelize([100.0, 101.0])
+        pipe = (Pipeline.identity()
+                .and_then(MeanShift(), data)
+                .and_then(OffsetToLabel(), data, labels))
+        fitted = pipe.fit(level="none")
+        # centered data: [-1, 1]; offsets: [101, 100] -> mean 100.5
+        assert fitted.apply(3.0) == pytest.approx(100.5)
+
+    def test_and_then_trained_on(self, ctx):
+        data = ctx.parallelize([0.0, 10.0])
+        main = Pipeline.identity().and_then(AddConst(1))
+        train_prefix = main.and_then(AddConst(100))
+        pipe = main.and_then_trained_on(MeanShift(), train_prefix, data)
+        fitted = pipe.fit(level="none")
+        # Estimator trained on data+101 -> mean 106; main flow is x+1.
+        assert fitted.apply(0.0) == pytest.approx(1 - 106)
+
+    def test_and_then_trained_on_type_errors(self, ctx):
+        data = ctx.parallelize([1.0])
+        main = Pipeline.identity()
+        with pytest.raises(TypeError, match="requires labels"):
+            main.and_then_trained_on(OffsetToLabel(), main, data)
+        with pytest.raises(TypeError, match="expected an estimator"):
+            main.and_then_trained_on(AddConst(1), main, data)
+
+
+class TestGather:
+    def test_gather_collects_branches(self, ctx):
+        base = Pipeline.identity()
+        branches = [base.and_then(AddConst(1)), base.and_then(AddConst(2))]
+        fitted = Pipeline.gather(branches).fit(level="none")
+        assert fitted.apply(10) == [11, 12]
+
+    def test_gather_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one branch"):
+            Pipeline.gather([])
+
+    def test_gather_dataset_application(self, ctx):
+        base = Pipeline.identity()
+        branches = [base.and_then(AddConst(i)) for i in range(3)]
+        fitted = Pipeline.gather(branches).fit(level="none")
+        out = fitted.apply_dataset(ctx.parallelize([0, 10], 2)).collect()
+        assert out == [[0, 1, 2], [10, 11, 12]]
+
+
+class TestFittedPipeline:
+    def test_item_and_dataset_agree(self, ctx):
+        data = ctx.parallelize([1.0, 2.0, 3.0])
+        labels = ctx.parallelize([2.0, 4.0, 6.0])
+        pipe = (Pipeline.identity()
+                .and_then(AddConst(0.5))
+                .and_then(OffsetToLabel(), data, labels))
+        fitted = pipe.fit(level="none")
+        items = [0.0, 1.0, 5.0]
+        per_item = [fitted.apply(x) for x in items]
+        bulk = fitted.apply_dataset(ctx.parallelize(items, 2)).collect()
+        assert per_item == pytest.approx(bulk)
+
+    def test_fitted_pipeline_is_transformer(self, ctx):
+        fitted = Pipeline.identity().and_then(AddConst(3)).fit(level="none")
+        chained = fitted.and_then(AddConst(4)).fit(level="none")
+        assert chained.apply(0) == 7
+
+    def test_training_report_attached(self, ctx):
+        fitted = Pipeline.identity().and_then(AddConst(1)).fit(level="none")
+        assert fitted.training_report is not None
+        assert fitted.training_report.level == "none"
+
+    def test_unbound_source_raises_on_item_apply(self):
+        sink = g.source("not-input")
+        bad = FittedPipeline(g.pipeline_input(),
+                             g.OpNode(g.TRANSFORMER, AddConst(1), (sink,)))
+        with pytest.raises(ValueError, match="unbound source"):
+            bad.apply(1)
+
+    def test_repr(self):
+        pipe = Pipeline.identity().and_then(AddConst(1))
+        assert "Pipeline" in repr(pipe)

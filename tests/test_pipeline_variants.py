@@ -1,0 +1,96 @@
+"""Integration tests: alternative pipelines built from the extended
+operator library (TF-IDF text, HOG images) still train and predict well."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+from repro.evaluation import MulticlassMetrics, accuracy
+from repro.nodes.images import HOGExtractor
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.numeric import (
+    InterceptAdder,
+    MaxClassifier,
+    MinMaxScaler,
+    Normalizer,
+)
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    IDFEstimator,
+    LowerCase,
+    NGramsFeaturizer,
+    StopWordRemover,
+    SuffixStemmer,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.workloads import amazon_reviews, voc_images
+
+
+class TestTfidfTextPipeline:
+    def test_full_text_stack_beats_chance(self):
+        ctx = Context()
+        wl = amazon_reviews(400, 100, vocab_size=1000, seed=0)
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(LowerCase())
+                .and_then(Tokenizer())
+                .and_then(StopWordRemover())
+                .and_then(SuffixStemmer())
+                .and_then(NGramsFeaturizer(1, 2))
+                .and_then(TermFrequency())
+                .and_then(IDFEstimator(), data)
+                .and_then(CommonSparseFeatures(500), data)
+                .and_then(LinearSolver(lbfgs_iters=25), data, labels))
+        fitted = pipe.fit(sample_sizes=(30, 60))
+        preds = [MaxClassifier().apply(s) for s in
+                 fitted.apply_dataset(wl.test_data(ctx)).collect()]
+        assert accuracy(preds, wl.test_labels) > 0.75
+
+    def test_idf_and_common_features_share_prefix_via_cse(self):
+        """Two estimators bound to the same data merge their featurization."""
+        ctx = Context()
+        wl = amazon_reviews(200, 20, vocab_size=500, seed=1)
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(Tokenizer())
+                .and_then(TermFrequency())
+                .and_then(IDFEstimator(), data)
+                .and_then(CommonSparseFeatures(200), data)
+                .and_then(LinearSolver(lbfgs_iters=10), data, labels))
+        fitted = pipe.fit(level="pipe", sample_sizes=(20, 40))
+        assert fitted.training_report.cse_nodes_removed > 0
+
+
+class TestHogImagePipeline:
+    def test_hog_classifier_beats_chance(self):
+        ctx = Context()
+        wl = voc_images(80, 40, size=48, num_classes=4, noise=0.3, seed=0)
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(HOGExtractor(cell=8, bins=9))
+                .and_then(Normalizer())
+                .and_then(InterceptAdder())
+                .and_then(LinearSolver(), data, labels))
+        fitted = pipe.fit(sample_sizes=(10, 20))
+        scores = fitted.apply_dataset(wl.test_data(ctx)).collect()
+        metrics = MulticlassMetrics(scores, wl.test_labels, wl.num_classes)
+        assert metrics.accuracy > 0.5  # chance = 0.25
+        assert metrics.summary()["f1"] > 0.4
+
+    def test_minmax_scaler_inside_pipeline(self):
+        ctx = Context()
+        wl = voc_images(30, 10, size=48, num_classes=3, seed=1)
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(HOGExtractor(cell=8))
+                .and_then(MinMaxScaler(), data)
+                .and_then(LinearSolver(), data, labels))
+        fitted = pipe.fit(level="pipe", sample_sizes=(8, 16))
+        out = fitted.apply(wl.test_items[0])
+        assert np.asarray(out).shape == (3,)

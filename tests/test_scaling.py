@@ -1,0 +1,61 @@
+"""Tests for the Figure-12 stage models."""
+
+import pytest
+
+from repro.cluster.resources import r3_4xlarge
+from repro.scaling import (
+    PIPELINE_STAGES,
+    amazon_stages,
+    imagenet_stages,
+    pipeline_scaling,
+    timit_stages,
+)
+
+
+class TestStageBuilders:
+    @pytest.mark.parametrize("builder", [amazon_stages, timit_stages,
+                                         imagenet_stages])
+    def test_stage_categories(self, builder):
+        stages = builder()
+        categories = {s.category for s in stages}
+        assert {"Loading", "Featurization", "Model Solve",
+                "Model Eval"} <= categories
+
+    def test_profiles_shrink_with_workers(self):
+        for stage in imagenet_stages():
+            p8 = stage.profile_fn(8)
+            p64 = stage.profile_fn(64)
+            assert p64.flops <= p8.flops
+            assert p64.bytes <= p8.bytes
+
+    def test_solve_network_grows_with_workers(self):
+        solve = [s for s in timit_stages() if s.category == "Model Solve"][0]
+        assert solve.profile_fn(128).network > solve.profile_fn(8).network
+
+
+class TestPipelineScaling:
+    def test_unknown_pipeline(self):
+        with pytest.raises(ValueError, match="unknown pipeline"):
+            pipeline_scaling("mnist", [8])
+
+    def test_registry_complete(self):
+        assert set(PIPELINE_STAGES) == {"amazon", "timit", "imagenet"}
+
+    def test_totals_monotone(self):
+        for name in PIPELINE_STAGES:
+            result = pipeline_scaling(name, [8, 16, 32, 64, 128])
+            totals = [sum(result[w].values()) for w in (8, 16, 32, 64, 128)]
+            assert all(a > b for a, b in zip(totals, totals[1:])), name
+
+    def test_dominant_stages_match_paper(self):
+        amazon = pipeline_scaling("amazon", [8])[8]
+        timit = pipeline_scaling("timit", [8])[8]
+        imagenet = pipeline_scaling("imagenet", [8])[8]
+        assert amazon["Featurization"] > amazon["Model Solve"]
+        assert timit["Model Solve"] > timit["Featurization"]
+        assert imagenet["Featurization"] > imagenet["Model Solve"]
+
+    def test_custom_resources(self):
+        fast = r3_4xlarge()
+        result = pipeline_scaling("amazon", [8], base=fast)
+        assert sum(result[8].values()) > 0

@@ -1,0 +1,50 @@
+"""Tests for byte-size estimation of cached objects."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dataset.sizing import estimate_size
+
+
+class TestEstimateSize:
+    def test_numpy_exact(self):
+        arr = np.zeros((100, 10))
+        assert estimate_size(arr) == arr.nbytes
+
+    def test_sparse_counts_arrays(self):
+        m = sp.random(100, 1000, density=0.01, format="csr")
+        est = estimate_size(m)
+        expected = m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        assert est == expected
+
+    def test_sparse_much_smaller_than_dense(self):
+        m = sp.random(100, 10_000, density=0.001, format="csr")
+        assert estimate_size(m) < estimate_size(m.toarray()) / 50
+
+    def test_none_is_zero(self):
+        assert estimate_size(None) == 0
+
+    def test_string(self):
+        assert estimate_size("hello") > 5
+
+    def test_list_of_arrays(self):
+        rows = [np.zeros(100) for _ in range(10)]
+        est = estimate_size(rows)
+        assert est >= 10 * 800
+
+    def test_long_list_sampling_close_to_exact(self):
+        rows = [np.zeros(50) for _ in range(10_000)]
+        est = estimate_size(rows)
+        exact = 10_000 * 400
+        assert 0.8 * exact < est < 1.5 * exact
+
+    def test_dict(self):
+        d = {"a": np.zeros(100), "b": np.zeros(100)}
+        assert estimate_size(d) >= 1600
+
+    def test_nested_tuple(self):
+        item = (np.zeros(10), "text", 3)
+        assert estimate_size(item) >= 80
+
+    def test_empty_list(self):
+        assert estimate_size([]) > 0

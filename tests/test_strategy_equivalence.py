@@ -1,0 +1,97 @@
+"""Caching and optimization must never change pipeline *results*.
+
+The paper's optimizations rely on operators being deterministic and
+side-effect free; these integration tests verify the invariant the whole
+design rests on: any combination of optimization level, caching strategy,
+memory budget, and fusion yields the same fitted pipeline outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset import Context
+from repro.pipelines import amazon_pipeline, timit_pipeline, voc_pipeline
+from repro.workloads import amazon_reviews, timit_frames, voc_images
+
+
+def _scores(fitted, wl):
+    ctx = Context()
+    return [np.asarray(s, dtype=float).ravel()
+            for s in fitted.apply_dataset(wl.test_data(ctx)).take(20)]
+
+
+class TestAmazonInvariance:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        wl = amazon_reviews(300, 40, vocab_size=800, seed=3)
+
+        def build():
+            ctx = Context()
+            return amazon_pipeline(ctx, wl, num_features=300,
+                                   lbfgs_iters=15)
+
+        reference = _scores(build().fit(level="none"), wl)
+        return wl, build, reference
+
+    @pytest.mark.parametrize("strategy", ["greedy", "lru", "rule"])
+    def test_strategies_equal_results(self, setup, strategy):
+        wl, build, reference = setup
+        fitted = build().fit(level="pipe", sample_sizes=(20, 40),
+                             cache_strategy=strategy,
+                             mem_budget_bytes=5e6)
+        for a, b in zip(reference, _scores(fitted, wl)):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_fusion_equal_results(self, setup):
+        wl, build, reference = setup
+        fitted = build().fit(level="pipe", sample_sizes=(20, 40),
+                             fuse=True)
+        for a, b in zip(reference, _scores(fitted, wl)):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_tiny_budget_equal_results(self, setup):
+        wl, build, reference = setup
+        fitted = build().fit(level="pipe", sample_sizes=(20, 40),
+                             mem_budget_bytes=0)
+        for a, b in zip(reference, _scores(fitted, wl)):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestTimitInvariance:
+    def test_levels_equal_results(self):
+        wl = timit_frames(200, 30, dim=32, num_classes=5, seed=1)
+
+        def build():
+            ctx = Context()
+            return timit_pipeline(ctx, wl, num_feature_blocks=2,
+                                  block_size=32, gamma=0.05)
+
+        # "none" runs default L-BFGS; "pipe" same solver with caching —
+        # identical math, so identical scores.
+        ref = _scores(build().fit(level="none"), wl)
+        cached = _scores(build().fit(level="pipe", sample_sizes=(20, 40)),
+                         wl)
+        for a, b in zip(ref, cached):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+
+class TestVocInvariance:
+    def test_caching_strategies_equal_results(self):
+        wl = voc_images(30, 10, size=48, num_classes=3, seed=2)
+
+        def build():
+            ctx = Context()
+            return voc_pipeline(ctx, wl, pca_dims=8, gmm_components=3,
+                                sampled_descriptors=60)
+
+        ref = None
+        for strategy in ("greedy", "lru", "rule"):
+            fitted = build().fit(level="pipe", sample_sizes=(8, 16),
+                                 cache_strategy=strategy,
+                                 mem_budget_bytes=1e8)
+            scores = _scores(fitted, wl)
+            if ref is None:
+                ref = scores
+            else:
+                for a, b in zip(ref, scores):
+                    np.testing.assert_allclose(a, b, atol=1e-7)

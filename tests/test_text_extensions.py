@@ -1,0 +1,81 @@
+"""Tests for stop words, stemming, and TF-IDF."""
+
+import pytest
+
+from repro.dataset import Context
+from repro.nodes.text import (
+    IDFEstimator,
+    IDFTransformer,
+    StopWordRemover,
+    SuffixStemmer,
+    TermFrequency,
+    Tokenizer,
+)
+
+
+class TestStopWords:
+    def test_removes_common_words(self):
+        out = StopWordRemover().apply(["the", "great", "product", "is",
+                                       "good"])
+        assert out == ["great", "product", "good"]
+
+    def test_case_insensitive(self):
+        assert StopWordRemover().apply(["The", "THE"]) == []
+
+    def test_extra_words(self):
+        remover = StopWordRemover(extra_words=["product"])
+        assert remover.apply(["product", "good"]) == ["good"]
+
+    def test_empty_input(self):
+        assert StopWordRemover().apply([]) == []
+
+
+class TestStemmer:
+    def test_strips_suffixes(self):
+        stemmer = SuffixStemmer()
+        assert stemmer.apply(["loved", "loving", "loves"]) == \
+            ["lov", "lov", "lov"]
+
+    def test_respects_min_stem(self):
+        # "red" would become "r" with min_stem=1; default 3 keeps it.
+        assert SuffixStemmer().apply(["red"]) == ["red"]
+
+    def test_only_longest_suffix_stripped_once(self):
+        out = SuffixStemmer().apply(["nationalization"])
+        assert out == ["national"]  # "ization" stripped, nothing further
+
+    def test_unsuffixed_unchanged(self):
+        assert SuffixStemmer().apply(["cat", "dog"]) == ["cat", "dog"]
+
+
+class TestIDF:
+    def _fit(self, docs):
+        ctx = Context()
+        tokens = [TermFrequency().apply(Tokenizer().apply(d)) for d in docs]
+        return IDFEstimator().fit(ctx.parallelize(tokens, 2)), tokens
+
+    def test_rare_terms_upweighted(self):
+        docs = ["common common rare"] + ["common"] * 9
+        idf, tokens = self._fit(docs)
+        out = idf.apply({"common": 1.0, "rare": 1.0})
+        assert out["rare"] > out["common"]
+
+    def test_unseen_term_gets_max_weight(self):
+        idf, _ = self._fit(["a b", "a c"])
+        out = idf.apply({"zzz": 1.0, "a": 1.0})
+        assert out["zzz"] > out["a"]
+
+    def test_weights_positive(self):
+        idf, tokens = self._fit(["x y z", "x y", "x"])
+        out = idf.apply(tokens[0])
+        assert all(v > 0 for v in out.values())
+
+    def test_document_count_correct_across_partitions(self):
+        """Regression: the aggregate zero must not be shared-mutated."""
+        ctx = Context()
+        tokens = [{"a": 1.0}] * 10
+        idf = IDFEstimator().fit(ctx.parallelize(tokens, 5))
+        import math
+
+        # df(a) = 10, N = 10 -> idf = log(11/11) + 1 = 1.
+        assert idf.apply({"a": 2.0})["a"] == pytest.approx(2.0)

@@ -1,0 +1,131 @@
+"""Tests for the text featurization operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dataset import Context
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    HashingTF,
+    LowerCase,
+    NGramsFeaturizer,
+    SparseFeatureVectorizer,
+    TermFrequency,
+    Tokenizer,
+    Trim,
+)
+
+
+class TestBasicTransforms:
+    def test_trim(self):
+        assert Trim().apply("  hello \n") == "hello"
+
+    def test_lowercase(self):
+        assert LowerCase().apply("HeLLo") == "hello"
+
+    def test_tokenizer_splits_punctuation(self):
+        assert Tokenizer().apply("Hello, world! 42") == \
+            ["Hello", "world", "42"]
+
+    def test_tokenizer_keeps_apostrophes(self):
+        assert Tokenizer().apply("don't stop") == ["don't", "stop"]
+
+    def test_tokenizer_empty(self):
+        assert Tokenizer().apply("...") == []
+
+
+class TestNGrams:
+    def test_unigrams_and_bigrams(self):
+        out = NGramsFeaturizer(1, 2).apply(["a", "b", "c"])
+        assert out == ["a", "b", "c", "a b", "b c"]
+
+    def test_bigrams_only(self):
+        assert NGramsFeaturizer(2, 2).apply(["a", "b", "c"]) == ["a b", "b c"]
+
+    def test_short_input(self):
+        assert NGramsFeaturizer(1, 3).apply(["x"]) == ["x"]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            NGramsFeaturizer(3, 2)
+
+
+class TestTermFrequency:
+    def test_counts(self):
+        tf = TermFrequency()
+        assert tf.apply(["a", "b", "a"]) == {"a": 2.0, "b": 1.0}
+
+    def test_binary_weighting(self):
+        tf = TermFrequency(lambda c: 1.0)
+        assert tf.apply(["a", "a", "a"]) == {"a": 1.0}
+
+
+class TestCommonSparseFeatures:
+    def _corpus(self, ctx):
+        docs = [{"common": 1.0, f"rare{i}": 1.0} for i in range(20)]
+        return ctx.parallelize(docs, 4)
+
+    def test_selects_most_frequent(self):
+        ctx = Context()
+        vec = CommonSparseFeatures(1).fit(self._corpus(ctx))
+        assert list(vec.vocabulary) == ["common"]
+
+    def test_vector_shape_and_content(self):
+        ctx = Context()
+        vec = CommonSparseFeatures(5).fit(self._corpus(ctx))
+        row = vec.apply({"common": 2.0, "unknown": 1.0})
+        assert row.shape == (1, 5)
+        assert row[0, vec.vocabulary["common"]] == 2.0
+        assert row.nnz == 1
+
+    def test_oov_terms_dropped(self):
+        vec = SparseFeatureVectorizer({"a": 0})
+        row = vec.apply({"zzz": 5.0})
+        assert row.nnz == 0
+
+    def test_invalid_num_features(self):
+        with pytest.raises(ValueError, match="num_features"):
+            CommonSparseFeatures(0)
+
+    def test_deterministic_vocabulary_size(self):
+        ctx = Context()
+        vec = CommonSparseFeatures(3).fit(self._corpus(ctx))
+        assert len(vec.vocabulary) == 3
+
+
+class TestHashingTF:
+    def test_shape(self):
+        row = HashingTF(64).apply({"a": 1.0, "b": 2.0})
+        assert row.shape == (1, 64)
+        assert row.sum() == pytest.approx(3.0)
+
+    def test_collision_accumulates(self):
+        tf = HashingTF(1)  # everything collides
+        row = tf.apply({"a": 1.0, "b": 2.0})
+        assert row[0, 0] == pytest.approx(3.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="num_features"):
+            HashingTF(0)
+
+
+class TestPipelineIntegration:
+    def test_text_chain_produces_sparse_rows(self):
+        ctx = Context()
+        docs = ["Great product, love it", "terrible waste of money",
+                "great great great"] * 5
+        data = ctx.parallelize(docs, 2)
+        from repro.core.pipeline import Pipeline
+
+        pipe = (Pipeline.identity()
+                .and_then(Trim()).and_then(LowerCase())
+                .and_then(Tokenizer())
+                .and_then(NGramsFeaturizer(1, 2))
+                .and_then(TermFrequency())
+                .and_then(CommonSparseFeatures(10), data))
+        fitted = pipe.fit(level="none")
+        row = fitted.apply("great product")
+        assert sp.issparse(row)
+        assert row.shape == (1, 10)
+        assert row.nnz > 0

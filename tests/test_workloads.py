@@ -1,0 +1,131 @@
+"""Tests for the synthetic workload generators and the Table-3 registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dataset import Context
+from repro.workloads import (
+    PAPER_DATASETS,
+    Workload,
+    amazon_reviews,
+    cifar10_images,
+    dense_vectors,
+    imagenet_images,
+    measured_characteristics,
+    sparse_vectors,
+    timit_frames,
+    voc_images,
+    youtube8m,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [
+        lambda: amazon_reviews(100, 20),
+        lambda: timit_frames(100, 20, dim=32, num_classes=5),
+        lambda: voc_images(10, 5, size=32, num_classes=3),
+        lambda: imagenet_images(10, 5, size=32, num_classes=3),
+        lambda: cifar10_images(10, 5, num_classes=3),
+        lambda: dense_vectors(100, 20, dim=16),
+        lambda: sparse_vectors(100, 20, dim=200),
+        lambda: youtube8m(100, 20, dim=32, num_classes=5),
+    ])
+    def test_sizes_and_label_ranges(self, gen):
+        wl = gen()
+        assert wl.num_train == 100 or wl.num_train == 10
+        assert len(wl.train_labels) == wl.num_train
+        assert len(wl.test_labels) == wl.num_test
+        assert all(0 <= y < wl.num_classes for y in wl.train_labels)
+
+    def test_amazon_documents_are_text(self):
+        wl = amazon_reviews(20, 5)
+        assert all(isinstance(d, str) and d for d in wl.train_items)
+
+    def test_amazon_deterministic(self):
+        a = amazon_reviews(30, 5, seed=42)
+        b = amazon_reviews(30, 5, seed=42)
+        assert a.train_items == b.train_items
+        assert a.train_labels == b.train_labels
+
+    def test_amazon_seeds_differ(self):
+        a = amazon_reviews(30, 5, seed=1)
+        b = amazon_reviews(30, 5, seed=2)
+        assert a.train_items != b.train_items
+
+    def test_timit_dims(self):
+        wl = timit_frames(50, 10, dim=440, num_classes=20)
+        assert wl.train_items[0].shape == (440,)
+
+    def test_images_in_unit_range(self):
+        wl = voc_images(5, 2, size=32)
+        img = wl.train_items[0]
+        assert img.shape == (32, 32, 3)
+        assert img.min() >= 0 and img.max() <= 1.0
+
+    def test_sparse_rows_sparse(self):
+        wl = sparse_vectors(50, 10, dim=1000, nnz_per_row=15)
+        row = wl.train_items[0]
+        assert sp.issparse(row)
+        assert row.nnz < 50
+
+    def test_class_signal_learnable(self):
+        """Linear separation on dense vectors beats chance by a margin."""
+        from repro.nodes.learning.linear import LocalQRSolver
+        from repro.nodes.numeric import MaxClassifier
+
+        ctx = Context()
+        wl = dense_vectors(400, 100, dim=20, class_separation=2.0, seed=0)
+        model = LocalQRSolver().fit(wl.train_data(ctx),
+                                    wl.train_label_vectors(ctx))
+        preds = [MaxClassifier().apply(model.apply(x))
+                 for x in wl.test_items]
+        acc = np.mean([p == y for p, y in zip(preds, wl.test_labels)])
+        assert acc > 0.8
+
+
+class TestWorkloadContainer:
+    def test_train_data_roundtrip(self):
+        ctx = Context()
+        wl = dense_vectors(40, 10, dim=4)
+        assert wl.train_data(ctx, 4).count() == 40
+
+    def test_label_vectors_one_hot(self):
+        ctx = Context()
+        wl = dense_vectors(10, 2, dim=4, num_classes=3)
+        vec = wl.train_label_vectors(ctx).first()
+        assert vec.shape == (3,)
+        assert np.sum(vec == 1.0) == 1
+        assert np.sum(vec == -1.0) == 2
+
+
+class TestRegistry:
+    def test_paper_rows_present(self):
+        assert set(PAPER_DATASETS) == {"amazon", "timit", "imagenet",
+                                       "voc", "cifar10", "youtube8m"}
+
+    def test_paper_amazon_row(self):
+        row = PAPER_DATASETS["amazon"]
+        assert row.num_train == 65_000_000
+        assert row.solve_features == 100_000
+
+    def test_measured_characteristics(self):
+        wl = dense_vectors(100, 20, dim=64)
+        row = measured_characteristics(wl)
+        assert row.num_train == 100
+        assert row.solve_features == 64
+        assert row.solve_density == 1.0
+        assert row.train_size_gb > 0
+
+    def test_measured_sparse(self):
+        wl = sparse_vectors(100, 20, dim=1000, nnz_per_row=10)
+        row = measured_characteristics(wl)
+        assert row.solve_density < 0.05
+
+    def test_explicit_solve_shape(self):
+        wl = amazon_reviews(50, 10)
+        row = measured_characteristics(wl, solve_features=100_000,
+                                       solve_density=0.001)
+        assert row.solve_features == 100_000
+        assert row.solve_size_gb == pytest.approx(
+            50 * 100_000 * 8 * 0.001 / 1e9)
