@@ -11,11 +11,17 @@ import time
 import numpy as np
 import pytest
 
+from repro.core import passes_for_level
 from repro.dataset import Context
 from repro.pipelines import amazon_pipeline
 from repro.workloads import amazon_reviews
 
 from _common import fmt_row, once, report
+
+
+def _passes(fuse):
+    """The level="pipe" stack, with fusion as an explicit pass."""
+    return passes_for_level("pipe", sample_sizes=(30, 60), fuse=fuse)
 
 
 def test_ablation_fusion(benchmark):
@@ -28,8 +34,7 @@ def test_ablation_fusion(benchmark):
             pipe = amazon_pipeline(ctx, wl, num_features=600,
                                    lbfgs_iters=20)
             start = time.perf_counter()
-            fitted = pipe.fit(level="pipe", sample_sizes=(30, 60),
-                              fuse=fuse)
+            fitted = pipe.fit(level="pipe", passes=_passes(fuse))
             elapsed = time.perf_counter() - start
             test_ctx = Context()
             sample_scores = fitted.apply_dataset(

@@ -44,7 +44,10 @@ def main():
           "automatic materialization)...")
     model = text_classifier.fit(sample_sizes=(100, 200))
 
+    # fit() is a shim over the composable pass pipeline; see
+    # examples/plan_inspection.py for optimize -> explain -> execute.
     report = model.training_report
+    print(f"  optimizer passes: {report.passes}")
     print(f"  solver selected : {list(report.selections.values())}")
     print(f"  CSE merged nodes: {report.cse_nodes_removed}")
     print(f"  cached outputs  : {report.cache_set_labels}")

@@ -6,9 +6,14 @@ high-level logical operators and optimizes them at two levels: per-operator
 sub-expression elimination and automatic materialization of reused
 intermediates under a memory budget).
 
+The optimizer is a composable pass pipeline.  ``Optimizer.optimize``
+returns a ``PhysicalPlan`` you can inspect — which sub-expressions merged,
+which physical operators were selected, what gets cached, the modelled
+runtime — before any training runs:
+
 Quickstart::
 
-    from repro import Context, Pipeline
+    from repro import Context, Optimizer, Pipeline
     from repro.nodes.text import LowerCase, Tokenizer, NGramsFeaturizer, \
         TermFrequency, CommonSparseFeatures
     from repro.nodes.learning import LinearSolver
@@ -22,32 +27,62 @@ Quickstart::
             .and_then(TermFrequency())
             .and_then(CommonSparseFeatures(10_000), data)
             .and_then(LinearSolver(), data, labels))
-    model = pipe.fit()
+
+    plan = Optimizer().optimize(pipe)       # full optimization stack
+    print(plan.explain())                   # passes, selections, cache set
+    model = plan.execute()
     predictions = model.apply_dataset(ctx.parallelize(test_texts))
+
+Custom pass lists plug in without touching core modules::
+
+    from repro import CSEPass, MaterializationPass, OperatorSelectionPass
+
+    opt = Optimizer([CSEPass(), MyRewritePass(),
+                     OperatorSelectionPass((128, 256)),
+                     MaterializationPass(mem_budget_bytes=2e9)])
+
+The classic one-call path still works: ``model = pipe.fit()`` (optionally
+``level="none" | "pipe" | "full"``) is a shim over the same passes.
 """
 
 from repro.cluster import ResourceDescriptor
 from repro.core import (
+    CSEPass,
     Estimator,
     FittedPipeline,
+    FusionPass,
     LabelEstimator,
+    MaterializationPass,
+    OperatorSelectionPass,
+    Optimizer,
+    Pass,
+    PhysicalPlan,
     Pipeline,
+    ProfilingPass,
     Transformer,
 )
 from repro.cost import CostModel, CostProfile
 from repro.dataset import Context, Dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Context",
     "CostModel",
     "CostProfile",
+    "CSEPass",
     "Dataset",
     "Estimator",
     "FittedPipeline",
+    "FusionPass",
     "LabelEstimator",
+    "MaterializationPass",
+    "OperatorSelectionPass",
+    "Optimizer",
+    "Pass",
+    "PhysicalPlan",
     "Pipeline",
+    "ProfilingPass",
     "ResourceDescriptor",
     "Transformer",
     "__version__",

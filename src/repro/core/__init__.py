@@ -1,4 +1,12 @@
-"""KeystoneML's core: pipeline API, DAG, and the two-level optimizer."""
+"""KeystoneML's core: pipeline API, DAG, and the two-level optimizer.
+
+The optimizer is a composable pass pipeline: an
+:class:`~repro.core.optimizer.Optimizer` runs an ordered registry of
+:class:`~repro.core.passes.Pass` objects and returns an inspectable
+:class:`~repro.core.plan.PhysicalPlan` (``explain`` / ``to_dot`` /
+``execute``).  ``Pipeline.fit(level=...)`` remains the one-call shim over
+the same machinery.
+"""
 
 from repro.core.operators import (
     Estimator,
@@ -18,22 +26,44 @@ from repro.core.executor import (
     TrainingReport,
     fit_pipeline,
 )
+from repro.core.plan import PassDecision, PhysicalPlan, PlanState
+from repro.core.passes import (
+    CSEPass,
+    FusionPass,
+    MaterializationPass,
+    OperatorSelectionPass,
+    Pass,
+    ProfilingPass,
+)
+from repro.core.optimizer import Optimizer, default_passes, passes_for_level
 
 __all__ = [
+    "CSEPass",
     "DataStats",
     "Estimator",
     "FittedPipeline",
     "FunctionTransformer",
+    "FusionPass",
     "IdentityTransformer",
     "Iterative",
     "LabelEstimator",
     "LEVEL_FULL",
     "LEVEL_NONE",
     "LEVEL_PIPE",
+    "MaterializationPass",
+    "OperatorSelectionPass",
     "Optimizable",
+    "Optimizer",
+    "Pass",
+    "PassDecision",
+    "PhysicalPlan",
     "Pipeline",
+    "PlanState",
+    "ProfilingPass",
     "TrainingReport",
     "Transformer",
+    "default_passes",
     "fit_pipeline",
+    "passes_for_level",
     "stats_from_rows",
 ]

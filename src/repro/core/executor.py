@@ -1,20 +1,23 @@
-"""Pipeline fitting: optimize, train, and report (paper Figure 1, stages 2-4).
+"""Pipeline fitting shim and training reports (paper Figure 1, stages 2-4).
 
-``fit_pipeline`` is the single entry point behind
-:meth:`repro.core.pipeline.Pipeline.fit`.  It:
+The optimization/execution machinery lives in the pass pipeline:
+:mod:`repro.core.optimizer` runs an ordered registry of
+:mod:`repro.core.passes` over a :class:`~repro.core.plan.PlanState` and
+returns a :class:`~repro.core.plan.PhysicalPlan`, whose ``execute`` trains
+the DAG.  This module keeps the classic single-call entry point —
+``fit_pipeline`` behind :meth:`repro.core.pipeline.Pipeline.fit` — as a
+thin shim that builds the pass list for one of the paper's Figure 9
+optimization levels (``"none"``, ``"pipe"``, ``"full"``), optimizes, and
+executes::
 
-1. applies whole-pipeline rewrites (common sub-expression elimination),
-2. profiles the DAG on data samples, selecting physical operators for
-   ``Optimizable`` nodes (operator-level optimization),
-3. chooses a materialization (cache) set under the memory budget,
-4. executes the training DAG depth-first — estimators are pipeline
-   breakers — with the chosen caching policy, and
-5. returns a :class:`~repro.core.pipeline.FittedPipeline` plus a
-   :class:`TrainingReport` with per-node timings and optimizer decisions.
+    fit_pipeline(pipe, level="full")
+    # ==
+    plan = Optimizer(passes_for_level("full")).optimize(pipe)
+    plan.execute()
 
-Optimization levels reproduce the paper's Figure 9 configurations:
-``"none"`` (no optimization), ``"pipe"`` (whole-pipeline only) and
-``"full"`` (operator + whole-pipeline).
+It also hosts :class:`TrainingReport` (what happened during fit) and
+:class:`ExclusiveTimer` (per-node wall time attribution), which the plan
+executor fills in.
 """
 
 from __future__ import annotations
@@ -22,17 +25,11 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cluster.resources import ResourceDescriptor, local_machine
-from repro.core import graph as g
-from repro.core import materialization as mat
-from repro.core.cse import eliminate_common_subexpressions
-from repro.core.operators import Optimizable, Transformer
-from repro.core.profiler import PipelineProfile, profile_pipeline
-from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
+from repro.cluster.resources import ResourceDescriptor
+from repro.core.profiler import PipelineProfile
 from repro.dataset.context import Context
-from repro.dataset.dataset import Dataset
 
 LEVEL_NONE = "none"
 LEVEL_PIPE = "pipe"
@@ -94,6 +91,7 @@ class TrainingReport:
     optimize_seconds: float = 0.0
     execute_seconds: float = 0.0
     cse_nodes_removed: int = 0
+    fused_nodes_removed: int = 0
     cache_set: Set[int] = field(default_factory=set)
     cache_set_labels: List[str] = field(default_factory=list)
     selections: Dict[int, str] = field(default_factory=dict)
@@ -102,6 +100,8 @@ class TrainingReport:
     node_labels: Dict[int, str] = field(default_factory=dict)
     estimator_seconds: Dict[int, float] = field(default_factory=dict)
     recomputations: int = 0
+    #: names of the optimizer passes applied, in order
+    passes: List[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -123,176 +123,56 @@ class TrainingReport:
 
 
 def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
-                 level: str = LEVEL_FULL,
-                 mem_budget_bytes: float = float("inf"),
-                 sample_sizes: Tuple[int, int] = (256, 512),
+                 level: Optional[str] = None,
+                 mem_budget_bytes: Optional[float] = None,
+                 sample_sizes: Optional[Tuple[int, int]] = None,
                  cache_strategy: Optional[str] = None,
                  ctx: Optional[Context] = None,
-                 fuse: bool = False):
+                 fuse: Optional[bool] = None,
+                 passes: Optional[Sequence] = None):
     """Optimize and train a pipeline; returns a FittedPipeline.
 
     ``level`` is one of ``"none" | "pipe" | "full"``.  ``cache_strategy``
     overrides the materialization strategy (default: greedy for optimized
     levels, none otherwise); see :mod:`repro.core.materialization`.
     ``fuse`` additionally packs single-consumer transformer chains into
-    one stage (:mod:`repro.core.fusion`) before profiling.
-    """
-    from repro.core.pipeline import FittedPipeline, Pipeline
+    one stage (:mod:`repro.core.fusion`) before profiling — it is part of
+    the optimizer, so it is ignored at ``level="none"``.
 
-    if level not in LEVELS:
+    ``passes`` bypasses the level shim entirely: an explicit pass list is
+    handed to the :class:`~repro.core.optimizer.Optimizer` as-is (the
+    other optimization kwargs then only apply if the listed passes carry
+    them, e.g. the budget inside a ``MaterializationPass``), and the plan
+    is labelled ``"custom"`` unless a ``level`` is also named.
+    """
+    from repro.core.optimizer import Optimizer, passes_for_level
+
+    if level is not None and level not in LEVELS:
         raise ValueError(f"unknown optimization level {level!r}; "
                          f"expected one of {LEVELS}")
-    resources = resources or local_machine()
-    report = TrainingReport(level=level)
-
-    sink = pipeline.sink
-    input_node = pipeline.input_node
-    opt_start = time.perf_counter()
-
-    # -- whole-pipeline rewrite: CSE -----------------------------------
-    if level in (LEVEL_PIPE, LEVEL_FULL):
-        before = len(g.ancestors([sink]))
-        sink = eliminate_common_subexpressions([sink])[0]
-        report.cse_nodes_removed = before - len(g.ancestors([sink]))
-    if fuse:
-        from repro.core.fusion import fuse_transformer_chains
-
-        sink = fuse_transformer_chains([sink])[0]
-    g.validate_dag([sink])
-
-    # -- profiling + operator selection --------------------------------
-    profile: Optional[PipelineProfile] = None
-    if level != LEVEL_NONE:
-        profile = profile_pipeline([sink], resources,
-                                   sample_sizes=sample_sizes,
-                                   select_operators=(level == LEVEL_FULL))
-        report.profile = profile
-        report.selections = dict(profile.selections)
-
-    # -- materialization -------------------------------------------------
-    strategy = cache_strategy
-    if strategy is None:
-        strategy = mat.GREEDY if level != LEVEL_NONE else mat.NONE
-    use_lru = False
-    cache_ids: Set[int] = set()
-    if strategy != mat.NONE and profile is not None:
-        problem = mat.MaterializationProblem([sink], profile)
-        cache_ids, use_lru = mat.choose_cache_set(strategy, problem,
-                                                  mem_budget_bytes)
-    elif strategy in (mat.LRU, mat.ALL):
-        # Unprofiled LRU: mark everything cacheable, let the cache decide.
-        cache_ids = {n.id for n in g.ancestors([sink])
-                     if n.kind not in (g.ESTIMATOR,)
-                     and not n.is_pipeline_input}
-        use_lru = True
-    report.cache_set = set(cache_ids)
-    node_by_id = {n.id: n for n in g.ancestors([sink])}
-    report.cache_set_labels = sorted(
-        node_by_id[i].label for i in cache_ids if i in node_by_id)
-    report.optimize_seconds = time.perf_counter() - opt_start
-
-    # -- execution --------------------------------------------------------
-    exec_start = time.perf_counter()
-    if ctx is None:
-        ctx = Context(cache_budget_bytes=mem_budget_bytes)
-    if use_lru:
-        ctx.set_policy(AdmissionControlledLRUPolicy(), mem_budget_bytes)
-    else:
-        pinned = PinnedPolicy(set())
-        ctx.set_policy(pinned, mem_budget_bytes)
-
-    timer = ExclusiveTimer()
-    env: Dict[int, Any] = {}
-    fitted: Dict[int, Transformer] = {}
-
-    def dataset_of(node: g.OpNode) -> Dataset:
-        if node.id in env:
-            return env[node.id]
-        if node.kind == g.SOURCE:
-            if node.is_pipeline_input:
-                raise ValueError("training execution reached the pipeline "
-                                 "input placeholder; estimator training "
-                                 "data must be bound via and_then(est, data)")
-            ds = node.op
-            if ds.ctx is not ctx:
-                # Re-root foreign datasets into the execution context so the
-                # caching policy applies uniformly.
-                ds = ctx.parallelize(ds.collect(), ds.num_partitions)
-        elif node.kind == g.TRANSFORMER:
-            parent = dataset_of(node.parents[0])
-            ds = parent.map_partitions(
-                timer.wrap(node.id, node.op.apply_partition),
-                name=node.label)
-        elif node.kind == g.APPLY:
-            est_node, data_node = node.parents
-            model = fit_estimator(est_node)
-            parent = dataset_of(data_node)
-            ds = parent.map_partitions(
-                timer.wrap(node.id, model.apply_partition), name=node.label)
-        elif node.kind == g.GATHER:
-            parents = [dataset_of(p) for p in node.parents]
-            ds = parents[0].map(lambda x: [x], name="gather")
-            for p in parents[1:]:
-                ds = ds.zip(p).map(lambda pair: pair[0] + [pair[1]],
-                                   name="gather")
-        else:
-            raise ValueError(f"cannot execute node kind {node.kind}")
-        if node.id in cache_ids:
-            ds.cache()
-            if not use_lru:
-                ctx.cache.policy.cache_set.add(ds.id)
-        env[node.id] = ds
-        return ds
-
-    def fit_estimator(node: g.OpNode) -> Transformer:
-        if node.id in fitted:
-            return fitted[node.id]
-        data = dataset_of(node.parents[0])
-        with timer.time_block(node.id):
-            if len(node.parents) == 2:
-                labels = dataset_of(node.parents[1])
-                model = node.op.fit(data, labels)
-            else:
-                model = node.op.fit(data)
-        fitted[node.id] = model
-        report.estimator_seconds[node.id] = timer.times[node.id]
-        return model
-
-    # Fit every estimator reachable from the sink, in dependency order.
-    for node in g.ancestors([sink]):
-        if node.kind == g.ESTIMATOR:
-            fit_estimator(node)
-
-    report.execute_seconds = time.perf_counter() - exec_start
-    report.node_seconds = dict(timer.times)
-    report.node_labels = {n.id: n.label for n in g.ancestors([sink])}
-    report.recomputations = ctx.stats.total_computations()
-
-    # -- build the inference-only pipeline ------------------------------
-    def inference_node(node: g.OpNode, memo: Dict[int, g.OpNode]) -> g.OpNode:
-        if node.id in memo:
-            return memo[node.id]
-        if node.kind == g.APPLY:
-            data_parent = inference_node(node.parents[1], memo)
-            out = g.OpNode(g.TRANSFORMER, fitted[node.parents[0].id],
-                           (data_parent,), label=node.label)
-        elif node.kind == g.TRANSFORMER:
-            out = g.OpNode(g.TRANSFORMER, node.op,
-                           (inference_node(node.parents[0], memo),),
-                           label=node.label)
-        elif node.kind == g.GATHER:
-            out = g.OpNode(g.GATHER, None,
-                           tuple(inference_node(p, memo)
-                                 for p in node.parents), label="gather")
-        elif node.is_pipeline_input:
-            out = node
-        else:
-            raise ValueError(
-                f"node {node} cannot appear on the inference path")
-        memo[node.id] = out
-        return out
-
-    memo: Dict[int, g.OpNode] = {}
-    inference_sink = inference_node(sink, memo)
-    new_input = memo.get(input_node.id, input_node)
-    return FittedPipeline(new_input, inference_sink, training_report=report)
+    if passes is not None:
+        shim_only = {"fuse": fuse, "cache_strategy": cache_strategy,
+                     "sample_sizes": sample_sizes,
+                     "mem_budget_bytes": mem_budget_bytes}
+        clashes = [k for k, v in shim_only.items() if v is not None]
+        if clashes:
+            raise TypeError(f"{clashes} have no effect when passes= is "
+                            "given; configure the passes directly (e.g. "
+                            "FusionPass(), ProfilingPass(sample_sizes), "
+                            "MaterializationPass(strategy, budget))")
+    if passes is None:
+        level = LEVEL_FULL if level is None else level
+        passes = passes_for_level(
+            level,
+            sample_sizes=(256, 512) if sample_sizes is None else sample_sizes,
+            mem_budget_bytes=(float("inf") if mem_budget_bytes is None
+                              else mem_budget_bytes),
+            cache_strategy=cache_strategy,
+            fuse=bool(fuse),
+            # Warn at the Pipeline.fit caller (user -> fit -> here ->
+            # helper); a direct fit_pipeline caller is attributed one
+            # frame high — the dominant path wins.
+            _stacklevel=4)
+    plan = Optimizer(passes).optimize(pipeline, resources,
+                                      level=level or "custom")
+    return plan.execute(ctx)

@@ -152,14 +152,43 @@ def validate_dag(sinks: Iterable[OpNode]) -> None:
             raise ValueError(f"{node}: gather nodes need parents")
 
 
-def to_dot(sinks: Iterable[OpNode]) -> str:
-    """Graphviz rendering of the DAG (for docs and debugging)."""
+def _dot_escape(label: str) -> str:
+    """Escape a node label for a double-quoted Graphviz string."""
+    return (label.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\r\n", "\\n")
+                 .replace("\r", "\\n")
+                 .replace("\n", "\\n"))
+
+
+def to_dot(sinks: Iterable[OpNode],
+           highlight: Iterable[int] = ()) -> str:
+    """Graphviz rendering of the DAG (for docs and debugging).
+
+    Node ids in ``highlight`` (e.g. a plan's cache set) render filled.
+    """
+    highlighted = set(highlight)
     lines = ["digraph pipeline {", "  rankdir=LR;"]
     for node in ancestors(sinks):
         shape = {"estimator": "box", "source": "ellipse"}.get(node.kind,
                                                               "plaintext")
-        lines.append(f'  n{node.id} [label="{node.label}" shape={shape}];')
+        attrs = f'label="{_dot_escape(node.label)}" shape={shape}'
+        if node.id in highlighted:
+            attrs += ' style=filled fillcolor=lightsteelblue'
+        lines.append(f"  n{node.id} [{attrs}];")
         for p in node.parents:
             lines.append(f"  n{p.id} -> n{node.id};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def zip_gather(parents: List[Any]) -> Any:
+    """Element-wise gather of aligned datasets into list rows.
+
+    The runtime realization of a GATHER node, shared by training execution
+    and fitted-pipeline application.
+    """
+    acc = parents[0].map(lambda x: [x], name="gather")
+    for p in parents[1:]:
+        acc = acc.zip(p).map(lambda pair: pair[0] + [pair[1]], name="gather")
+    return acc

@@ -1,0 +1,159 @@
+"""The pipeline optimizer: an ordered, extensible registry of passes.
+
+:class:`Optimizer` runs a list of :class:`~repro.core.passes.Pass` objects
+over a :class:`~repro.core.plan.PlanState` and returns an inspectable
+:class:`~repro.core.plan.PhysicalPlan`::
+
+    from repro.core import Optimizer, CSEPass, OperatorSelectionPass, \
+        MaterializationPass
+
+    opt = Optimizer([CSEPass(), OperatorSelectionPass((128, 256)),
+                     MaterializationPass(mem_budget_bytes=2e9)])
+    plan = opt.optimize(pipe, resources)
+    print(plan.explain())          # decisions, before any training
+    model = plan.execute()
+
+The registry is plain and ordered: ``append`` / ``insert_before`` /
+``insert_after`` / ``remove`` position passes by name, and custom
+user-defined passes participate like the built-ins.
+:func:`passes_for_level` builds the pass lists behind the paper's
+``"none"/"pipe"/"full"`` optimization levels, which
+:func:`repro.core.executor.fit_pipeline` keeps exposing as a shim.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.resources import ResourceDescriptor, local_machine
+from repro.core import graph as g
+from repro.core.executor import LEVEL_FULL, LEVEL_PIPE, LEVELS
+from repro.core.passes import (
+    CSEPass,
+    FusionPass,
+    MaterializationPass,
+    OperatorSelectionPass,
+    Pass,
+    ProfilingPass,
+)
+from repro.core.plan import PassDecision, PhysicalPlan, PlanState
+
+
+def default_passes(sample_sizes: Tuple[int, int] = (256, 512),
+                   mem_budget_bytes: float = float("inf")) -> List[Pass]:
+    """The full KeystoneML optimization stack (level ``"full"``)."""
+    return passes_for_level(LEVEL_FULL, sample_sizes=sample_sizes,
+                            mem_budget_bytes=mem_budget_bytes)
+
+
+def passes_for_level(level: str,
+                     sample_sizes: Tuple[int, int] = (256, 512),
+                     mem_budget_bytes: float = float("inf"),
+                     cache_strategy: Optional[str] = None,
+                     fuse: bool = False,
+                     _stacklevel: int = 2) -> List[Pass]:
+    """Pass list for one of the paper's optimization levels.
+
+    ``"none"`` runs no rewrites or profiling (only materialization, which
+    defaults to no caching without a profile); ``"pipe"`` adds CSE and
+    profiling; ``"full"`` adds operator selection.  ``fuse`` inserts a
+    :class:`FusionPass` after CSE — it is an optimization, so it is
+    ignored (with a warning) at level ``"none"``.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}; "
+                         f"expected one of {LEVELS}")
+    passes: List[Pass] = []
+    if level in (LEVEL_PIPE, LEVEL_FULL):
+        passes.append(CSEPass())
+        if fuse:
+            passes.append(FusionPass())
+        if level == LEVEL_FULL:
+            passes.append(OperatorSelectionPass(sample_sizes))
+        else:
+            passes.append(ProfilingPass(sample_sizes))
+    elif fuse:
+        warnings.warn("fuse=True ignored at level='none': fusion is an "
+                      "optimization pass and the level disables "
+                      "optimization", stacklevel=_stacklevel)
+    passes.append(MaterializationPass(strategy=cache_strategy,
+                                      mem_budget_bytes=mem_budget_bytes))
+    return passes
+
+
+class Optimizer:
+    """Runs an ordered registry of passes over a pipeline.
+
+    ``passes`` defaults to :func:`default_passes` (the level-``"full"``
+    stack).  The list is owned by the optimizer and freely editable,
+    either directly (``opt.passes``) or via the positioning helpers.
+    """
+
+    def __init__(self, passes: Optional[Sequence[Pass]] = None):
+        self.passes: List[Pass] = (list(passes) if passes is not None
+                                   else default_passes())
+
+    # ------------------------------------------------------------------
+    # Registry management
+    # ------------------------------------------------------------------
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def append(self, new: Pass) -> "Optimizer":
+        self.passes.append(new)
+        return self
+
+    def insert_before(self, name: str, new: Pass) -> "Optimizer":
+        self.passes.insert(self._index_of(name), new)
+        return self
+
+    def insert_after(self, name: str, new: Pass) -> "Optimizer":
+        self.passes.insert(self._index_of(name) + 1, new)
+        return self
+
+    def remove(self, name: str) -> "Optimizer":
+        del self.passes[self._index_of(name)]
+        return self
+
+    def _index_of(self, name: str) -> int:
+        for i, p in enumerate(self.passes):
+            if p.name == name:
+                return i
+        raise KeyError(f"no pass named {name!r} in registry "
+                       f"{self.pass_names()}")
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+    def optimize(self, pipeline,
+                 resources: Optional[ResourceDescriptor] = None,
+                 level: str = "custom") -> PhysicalPlan:
+        """Run every pass in order; returns an inspectable physical plan.
+
+        ``level`` only labels the plan (and the eventual training report);
+        the actual behaviour is fully determined by the pass list.
+        """
+        resources = resources or local_machine()
+        g.validate_dag([pipeline.sink])
+        state = PlanState(sink=pipeline.sink,
+                          input_node=pipeline.input_node,
+                          resources=resources)
+        start = time.perf_counter()
+        for p in self.passes:
+            decision = PassDecision(name=p.name)
+            state.decisions.append(decision)
+            pass_start = time.perf_counter()
+            result = p.run(state)
+            if result is not None and result is not state:
+                # A replacement state must not lose the decision log.
+                if not result.decisions:
+                    result.decisions = state.decisions
+                state = result
+            decision.seconds = time.perf_counter() - pass_start
+        return PhysicalPlan(state, level=level,
+                            optimize_seconds=time.perf_counter() - start)
+
+    def __repr__(self) -> str:
+        return f"Optimizer(passes={self.pass_names()})"

@@ -1,0 +1,183 @@
+"""Optimizer passes: the units of the two-level optimizer.
+
+Each :class:`Pass` is a thin adapter over one existing optimization module,
+transforming a :class:`~repro.core.plan.PlanState`:
+
+- :class:`CSEPass` — whole-pipeline common sub-expression elimination
+  (:mod:`repro.core.cse`, paper §4.2).
+- :class:`FusionPass` — pack single-consumer transformer chains into one
+  stage (:mod:`repro.core.fusion`, paper §2.3).
+- :class:`ProfilingPass` — sample-based profiling of per-node time/size
+  (:mod:`repro.core.profiler`, paper §4.1).
+- :class:`OperatorSelectionPass` — profiling interleaved with cost-based
+  physical operator selection (paper §3; selection needs the input
+  statistics that profiling produces, so the two are one pass).
+- :class:`MaterializationPass` — choose the cache set under the memory
+  budget (:mod:`repro.core.materialization`, paper §4.3).
+
+Ordering matters: DAG-rewriting passes (CSE, fusion) must run before
+profiling, because the profile is keyed by node identity; the
+materialization pass checks for a stale profile and raises.  User-defined
+passes subclass :class:`Pass` and drop into
+:class:`~repro.core.optimizer.Optimizer` without touching core modules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Tuple
+
+from repro.core import graph as g
+from repro.core import materialization as mat
+from repro.core.cse import eliminate_common_subexpressions
+from repro.core.fusion import fuse_transformer_chains
+from repro.core.plan import PlanState
+from repro.core.profiler import profile_pipeline
+
+
+class Pass:
+    """One step of the optimizer: transforms a :class:`PlanState`.
+
+    Subclasses implement :meth:`run`, mutating ``state`` in place (or
+    returning a replacement state — remember to carry ``decisions`` over).
+    Decision details recorded via ``state.annotate(...)`` show up in
+    :meth:`PhysicalPlan.explain`.
+    """
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, state: PlanState) -> Optional[PlanState]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+class CSEPass(Pass):
+    """Merge structurally identical sub-DAGs (whole-pipeline rewrite)."""
+
+    def run(self, state: PlanState) -> None:
+        before = len(g.ancestors([state.sink]))
+        state.sink = eliminate_common_subexpressions([state.sink])[0]
+        removed = before - len(g.ancestors([state.sink]))
+        state.cse_nodes_removed += removed
+        state.annotate(nodes_removed=removed)
+        g.validate_dag([state.sink])
+
+
+class FusionPass(Pass):
+    """Fuse single-consumer transformer chains into one stage."""
+
+    def run(self, state: PlanState) -> None:
+        before = len(g.ancestors([state.sink]))
+        state.sink = fuse_transformer_chains([state.sink])[0]
+        removed = before - len(g.ancestors([state.sink]))
+        state.fused_nodes_removed += removed
+        state.annotate(nodes_fused=removed)
+        g.validate_dag([state.sink])
+
+
+class ProfilingPass(Pass):
+    """Profile the DAG on data samples; attaches a pipeline profile.
+
+    With ``select_operators`` set, cost-based physical operator selection
+    is interleaved with profiling (see :class:`OperatorSelectionPass`).
+    """
+
+    def __init__(self, sample_sizes: Tuple[int, int] = (256, 512),
+                 select_operators: bool = False):
+        self.sample_sizes = tuple(sample_sizes)
+        self.select_operators = select_operators
+
+    def run(self, state: PlanState) -> None:
+        profile = profile_pipeline([state.sink], state.resources,
+                                   sample_sizes=self.sample_sizes,
+                                   select_operators=self.select_operators)
+        state.profile = profile
+        state.selections.update(profile.selections)
+        self._annotate(state, profile)
+
+    def _annotate(self, state: PlanState, profile) -> None:
+        state.annotate(sample_sizes=self.sample_sizes,
+                       profiled_nodes=len(profile.nodes),
+                       profiling_seconds=round(profile.profiling_seconds, 3))
+        if self.select_operators:
+            labels = state.node_labels()
+            names = {nid: labels.get(nid, f"#{nid}")
+                     for nid in profile.selections}
+            counts = Counter(names.values())
+            # Same-labeled nodes (e.g. two LinearSolvers on gathered
+            # branches) get id suffixes so no selection is shadowed.
+            state.annotate(selections={
+                (f"{names[nid]}#{nid}" if counts[names[nid]] > 1
+                 else names[nid]): phys
+                for nid, phys in profile.selections.items()})
+
+    def __repr__(self) -> str:
+        return f"{self.name}(sample_sizes={self.sample_sizes})"
+
+
+class OperatorSelectionPass(ProfilingPass):
+    """Profiling + per-operator physical selection (paper Section 3).
+
+    Selection uses the input statistics gathered while profiling, so this
+    pass subsumes :class:`ProfilingPass` — use one or the other.  The
+    chosen physical operator replaces the logical one on the DAG node, and
+    the attached profile reflects the selected implementations.
+    """
+
+    def __init__(self, sample_sizes: Tuple[int, int] = (256, 512)):
+        super().__init__(sample_sizes, select_operators=True)
+
+
+class MaterializationPass(Pass):
+    """Choose the cache set under the memory budget (Algorithm 1).
+
+    ``strategy`` is one of :data:`repro.core.materialization.STRATEGIES`
+    (``greedy``/``lru``/``rule``/``none``/``all``) or ``None`` to default:
+    greedy when a profile is available, none otherwise.  Also records the
+    memory budget that execution will enforce.
+    """
+
+    def __init__(self, strategy: Optional[str] = None,
+                 mem_budget_bytes: float = float("inf")):
+        if strategy is not None and strategy not in mat.STRATEGIES:
+            raise ValueError(f"unknown caching strategy {strategy!r}; "
+                             f"expected one of {mat.STRATEGIES}")
+        self.strategy = strategy
+        self.mem_budget_bytes = mem_budget_bytes
+
+    def run(self, state: PlanState) -> None:
+        strategy = self.strategy
+        if strategy is None:
+            strategy = (mat.GREEDY if state.profile is not None
+                        else mat.NONE)
+        cache_ids, use_lru = set(), False
+        if strategy != mat.NONE and state.profile is not None:
+            missing = state.unprofiled_nodes()
+            if missing:
+                raise ValueError(
+                    "profile is stale: the DAG was rewritten after "
+                    "profiling; order rewrite passes (CSE, fusion) before "
+                    f"ProfilingPass (unprofiled: {missing[:3]})")
+            problem = mat.MaterializationProblem([state.sink], state.profile)
+            cache_ids, use_lru = mat.choose_cache_set(strategy, problem,
+                                                      self.mem_budget_bytes)
+        elif strategy in (mat.LRU, mat.ALL):
+            # Unprofiled LRU: mark everything cacheable, let the cache
+            # decide what stays.
+            cache_ids = {n.id for n in g.ancestors([state.sink])
+                         if n.kind not in (g.ESTIMATOR,)
+                         and not n.is_pipeline_input}
+            use_lru = True
+        state.cache_ids = set(cache_ids)
+        state.use_lru = use_lru
+        state.mem_budget_bytes = self.mem_budget_bytes
+        state.annotate(strategy=strategy, use_lru=use_lru,
+                       cache=state.cache_set_labels())
+
+    def __repr__(self) -> str:
+        return (f"{self.name}(strategy={self.strategy!r}, "
+                f"mem_budget_bytes={self.mem_budget_bytes})")

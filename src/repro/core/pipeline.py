@@ -10,7 +10,7 @@ returning a :class:`FittedPipeline` usable on new data.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.core import graph as g
 from repro.core.operators import (
@@ -153,8 +153,12 @@ class Pipeline:
         """Optimize and train; see :func:`repro.core.executor.fit_pipeline`.
 
         Keyword arguments configure optimization (resources, optimization
-        level, memory budget, sample sizes); defaults run the full
-        KeystoneML optimization stack on a local resource descriptor.
+        level, memory budget, sample sizes, or an explicit ``passes``
+        list); defaults run the full KeystoneML optimization stack on a
+        local resource descriptor.  For an inspectable plan before
+        training, use :meth:`repro.core.optimizer.Optimizer.optimize`
+        instead — ``fit(level=...)`` is a shim over the same pass
+        pipeline.
         """
         from repro.core.executor import fit_pipeline
 
@@ -209,7 +213,7 @@ class FittedPipeline(Transformer):
                 value = node.op.apply_dataset(eval_node(node.parents[0]))
             elif node.kind == g.GATHER:
                 parents = [eval_node(p) for p in node.parents]
-                value = _zip_gather(parents)
+                value = g.zip_gather(parents)
             else:
                 raise ValueError(f"unexpected node kind {node.kind} in "
                                  "fitted pipeline")
@@ -221,11 +225,3 @@ class FittedPipeline(Transformer):
     def __repr__(self) -> str:
         n = len(g.ancestors([self.sink]))
         return f"FittedPipeline(nodes={n})"
-
-
-def _zip_gather(parents: List[Dataset]) -> Dataset:
-    """Element-wise gather of several aligned datasets into list rows."""
-    acc = parents[0].map(lambda x: [x], name="gather")
-    for p in parents[1:]:
-        acc = acc.zip(p).map(lambda pair: pair[0] + [pair[1]], name="gather")
-    return acc

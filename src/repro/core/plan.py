@@ -1,0 +1,350 @@
+"""Plan state and physical plans: the optimizer's working objects.
+
+The optimizer (:mod:`repro.core.optimizer`) threads a :class:`PlanState`
+through an ordered list of passes; each pass rewrites the DAG or attaches
+decisions (profile, operator selections, cache set).  The result is wrapped
+in a :class:`PhysicalPlan` — an inspectable artifact that can report what
+the optimizer decided (:meth:`PhysicalPlan.explain`,
+:meth:`PhysicalPlan.to_dot`, :meth:`PhysicalPlan.estimated_runtime_seconds`)
+*before* any training happens, and then train the pipeline with
+:meth:`PhysicalPlan.execute`.
+
+``execute`` is the back half of the original ``fit_pipeline`` monolith:
+depth-first training execution with estimators as pipeline breakers,
+followed by extraction of the inference-only DAG into a
+:class:`~repro.core.pipeline.FittedPipeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.cluster.resources import ResourceDescriptor
+from repro.core import graph as g
+from repro.core import materialization as mat
+from repro.core.executor import ExclusiveTimer, TrainingReport
+from repro.core.operators import Transformer
+from repro.core.profiler import PipelineProfile
+from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
+from repro.dataset.context import Context
+from repro.dataset.dataset import Dataset
+
+
+@dataclass
+class PassDecision:
+    """One pass's entry in the plan's decision log."""
+
+    name: str
+    details: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"{self.name} [{self.seconds:.3f}s]" + (f" {parts}" if parts
+                                                       else "")
+
+
+@dataclass
+class PlanState:
+    """Mutable optimizer state threaded through the pass pipeline.
+
+    Passes may rewrite ``sink`` (DAG rewrites such as CSE and fusion must
+    run *before* profiling — node ids change), attach a ``profile``, record
+    operator ``selections`` and choose the cache set.  ``decisions`` is the
+    ordered log rendered by :meth:`PhysicalPlan.explain`; passes add to the
+    current entry with :meth:`annotate`.
+    """
+
+    sink: g.OpNode
+    input_node: g.OpNode
+    resources: ResourceDescriptor
+    profile: Optional[PipelineProfile] = None
+    cache_ids: Set[int] = field(default_factory=set)
+    use_lru: bool = False
+    mem_budget_bytes: float = float("inf")
+    selections: Dict[int, str] = field(default_factory=dict)
+    cse_nodes_removed: int = 0
+    fused_nodes_removed: int = 0
+    decisions: List[PassDecision] = field(default_factory=list)
+
+    def annotate(self, **details: Any) -> None:
+        """Attach decision details to the pass currently running."""
+        if not self.decisions:
+            raise RuntimeError("annotate() called outside a pass run")
+        self.decisions[-1].details.update(details)
+
+    def node_labels(self) -> Dict[int, str]:
+        return {n.id: n.label for n in g.ancestors([self.sink])}
+
+    def cache_set_labels(self) -> List[str]:
+        labels = self.node_labels()
+        return sorted(labels[i] for i in self.cache_ids if i in labels)
+
+    def unprofiled_nodes(self) -> List[g.OpNode]:
+        """Nodes the attached profile does not cover.
+
+        Non-empty means the profile is stale: a rewrite pass changed node
+        identities after profiling.  The single staleness definition
+        shared by MaterializationPass and plan inspection.
+        """
+        if self.profile is None:
+            return []
+        return [n for n in g.ancestors([self.sink])
+                if n.id not in self.profile.nodes]
+
+
+class PhysicalPlan:
+    """An optimized, executable pipeline plan.
+
+    Produced by :meth:`repro.core.optimizer.Optimizer.optimize`.  Holds the
+    rewritten DAG plus every optimizer decision; inspect with
+    :meth:`explain` / :meth:`to_dot`, then train with :meth:`execute`.
+    """
+
+    def __init__(self, state: PlanState, level: str = "custom",
+                 optimize_seconds: float = 0.0):
+        self.state = state
+        self.level = level
+        self.optimize_seconds = optimize_seconds
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def sink(self) -> g.OpNode:
+        return self.state.sink
+
+    @property
+    def input_node(self) -> g.OpNode:
+        return self.state.input_node
+
+    @property
+    def profile(self) -> Optional[PipelineProfile]:
+        return self.state.profile
+
+    @property
+    def decisions(self) -> List[PassDecision]:
+        return list(self.state.decisions)
+
+    @property
+    def passes(self) -> List[str]:
+        """Names of the passes applied, in order."""
+        return [d.name for d in self.state.decisions]
+
+    @property
+    def cache_set(self) -> Set[int]:
+        return set(self.state.cache_ids)
+
+    @property
+    def cache_set_labels(self) -> List[str]:
+        return self.state.cache_set_labels()
+
+    @property
+    def selections(self) -> Dict[int, str]:
+        return dict(self.state.selections)
+
+    def num_nodes(self) -> int:
+        return len(g.ancestors([self.sink]))
+
+    def _profile_stale(self) -> bool:
+        """True when the DAG was rewritten after profiling."""
+        return bool(self.state.unprofiled_nodes())
+
+    def estimated_runtime_seconds(self) -> Optional[float]:
+        """Modelled training execution time under the chosen cache set.
+
+        ``None`` when the plan carries no profile (e.g. level ``"none"``)
+        or the profile is stale (the DAG was rewritten after profiling).
+        """
+        if self.state.profile is None or self._profile_stale():
+            return None
+        problem = mat.MaterializationProblem([self.sink], self.state.profile)
+        return problem.estimate_runtime(self.state.cache_ids)
+
+    def estimated_cache_bytes(self) -> Optional[float]:
+        """Modelled memory footprint of the chosen cache set.
+
+        ``None`` without a profile, or when the profile is stale — a
+        partial sum over surviving node ids would look confident and be
+        wrong.
+        """
+        if self.state.profile is None or self._profile_stale():
+            return None
+        return sum(self.state.profile.size(i)
+                   for i in self.state.cache_ids)
+
+    def explain(self) -> str:
+        """Human-readable account of every pass applied and its decisions."""
+        lines = [f"PhysicalPlan(level={self.level})",
+                 f"  sink: {self.sink.label!r} ({self.num_nodes()} nodes)",
+                 f"  resources: {self.state.resources.name} "
+                 f"(x{self.state.resources.num_nodes})",
+                 f"  mem budget: {self.state.mem_budget_bytes} bytes",
+                 "  passes:"]
+        if not self.state.decisions:
+            lines.append("    (none)")
+        for i, decision in enumerate(self.state.decisions, 1):
+            lines.append(f"    {i}. {decision.describe()}")
+        labels = ", ".join(self.cache_set_labels) or "(empty)"
+        lines.append(f"  cache set ({len(self.state.cache_ids)} nodes): "
+                     f"{labels}")
+        runtime = self.estimated_runtime_seconds()
+        if runtime is not None:
+            cache_bytes = self.estimated_cache_bytes()
+            lines.append(f"  estimated execution: {runtime:.3f}s, "
+                         f"cached bytes: {cache_bytes:.0f}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the optimized DAG; cached nodes are filled."""
+        return g.to_dot([self.sink], highlight=self.state.cache_ids)
+
+    def __repr__(self) -> str:
+        return (f"PhysicalPlan(level={self.level!r}, "
+                f"nodes={self.num_nodes()}, "
+                f"passes={self.passes}, "
+                f"cached={len(self.state.cache_ids)})")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, ctx: Optional[Context] = None) -> "FittedPipeline":
+        """Train the planned pipeline; returns a FittedPipeline.
+
+        Executes the training DAG depth-first — estimators are pipeline
+        breakers — honouring the plan's caching policy, then extracts the
+        inference-only DAG.  The returned pipeline carries a
+        :class:`~repro.core.executor.TrainingReport` combining the
+        optimizer's decisions with measured execution times.
+        """
+        from repro.core.pipeline import FittedPipeline
+
+        state = self.state
+        sink = state.sink
+        cache_ids = state.cache_ids
+        use_lru = state.use_lru
+
+        stale = cache_ids - {n.id for n in g.ancestors([sink])}
+        if stale:
+            raise ValueError(
+                "cache set is stale: the DAG was rewritten after "
+                "MaterializationPass, so the chosen cache set no longer "
+                "matches any node; order rewrite passes before "
+                f"MaterializationPass (unmatched ids: {sorted(stale)[:5]})")
+
+        report = TrainingReport(level=self.level)
+        report.cse_nodes_removed = state.cse_nodes_removed
+        report.fused_nodes_removed = state.fused_nodes_removed
+        report.selections = dict(state.selections)
+        report.profile = state.profile
+        report.cache_set = set(cache_ids)
+        report.cache_set_labels = self.cache_set_labels
+        report.optimize_seconds = self.optimize_seconds
+        report.passes = self.passes
+
+        exec_start = time.perf_counter()
+        if ctx is None:
+            ctx = Context(cache_budget_bytes=state.mem_budget_bytes)
+        if use_lru:
+            ctx.set_policy(AdmissionControlledLRUPolicy(),
+                           state.mem_budget_bytes)
+        else:
+            ctx.set_policy(PinnedPolicy(set()), state.mem_budget_bytes)
+
+        timer = ExclusiveTimer()
+        env: Dict[int, Any] = {}
+        fitted: Dict[int, Transformer] = {}
+
+        def dataset_of(node: g.OpNode) -> Dataset:
+            if node.id in env:
+                return env[node.id]
+            if node.kind == g.SOURCE:
+                if node.is_pipeline_input:
+                    raise ValueError(
+                        "training execution reached the pipeline input "
+                        "placeholder; estimator training data must be "
+                        "bound via and_then(est, data)")
+                ds = node.op
+                if ds.ctx is not ctx:
+                    # Re-root foreign datasets into the execution context so
+                    # the caching policy applies uniformly.
+                    ds = ctx.parallelize(ds.collect(), ds.num_partitions)
+            elif node.kind == g.TRANSFORMER:
+                parent = dataset_of(node.parents[0])
+                ds = parent.map_partitions(
+                    timer.wrap(node.id, node.op.apply_partition),
+                    name=node.label)
+            elif node.kind == g.APPLY:
+                est_node, data_node = node.parents
+                model = fit_estimator(est_node)
+                parent = dataset_of(data_node)
+                ds = parent.map_partitions(
+                    timer.wrap(node.id, model.apply_partition),
+                    name=node.label)
+            elif node.kind == g.GATHER:
+                ds = g.zip_gather([dataset_of(p) for p in node.parents])
+            else:
+                raise ValueError(f"cannot execute node kind {node.kind}")
+            if node.id in cache_ids:
+                ds.cache()
+                if not use_lru:
+                    ctx.cache.policy.cache_set.add(ds.id)
+            env[node.id] = ds
+            return ds
+
+        def fit_estimator(node: g.OpNode) -> Transformer:
+            if node.id in fitted:
+                return fitted[node.id]
+            data = dataset_of(node.parents[0])
+            with timer.time_block(node.id):
+                if len(node.parents) == 2:
+                    labels = dataset_of(node.parents[1])
+                    model = node.op.fit(data, labels)
+                else:
+                    model = node.op.fit(data)
+            fitted[node.id] = model
+            report.estimator_seconds[node.id] = timer.times[node.id]
+            return model
+
+        # Fit every estimator reachable from the sink, in dependency order.
+        for node in g.ancestors([sink]):
+            if node.kind == g.ESTIMATOR:
+                fit_estimator(node)
+
+        report.execute_seconds = time.perf_counter() - exec_start
+        report.node_seconds = dict(timer.times)
+        report.node_labels = state.node_labels()
+        report.recomputations = ctx.stats.total_computations()
+
+        # -- build the inference-only pipeline --------------------------
+        def inference_node(node: g.OpNode,
+                           memo: Dict[int, g.OpNode]) -> g.OpNode:
+            if node.id in memo:
+                return memo[node.id]
+            if node.kind == g.APPLY:
+                data_parent = inference_node(node.parents[1], memo)
+                out = g.OpNode(g.TRANSFORMER, fitted[node.parents[0].id],
+                               (data_parent,), label=node.label)
+            elif node.kind == g.TRANSFORMER:
+                out = g.OpNode(g.TRANSFORMER, node.op,
+                               (inference_node(node.parents[0], memo),),
+                               label=node.label)
+            elif node.kind == g.GATHER:
+                out = g.OpNode(g.GATHER, None,
+                               tuple(inference_node(p, memo)
+                                     for p in node.parents), label="gather")
+            elif node.is_pipeline_input:
+                out = node
+            else:
+                raise ValueError(
+                    f"node {node} cannot appear on the inference path")
+            memo[node.id] = out
+            return out
+
+        memo: Dict[int, g.OpNode] = {}
+        inference_sink = inference_node(sink, memo)
+        new_input = memo.get(state.input_node.id, state.input_node)
+        return FittedPipeline(new_input, inference_sink,
+                              training_report=report)

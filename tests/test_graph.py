@@ -120,3 +120,49 @@ class TestValidation:
         dot = g.to_dot([sink])
         assert dot.startswith("digraph")
         assert dot.count("->") == 2
+
+    def test_to_dot_escapes_special_characters(self):
+        inp = g.pipeline_input()
+        sink = g.OpNode(g.TRANSFORMER, IdentityTransformer(), (inp,),
+                        label='say "hi"\nback\\slash')
+        dot = g.to_dot([sink])
+        assert '\\"hi\\"' in dot
+        assert "\\n" in dot
+        assert "\\\\slash" in dot
+        # No raw quote or newline survives inside any label attribute.
+        for line in dot.splitlines():
+            if "label=" in line:
+                body = line.split('label="', 1)[1].rsplit('"', 1)[0]
+                assert '\n' not in body
+                assert all(c != '"' or body[i - 1] == "\\"
+                           for i, c in enumerate(body))
+
+    def test_to_dot_crlf_is_one_newline(self):
+        inp = g.pipeline_input()
+        sink = g.OpNode(g.TRANSFORMER, IdentityTransformer(), (inp,),
+                        label="a\r\nb")
+        dot = g.to_dot([sink])
+        assert 'label="a\\nb"' in dot
+
+    def test_to_dot_highlight(self):
+        inp, sink = _chain(2)
+        dot = g.to_dot([sink], highlight={sink.id})
+        assert dot.count("fillcolor") == 1
+
+
+class TestZipGather:
+    def test_zip_gather_rows(self):
+        from repro.dataset import Context
+
+        ctx = Context()
+        a = ctx.parallelize([1, 2, 3], 2)
+        b = ctx.parallelize([10, 20, 30], 2)
+        rows = g.zip_gather([a, b]).collect()
+        assert rows == [[1, 10], [2, 20], [3, 30]]
+
+    def test_single_parent(self):
+        from repro.dataset import Context
+
+        ctx = Context()
+        rows = g.zip_gather([ctx.parallelize([5, 6], 1)]).collect()
+        assert rows == [[5], [6]]

@@ -1,0 +1,376 @@
+"""Tests for the composable optimizer: pass registry, plans, shims."""
+
+import pytest
+
+from repro.core import graph as g
+from repro.core.executor import fit_pipeline
+from repro.core.operators import LabelEstimator, Transformer
+from repro.core.optimizer import Optimizer, default_passes, passes_for_level
+from repro.core.passes import (
+    CSEPass,
+    FusionPass,
+    MaterializationPass,
+    OperatorSelectionPass,
+    Pass,
+    ProfilingPass,
+)
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    NGramsFeaturizer,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.workloads import amazon_reviews
+
+
+class Add(Transformer):
+    def __init__(self, c):
+        self.c = c
+
+    def apply(self, x):
+        return x + self.c
+
+
+class MeanShift(LabelEstimator):
+    def fit(self, data, labels):
+        mean = sum(data.collect()) / data.count()
+
+        class Sub(Transformer):
+            def apply(self, x, _m=mean):
+                return x - _m
+
+        return Sub()
+
+
+def numeric_pipeline(ctx):
+    data = ctx.parallelize([float(i) for i in range(30)], 2)
+    labels = ctx.parallelize([float(i) for i in range(30)], 2)
+    return (Pipeline.identity()
+            .and_then(Add(1.0))
+            .and_then(Add(2.0))
+            .and_then(MeanShift(), data, labels))
+
+
+def text_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(NGramsFeaturizer(1, 2))
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(200), data)
+            .and_then(LinearSolver(), data, labels))
+
+
+class Tag(Pass):
+    """A user-defined no-op pass that leaves a mark in the decision log."""
+
+    def __init__(self, tag, log=None):
+        self.tag = tag
+        self.log = log
+
+    @property
+    def name(self):
+        return f"Tag({self.tag})"
+
+    def run(self, state):
+        if self.log is not None:
+            self.log.append(self.tag)
+        state.annotate(tag=self.tag)
+
+
+class TestRegistry:
+    def test_default_passes_are_full_stack(self):
+        names = Optimizer().pass_names()
+        assert names == ["CSEPass", "OperatorSelectionPass",
+                         "MaterializationPass"]
+
+    def test_insert_before_after_remove(self):
+        opt = Optimizer(default_passes())
+        opt.insert_before("OperatorSelectionPass", Tag("a"))
+        opt.insert_after("MaterializationPass", Tag("b"))
+        opt.remove("CSEPass")
+        assert opt.pass_names() == ["Tag(a)", "OperatorSelectionPass",
+                                    "MaterializationPass", "Tag(b)"]
+
+    def test_unknown_pass_name_raises(self):
+        with pytest.raises(KeyError, match="no pass named"):
+            Optimizer().remove("NoSuchPass")
+
+    def test_passes_run_in_registry_order(self):
+        log = []
+        opt = Optimizer([Tag("first", log), Tag("second", log),
+                         Tag("third", log)])
+        plan = opt.optimize(numeric_pipeline(Context()))
+        assert log == ["first", "second", "third"]
+        assert plan.passes == ["Tag(first)", "Tag(second)", "Tag(third)"]
+
+
+class TestCustomPass:
+    def test_custom_pass_round_trips_and_explains(self):
+        opt = Optimizer(passes_for_level("pipe", sample_sizes=(5, 10)))
+        opt.insert_after("CSEPass", Tag("custom"))
+        plan = opt.optimize(numeric_pipeline(Context()))
+        assert "Tag(custom)" in plan.passes
+        assert "tag=custom" in plan.explain()
+        # The plan still trains correctly with the extra pass in place.
+        fitted = plan.execute()
+        assert fitted.apply(1.0) is not None
+
+    def test_rewrite_pass_can_change_the_dag(self):
+        class DropAdds(Pass):
+            """Delete every Add transformer node (a user rewrite)."""
+
+            def run(self, state):
+                dropped = 0
+                memo = {}
+
+                def rebuild(node):
+                    nonlocal dropped
+                    if node.id in memo:
+                        return memo[node.id]
+                    new_parents = tuple(rebuild(p) for p in node.parents)
+                    if (node.kind == g.TRANSFORMER
+                            and isinstance(node.op, Add)):
+                        dropped += 1
+                        out = new_parents[0]
+                    elif all(a is b for a, b in zip(new_parents,
+                                                    node.parents)):
+                        out = node
+                    else:
+                        out = g.OpNode(node.kind, node.op, new_parents,
+                                       node.label)
+                    memo[node.id] = out
+                    return out
+
+                state.sink = rebuild(state.sink)
+                state.annotate(dropped=dropped)
+
+        plan = Optimizer([DropAdds()]).optimize(numeric_pipeline(Context()))
+        labels = [n.label for n in g.ancestors([plan.sink])]
+        assert "Add" not in labels
+        # Two Adds on the inference path plus their training-flow copies.
+        assert "dropped=4" in plan.explain()
+
+
+class TestPhysicalPlan:
+    def test_explain_lists_decisions(self):
+        wl = amazon_reviews(200, 20, vocab_size=300, seed=0)
+        opt = Optimizer(passes_for_level("full", sample_sizes=(20, 40)))
+        plan = opt.optimize(text_pipeline(Context(), wl))
+        text = plan.explain()
+        for name in ("CSEPass", "OperatorSelectionPass",
+                     "MaterializationPass"):
+            assert name in text
+        assert "nodes_removed=" in text
+        assert "selections={" in text and "LinearSolver" in text
+        assert "strategy=greedy" in text
+        assert "cache set" in text
+        for label in plan.cache_set_labels:
+            assert label in text
+
+    def test_same_labeled_selections_not_shadowed(self):
+        # Two distinct LinearSolver estimators share the default label;
+        # explain() must report both physical choices, id-disambiguated.
+        wl = amazon_reviews(200, 20, vocab_size=300, seed=0)
+        ctx = Context()
+        data, labels = wl.train_data(ctx), wl.train_label_vectors(ctx)
+        base = (Pipeline.identity()
+                .and_then(LowerCase())
+                .and_then(Tokenizer())
+                .and_then(NGramsFeaturizer(1, 1))
+                .and_then(TermFrequency(lambda c: 1.0))
+                .and_then(CommonSparseFeatures(100), data))
+        branch1 = base.and_then(LinearSolver(), data, labels)
+        branch2 = base.and_then(LinearSolver(), data, labels)
+        pipe = Pipeline.gather([branch1, branch2])
+
+        opt = Optimizer(passes_for_level("full", sample_sizes=(20, 40)))
+        plan = opt.optimize(pipe)
+        assert len(plan.selections) == 2
+        selection_entry = [d for d in plan.decisions
+                           if d.name == "OperatorSelectionPass"][0]
+        annotated = selection_entry.details["selections"]
+        assert len(annotated) == 2
+        assert all(key.startswith("LinearSolver#") for key in annotated)
+
+    def test_estimates_before_execution(self):
+        ctx = Context()
+        opt = Optimizer(passes_for_level("full", sample_sizes=(5, 10)))
+        plan = opt.optimize(numeric_pipeline(ctx))
+        assert plan.estimated_runtime_seconds() >= 0.0
+        assert plan.estimated_cache_bytes() >= 0.0
+
+    def test_no_profile_means_no_estimates(self):
+        plan = Optimizer(passes_for_level("none")).optimize(
+            numeric_pipeline(Context()))
+        assert plan.estimated_runtime_seconds() is None
+        assert plan.profile is None
+
+    def test_to_dot_highlights_cache_set(self):
+        opt = Optimizer(passes_for_level("full", sample_sizes=(5, 10)))
+        plan = opt.optimize(numeric_pipeline(Context()))
+        dot = plan.to_dot()
+        assert dot.count("fillcolor") == len(plan.cache_set)
+
+    def test_stale_profile_estimates_degrade_to_none(self):
+        # Without a MaterializationPass guard, inspection must not crash
+        # on a profile whose node ids the rewrite invalidated.
+        plan = Optimizer([CSEPass(), ProfilingPass((5, 10)), FusionPass()]) \
+            .optimize(numeric_pipeline(Context()))
+        assert plan.estimated_runtime_seconds() is None
+        assert "FusionPass" in plan.explain()
+
+    def test_replacement_state_keeps_decision_log(self):
+        class Replace(Pass):
+            def run(self, state):
+                from repro.core.plan import PlanState
+
+                return PlanState(sink=state.sink,
+                                 input_node=state.input_node,
+                                 resources=state.resources)
+
+        plan = Optimizer([Tag("a"), Replace(), Tag("b")]).optimize(
+            numeric_pipeline(Context()))
+        assert plan.passes == ["Tag(a)", "Replace", "Tag(b)"]
+
+    def test_stale_cache_set_refused_at_execute(self):
+        # A rewrite after MaterializationPass orphans the cache ids;
+        # execute must refuse rather than silently recompute everything.
+        from repro.core.operators import Iterative
+
+        class IterShift(MeanShift, Iterative):
+            weight = 6  # iterated input: greedy always caches upstream
+
+        ctx = Context()
+        data = ctx.parallelize([float(i) for i in range(30)], 2)
+        labels = ctx.parallelize([float(i) for i in range(30)], 2)
+        pipe = (Pipeline.identity().and_then(Add(1.0)).and_then(Add(2.0))
+                .and_then(IterShift(), data, labels))
+        passes = [CSEPass(), ProfilingPass((5, 10)), MaterializationPass(),
+                  FusionPass()]
+        plan = Optimizer(passes).optimize(pipe)
+        assert plan.cache_set, "expected the iterated input to be cached"
+        assert plan.estimated_cache_bytes() is None
+        with pytest.raises(ValueError, match="cache set is stale"):
+            plan.execute()
+
+    def test_stale_profile_detected(self):
+        # Fusing after profiling invalidates node identities; the
+        # materialization pass must refuse rather than mis-cost the plan.
+        passes = [CSEPass(), ProfilingPass((5, 10)), FusionPass(),
+                  MaterializationPass()]
+        with pytest.raises(ValueError, match="profile is stale"):
+            Optimizer(passes).optimize(numeric_pipeline(Context()))
+
+
+class TestLevelShims:
+    @pytest.mark.parametrize("level,expected", [
+        ("none", ["MaterializationPass"]),
+        ("pipe", ["CSEPass", "ProfilingPass", "MaterializationPass"]),
+        ("full", ["CSEPass", "OperatorSelectionPass", "MaterializationPass"]),
+    ])
+    def test_level_pass_lists(self, level, expected):
+        assert [p.name for p in passes_for_level(level)] == expected
+
+    def test_fit_reports_passes(self):
+        fitted = numeric_pipeline(Context()).fit(level="pipe",
+                                                 sample_sizes=(5, 10))
+        assert fitted.training_report.passes == [
+            "CSEPass", "ProfilingPass", "MaterializationPass"]
+
+    def test_fit_accepts_explicit_passes(self):
+        fitted = numeric_pipeline(Context()).fit(
+            passes=[CSEPass(), MaterializationPass()])
+        assert fitted.training_report.passes == ["CSEPass",
+                                                 "MaterializationPass"]
+        assert fitted.training_report.level == "custom"
+        assert fitted.apply(1.0) is not None
+
+    def test_fit_validates_level_even_with_explicit_passes(self):
+        with pytest.raises(ValueError, match="unknown optimization level"):
+            numeric_pipeline(Context()).fit(level="turbo",
+                                            passes=[MaterializationPass()])
+
+    def test_fit_rejects_shim_kwargs_alongside_passes(self):
+        with pytest.raises(TypeError, match="no effect when passes="):
+            numeric_pipeline(Context()).fit(fuse=True,
+                                            passes=[MaterializationPass()])
+        with pytest.raises(TypeError, match="no effect when passes="):
+            numeric_pipeline(Context()).fit(sample_sizes=(5, 10),
+                                            passes=[MaterializationPass()])
+        # Explicitly passing the default value is still an explicit pass.
+        with pytest.raises(TypeError, match="no effect when passes="):
+            numeric_pipeline(Context()).fit(sample_sizes=(256, 512),
+                                            passes=[MaterializationPass()])
+
+    def test_shim_equivalent_to_explicit_passes(self):
+        """fit(level=...) and optimize(passes_for_level(...)).execute()
+        produce identical predictions on an end-to-end text pipeline."""
+        wl = amazon_reviews(200, 20, vocab_size=300, seed=0)
+        test_docs = ["great product love it", "terrible waste of money"]
+
+        via_fit = text_pipeline(Context(), wl).fit(level="full",
+                                                   sample_sizes=(20, 40))
+        plan = Optimizer(passes_for_level("full", sample_sizes=(20, 40))) \
+            .optimize(text_pipeline(Context(), wl))
+        via_plan = plan.execute()
+
+        assert (via_fit.training_report.passes
+                == via_plan.training_report.passes)
+        for doc in test_docs:
+            assert list(via_fit.apply(doc)) == pytest.approx(
+                list(via_plan.apply(doc)))
+
+    def test_plan_decisions_match_fit_report(self):
+        wl = amazon_reviews(200, 20, vocab_size=300, seed=0)
+        plan = Optimizer(passes_for_level("full", sample_sizes=(20, 40))) \
+            .optimize(text_pipeline(Context(), wl), level="full")
+        fitted = plan.execute()
+        report = fitted.training_report
+        assert report.level == "full"
+        assert report.cache_set == plan.cache_set
+        assert report.selections == plan.selections
+
+
+class TestFusionRespectsLevel:
+    def _fused_labels(self, fitted):
+        return [lbl for lbl in fitted.training_report.node_labels.values()
+                if "FusedTransformer" in lbl]
+
+    def test_fuse_ignored_at_level_none(self):
+        """Regression: fuse=True used to bypass the optimization level."""
+        with pytest.warns(UserWarning, match="fuse=True ignored"):
+            fitted = numeric_pipeline(Context()).fit(level="none", fuse=True)
+        assert "FusionPass" not in fitted.training_report.passes
+        assert self._fused_labels(fitted) == []
+
+    def test_fuse_applies_at_optimized_levels(self):
+        fitted = numeric_pipeline(Context()).fit(level="pipe", fuse=True,
+                                                 sample_sizes=(5, 10))
+        assert "FusionPass" in fitted.training_report.passes
+        assert len(self._fused_labels(fitted)) > 0
+        assert fitted.training_report.fused_nodes_removed > 0
+
+    def test_fusion_pass_position(self):
+        names = [p.name for p in passes_for_level("full", fuse=True)]
+        assert names == ["CSEPass", "FusionPass", "OperatorSelectionPass",
+                         "MaterializationPass"]
+
+
+class TestMaterializationPass:
+    def test_unknown_strategy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown caching strategy"):
+            MaterializationPass(strategy="bogus")
+
+    def test_lru_without_profile_marks_intermediates(self):
+        plan = Optimizer([MaterializationPass(strategy="lru",
+                                              mem_budget_bytes=1e9)]) \
+            .optimize(numeric_pipeline(Context()))
+        assert plan.state.use_lru
+        assert len(plan.cache_set) > 0
