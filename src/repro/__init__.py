@@ -43,22 +43,35 @@ Custom pass lists plug in without touching core modules::
 
 The classic one-call path still works: ``model = pipe.fit()`` (optionally
 ``level="none" | "pipe" | "full"``) is a shim over the same passes.
+
+Execution is pluggable: the same plan trains serially
+(``LocalBackend``), with independent branches overlapped on threads
+(``PipelinedBackend``), or priced per-shard on a simulated cluster
+(``ShardedBackend``)::
+
+    model = plan.execute(backend="pipelined")
+    fitted = pipe.fit(backend=ShardedBackend(workers=8))
 """
 
 from repro.cluster import ResourceDescriptor
 from repro.core import (
     CSEPass,
     Estimator,
+    ExecutionBackend,
     FittedPipeline,
     FusionPass,
     LabelEstimator,
+    LocalBackend,
     MaterializationPass,
     OperatorSelectionPass,
     Optimizer,
     Pass,
     PhysicalPlan,
     Pipeline,
+    PipelinedBackend,
     ProfilingPass,
+    ShardedBackend,
+    ShardingPass,
     Transformer,
 )
 from repro.cost import CostModel, CostProfile
@@ -73,17 +86,22 @@ __all__ = [
     "CSEPass",
     "Dataset",
     "Estimator",
+    "ExecutionBackend",
     "FittedPipeline",
     "FusionPass",
     "LabelEstimator",
+    "LocalBackend",
     "MaterializationPass",
     "OperatorSelectionPass",
     "Optimizer",
     "Pass",
     "PhysicalPlan",
     "Pipeline",
+    "PipelinedBackend",
     "ProfilingPass",
     "ResourceDescriptor",
+    "ShardedBackend",
+    "ShardingPass",
     "Transformer",
     "__version__",
 ]

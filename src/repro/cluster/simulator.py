@@ -9,8 +9,8 @@ task-scheduling overhead so that tiny stages do not scale superlinearly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.resources import ResourceDescriptor
 from repro.cost.model import execution_seconds
@@ -51,6 +51,14 @@ class ClusterSimulator:
                  overhead_per_stage: float = 2.0):
         self.resources = resources
         self.overhead_per_stage = overhead_per_stage
+        # Last priced (stage list, resources, overhead) and its timings.
+        # profile_fns must be pure (they price a fixed descriptor), so
+        # ``total_seconds`` + ``breakdown`` on the same stages evaluate
+        # each profile_fn once instead of once per call.  Keyed by stage
+        # identity plus the pricing attributes, which are re-checked in
+        # case a caller mutates them between calls.
+        self._last: Optional[Tuple[List[SimulatedStage], ResourceDescriptor,
+                                   float, List[StageTiming]]] = None
 
     def time_stage(self, stage: SimulatedStage) -> float:
         profile = stage.profile_fn(self.resources.num_nodes)
@@ -58,8 +66,24 @@ class ClusterSimulator:
                 + self.overhead_per_stage)
 
     def run(self, stages: List[SimulatedStage]) -> List[StageTiming]:
-        return [StageTiming(s.name, s.category, self.time_stage(s))
-                for s in stages]
+        """Price every stage; repeated calls on the same list are cached.
+
+        Returns fresh :class:`StageTiming` copies so caller mutation
+        cannot corrupt the memo.
+        """
+        stages = list(stages)
+        if self._last is not None:
+            last_stages, resources, overhead, timings = self._last
+            if (resources == self.resources
+                    and overhead == self.overhead_per_stage
+                    and len(last_stages) == len(stages)
+                    and all(a is b for a, b in zip(last_stages, stages))):
+                return [replace(t) for t in timings]
+        timings = [StageTiming(s.name, s.category, self.time_stage(s))
+                   for s in stages]
+        self._last = (stages, self.resources, self.overhead_per_stage,
+                      timings)
+        return [replace(t) for t in timings]
 
     def total_seconds(self, stages: List[SimulatedStage]) -> float:
         return sum(t.seconds for t in self.run(stages))

@@ -6,6 +6,12 @@ The optimizer is a composable pass pipeline: an
 :class:`~repro.core.plan.PhysicalPlan` (``explain`` / ``to_dot`` /
 ``execute``).  ``Pipeline.fit(level=...)`` remains the one-call shim over
 the same machinery.
+
+Execution is pluggable (:mod:`repro.core.backends`): the same physical
+plan trains serially (``LocalBackend``), with independent branches
+overlapped on threads (``PipelinedBackend``), or priced per-shard on a
+simulated cluster (``ShardedBackend``) — select with
+``plan.execute(backend=...)`` or ``Pipeline.fit(backend=...)``.
 """
 
 from repro.core.operators import (
@@ -34,11 +40,29 @@ from repro.core.passes import (
     OperatorSelectionPass,
     Pass,
     ProfilingPass,
+    ShardingPass,
 )
 from repro.core.optimizer import Optimizer, default_passes, passes_for_level
+from repro.core.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    LocalBackend,
+    PipelinedBackend,
+    ShardedBackend,
+    plan_scaling_sweep,
+    resolve_backend,
+)
 
 __all__ = [
+    "BACKENDS",
     "CSEPass",
+    "ExecutionBackend",
+    "LocalBackend",
+    "PipelinedBackend",
+    "ShardedBackend",
+    "ShardingPass",
+    "plan_scaling_sweep",
+    "resolve_backend",
     "DataStats",
     "Estimator",
     "FittedPipeline",

@@ -1,0 +1,69 @@
+"""Pluggable execution backends for :meth:`PhysicalPlan.execute`.
+
+One logical plan, several execution strategies — the KeystoneML premise
+(and SparkCL's: one programming model lowered onto heterogeneous engines).
+The protocol lives in :mod:`repro.core.backends.base`; three backends
+ship:
+
+- :class:`LocalBackend` — serial depth-first training (the default; the
+  reference semantics every other backend must reproduce byte-for-byte).
+- :class:`PipelinedBackend` — thread-pool scheduling that overlaps
+  featurization of independent branches with solver iterations.
+- :class:`ShardedBackend` — partitions the training flow across N
+  simulated workers and prices per-shard stage times through the cluster
+  simulator, opening the strong-scaling axis to *real* plans.
+
+Selection threads through the public API: ``plan.execute(backend=...)``,
+``Pipeline.fit(backend=...)`` and ``FittedPipeline.apply`` /
+``apply_dataset`` all accept an instance, a registry name from
+:data:`BACKENDS` (``"local" | "pipelined" | "sharded"``), or ``None`` for
+the default.
+"""
+
+from repro.core.backends.base import ExecutionBackend, TrainingSession
+from repro.core.backends.local import LocalBackend
+from repro.core.backends.pipelined import PipelinedBackend
+from repro.core.backends.sharded import ShardedBackend, plan_scaling_sweep
+
+#: registry of backend names accepted wherever ``backend=`` is
+BACKENDS = {
+    LocalBackend.name: LocalBackend,
+    PipelinedBackend.name: PipelinedBackend,
+    ShardedBackend.name: ShardedBackend,
+}
+
+
+#: stateless default shared by every ``backend=None`` call site
+_DEFAULT_BACKEND = LocalBackend()
+
+
+def resolve_backend(backend=None) -> ExecutionBackend:
+    """Turn a ``backend=`` argument into an :class:`ExecutionBackend`.
+
+    Accepts ``None`` (the default :class:`LocalBackend`), a backend
+    instance, or a registry name from :data:`BACKENDS`.
+    """
+    if backend is None:
+        return _DEFAULT_BACKEND
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]()
+        except KeyError:
+            raise ValueError(f"unknown backend {backend!r}; expected one "
+                             f"of {sorted(BACKENDS)}") from None
+    raise TypeError("backend must be None, a backend name, or an "
+                    f"ExecutionBackend instance; got {type(backend).__name__}")
+
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "LocalBackend",
+    "PipelinedBackend",
+    "ShardedBackend",
+    "TrainingSession",
+    "plan_scaling_sweep",
+    "resolve_backend",
+]

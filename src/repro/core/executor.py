@@ -15,17 +15,24 @@ executes::
     plan = Optimizer(passes_for_level("full")).optimize(pipe)
     plan.execute()
 
+Execution itself is pluggable: ``fit_pipeline(..., backend=...)`` (and
+``plan.execute(backend=...)``) hand the optimized plan to an
+:class:`~repro.core.backends.ExecutionBackend` — serial ``"local"``
+(default), thread-pooled ``"pipelined"``, or simulated-cluster
+``"sharded"``.
+
 It also hosts :class:`TrainingReport` (what happened during fit) and
-:class:`ExclusiveTimer` (per-node wall time attribution), which the plan
-executor fills in.
+:class:`ExclusiveTimer` (thread-safe per-node wall time attribution),
+which the backends fill in.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.resources import ResourceDescriptor
 from repro.core.profiler import PipelineProfile
@@ -43,27 +50,47 @@ class ExclusiveTimer:
     Dataset computations nest (computing a node's partition computes its
     parents' partitions inside), so a plain timer would double count.  The
     wrapper maintains a stack of inner-time accumulators.
+
+    Thread-safe: nesting only happens within one thread's call stack, so
+    the inner-time stack is thread-local (a shared stack would attribute
+    one thread's nested time to whatever frame another thread pushed
+    last); the ``times`` accumulator is shared across threads and guarded
+    by a lock.
     """
 
     def __init__(self):
         self.times: Dict[int, float] = defaultdict(float)
-        self._stack: List[float] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
 
-    def wrap(self, node_id: int, fn: Callable) -> Callable:
+    @property
+    def _stack(self) -> List[float]:
+        """This thread's stack of inner-time accumulators."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _charge(self, node_id: Any, start: float) -> None:
+        total = time.perf_counter() - start
+        stack = self._stack
+        inner = stack.pop()
+        with self._lock:
+            self.times[node_id] += total - inner
+        if stack:
+            stack[-1] += total
+
+    def wrap(self, node_id: Any, fn: Callable) -> Callable:
         def wrapped(*args, **kwargs):
             start = time.perf_counter()
             self._stack.append(0.0)
             try:
                 return fn(*args, **kwargs)
             finally:
-                total = time.perf_counter() - start
-                inner = self._stack.pop()
-                self.times[node_id] += total - inner
-                if self._stack:
-                    self._stack[-1] += total
+                self._charge(node_id, start)
         return wrapped
 
-    def time_block(self, node_id: int):
+    def time_block(self, node_id: Any):
         timer = self
 
         class _Block:
@@ -73,11 +100,7 @@ class ExclusiveTimer:
                 return self
 
             def __exit__(self, *exc):
-                total = time.perf_counter() - self.start
-                inner = timer._stack.pop()
-                timer.times[node_id] += total - inner
-                if timer._stack:
-                    timer._stack[-1] += total
+                timer._charge(node_id, self.start)
                 return False
 
         return _Block()
@@ -102,6 +125,17 @@ class TrainingReport:
     recomputations: int = 0
     #: names of the optimizer passes applied, in order
     passes: List[str] = field(default_factory=list)
+    #: which execution backend trained the plan (e.g. "local",
+    #: "pipelined", "sharded[workers=8]")
+    backend: str = "local"
+    #: filled by ShardedBackend: simulated-cluster pricing of this run
+    simulated_workers: Optional[int] = None
+    simulated_seconds: Optional[float] = None
+    simulated_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: the per-node SimulatedStage list, reusable for scaling sweeps
+    simulated_stages: List[Any] = field(default_factory=list)
+    simulated_resources: Optional[ResourceDescriptor] = None
+    simulated_overhead_per_stage: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -129,7 +163,8 @@ def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
                  cache_strategy: Optional[str] = None,
                  ctx: Optional[Context] = None,
                  fuse: Optional[bool] = None,
-                 passes: Optional[Sequence] = None):
+                 passes: Optional[Sequence] = None,
+                 backend=None):
     """Optimize and train a pipeline; returns a FittedPipeline.
 
     ``level`` is one of ``"none" | "pipe" | "full"``.  ``cache_strategy``
@@ -138,6 +173,11 @@ def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
     ``fuse`` additionally packs single-consumer transformer chains into
     one stage (:mod:`repro.core.fusion`) before profiling — it is part of
     the optimizer, so it is ignored at ``level="none"``.
+
+    ``backend`` selects the execution strategy (an
+    :class:`~repro.core.backends.ExecutionBackend` instance or a name from
+    :data:`repro.core.backends.BACKENDS`); default is serial
+    :class:`~repro.core.backends.LocalBackend` semantics.
 
     ``passes`` bypasses the level shim entirely: an explicit pass list is
     handed to the :class:`~repro.core.optimizer.Optimizer` as-is (the
@@ -175,4 +215,4 @@ def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
             _stacklevel=4)
     plan = Optimizer(passes).optimize(pipeline, resources,
                                       level=level or "custom")
-    return plan.execute(ctx)
+    return plan.execute(ctx, backend=backend)

@@ -14,6 +14,9 @@ transforming a :class:`~repro.core.plan.PlanState`:
   statistics that profiling produces, so the two are one pass).
 - :class:`MaterializationPass` — choose the cache set under the memory
   budget (:mod:`repro.core.materialization`, paper §4.3).
+- :class:`ShardingPass` — partition the training flow across simulated
+  workers (paper Figure 12's cluster axis); consumed by
+  :class:`~repro.core.backends.ShardedBackend`.
 
 Ordering matters: DAG-rewriting passes (CSE, fusion) must run before
 profiling, because the profile is keyed by node identity; the
@@ -181,3 +184,60 @@ class MaterializationPass(Pass):
     def __repr__(self) -> str:
         return (f"{self.name}(strategy={self.strategy!r}, "
                 f"mem_budget_bytes={self.mem_budget_bytes})")
+
+
+class ShardingPass(Pass):
+    """Partition the training flow across N simulated workers.
+
+    Assigns every executable node a role: *data-parallel* nodes (sources,
+    transformers, applies) split their work evenly across the workers;
+    *coordinated* nodes (estimators, gathers) also shard their compute but
+    pay per-worker coordination — the solver aggregation trees of the
+    paper's Table 1.  The decision (worker count plus the role of every
+    node) is recorded on the :class:`~repro.core.plan.PlanState` and in
+    the plan's decision log, so ``explain()`` shows it before execution
+    and :class:`~repro.core.backends.ShardedBackend` prices it.
+
+    ``workers`` defaults to the plan's resource descriptor node count.
+    This pass rewrites nothing, so it can run anywhere in the pass list;
+    conventionally it goes last, after MaterializationPass.
+    """
+
+    #: role names shared with the sharded backend
+    DATA_PARALLEL = "data-parallel"
+    COORDINATED = "coordinated"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @classmethod
+    def role_for(cls, node) -> str:
+        """The single classification rule, shared with ShardedBackend's
+        fallback for plans optimized without this pass."""
+        if node.kind in (g.ESTIMATOR, g.GATHER):
+            return cls.COORDINATED
+        return cls.DATA_PARALLEL
+
+    def run(self, state: PlanState) -> None:
+        workers = self.workers or state.resources.num_nodes
+        labels = state.node_labels()
+        roles = {}
+        coordinated = []
+        for node in g.ancestors([state.sink]):
+            if node.is_pipeline_input:
+                continue
+            roles[node.id] = self.role_for(node)
+            if roles[node.id] == self.COORDINATED:
+                coordinated.append(labels[node.id])
+        state.shard_workers = workers
+        state.shard_roles = roles
+        state.annotate(
+            workers=workers,
+            data_parallel=sum(1 for r in roles.values()
+                              if r == self.DATA_PARALLEL),
+            coordinated=sorted(set(coordinated)))
+
+    def __repr__(self) -> str:
+        return f"{self.name}(workers={self.workers})"

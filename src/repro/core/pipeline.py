@@ -154,11 +154,13 @@ class Pipeline:
 
         Keyword arguments configure optimization (resources, optimization
         level, memory budget, sample sizes, or an explicit ``passes``
-        list); defaults run the full KeystoneML optimization stack on a
-        local resource descriptor.  For an inspectable plan before
-        training, use :meth:`repro.core.optimizer.Optimizer.optimize`
-        instead — ``fit(level=...)`` is a shim over the same pass
-        pipeline.
+        list) and execution (``backend=`` selects an
+        :class:`~repro.core.backends.ExecutionBackend` or a name from
+        ``repro.core.backends.BACKENDS``); defaults run the full
+        KeystoneML optimization stack on a local resource descriptor with
+        serial execution.  For an inspectable plan before training, use
+        :meth:`repro.core.optimizer.Optimizer.optimize` instead —
+        ``fit(level=...)`` is a shim over the same pass pipeline.
         """
         from repro.core.executor import fit_pipeline
 
@@ -183,44 +185,23 @@ class FittedPipeline(Transformer):
         self.sink = sink
         self.training_report = training_report
 
-    def apply(self, item: Any) -> Any:
-        memo: dict = {self.input_node.id: item}
+    def apply(self, item: Any, backend=None) -> Any:
+        """Apply to one item; ``backend`` selects the execution backend."""
+        from repro.core.backends import resolve_backend
 
-        def eval_node(node: g.OpNode) -> Any:
-            if node.id in memo:
-                return memo[node.id]
-            if node.kind == g.TRANSFORMER:
-                value = node.op.apply(eval_node(node.parents[0]))
-            elif node.kind == g.GATHER:
-                value = [eval_node(p) for p in node.parents]
-            elif node.kind == g.SOURCE:
-                raise ValueError("fitted pipeline contains an unbound source")
-            else:
-                raise ValueError(f"unexpected node kind {node.kind} in "
-                                 "fitted pipeline")
-            memo[node.id] = value
-            return value
+        return resolve_backend(backend).apply_item(self, item)
 
-        return eval_node(self.sink)
+    def apply_dataset(self, data: Dataset, backend=None) -> Dataset:
+        """Batch inference; ``backend`` selects the execution backend.
 
-    def apply_dataset(self, data: Dataset) -> Dataset:
-        memo: dict = {self.input_node.id: data}
+        The serial default evaluates the inference DAG lazily; the
+        pipelined backend materializes output partitions concurrently;
+        the sharded backend re-partitions the batch into one shard per
+        simulated worker.  All return identical rows.
+        """
+        from repro.core.backends import resolve_backend
 
-        def eval_node(node: g.OpNode) -> Dataset:
-            if node.id in memo:
-                return memo[node.id]
-            if node.kind == g.TRANSFORMER:
-                value = node.op.apply_dataset(eval_node(node.parents[0]))
-            elif node.kind == g.GATHER:
-                parents = [eval_node(p) for p in node.parents]
-                value = g.zip_gather(parents)
-            else:
-                raise ValueError(f"unexpected node kind {node.kind} in "
-                                 "fitted pipeline")
-            memo[node.id] = value
-            return value
-
-        return eval_node(self.sink)
+        return resolve_backend(backend).apply_batch(self, data)
 
     def __repr__(self) -> str:
         n = len(g.ancestors([self.sink]))

@@ -9,27 +9,24 @@ the optimizer decided (:meth:`PhysicalPlan.explain`,
 *before* any training happens, and then train the pipeline with
 :meth:`PhysicalPlan.execute`.
 
-``execute`` is the back half of the original ``fit_pipeline`` monolith:
-depth-first training execution with estimators as pipeline breakers,
+``execute`` delegates to a pluggable
+:class:`~repro.core.backends.ExecutionBackend` (serial ``LocalBackend`` by
+default): depth-first training with estimators as pipeline breakers,
 followed by extraction of the inference-only DAG into a
-:class:`~repro.core.pipeline.FittedPipeline`.
+:class:`~repro.core.pipeline.FittedPipeline`.  Pass ``backend=`` to train
+the same plan pipelined across threads or priced on a simulated cluster.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
 from repro.cluster.resources import ResourceDescriptor
 from repro.core import graph as g
 from repro.core import materialization as mat
-from repro.core.executor import ExclusiveTimer, TrainingReport
-from repro.core.operators import Transformer
 from repro.core.profiler import PipelineProfile
-from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
 from repro.dataset.context import Context
-from repro.dataset.dataset import Dataset
 
 
 @dataclass
@@ -68,6 +65,10 @@ class PlanState:
     cse_nodes_removed: int = 0
     fused_nodes_removed: int = 0
     decisions: List[PassDecision] = field(default_factory=list)
+    #: worker count chosen by ShardingPass (None: no sharding decision)
+    shard_workers: Optional[int] = None
+    #: node id -> "data-parallel" | "coordinated" (see ShardingPass)
+    shard_roles: Dict[int, str] = field(default_factory=dict)
 
     def annotate(self, **details: Any) -> None:
         """Attach decision details to the pass currently running."""
@@ -190,6 +191,12 @@ class PhysicalPlan:
         labels = ", ".join(self.cache_set_labels) or "(empty)"
         lines.append(f"  cache set ({len(self.state.cache_ids)} nodes): "
                      f"{labels}")
+        if self.state.shard_workers is not None:
+            roles = self.state.shard_roles
+            dp = sum(1 for r in roles.values() if r == "data-parallel")
+            coord = sum(1 for r in roles.values() if r == "coordinated")
+            lines.append(f"  sharding: {self.state.shard_workers} workers "
+                         f"({dp} data-parallel, {coord} coordinated nodes)")
         runtime = self.estimated_runtime_seconds()
         if runtime is not None:
             cache_bytes = self.estimated_cache_bytes()
@@ -210,141 +217,20 @@ class PhysicalPlan:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, ctx: Optional[Context] = None) -> "FittedPipeline":
+    def execute(self, ctx: Optional[Context] = None,
+                backend=None) -> "FittedPipeline":
         """Train the planned pipeline; returns a FittedPipeline.
 
-        Executes the training DAG depth-first — estimators are pipeline
-        breakers — honouring the plan's caching policy, then extracts the
-        inference-only DAG.  The returned pipeline carries a
+        ``backend`` selects the execution strategy — ``None`` (serial
+        :class:`~repro.core.backends.LocalBackend`), a name from
+        :data:`repro.core.backends.BACKENDS`, or an
+        :class:`~repro.core.backends.ExecutionBackend` instance.  Every
+        backend honours the plan's caching policy and trains to identical
+        predictions; the returned pipeline carries a
         :class:`~repro.core.executor.TrainingReport` combining the
-        optimizer's decisions with measured execution times.
+        optimizer's decisions with measured (and, for the sharded
+        backend, simulated) execution times.
         """
-        from repro.core.pipeline import FittedPipeline
+        from repro.core.backends import resolve_backend
 
-        state = self.state
-        sink = state.sink
-        cache_ids = state.cache_ids
-        use_lru = state.use_lru
-
-        stale = cache_ids - {n.id for n in g.ancestors([sink])}
-        if stale:
-            raise ValueError(
-                "cache set is stale: the DAG was rewritten after "
-                "MaterializationPass, so the chosen cache set no longer "
-                "matches any node; order rewrite passes before "
-                f"MaterializationPass (unmatched ids: {sorted(stale)[:5]})")
-
-        report = TrainingReport(level=self.level)
-        report.cse_nodes_removed = state.cse_nodes_removed
-        report.fused_nodes_removed = state.fused_nodes_removed
-        report.selections = dict(state.selections)
-        report.profile = state.profile
-        report.cache_set = set(cache_ids)
-        report.cache_set_labels = self.cache_set_labels
-        report.optimize_seconds = self.optimize_seconds
-        report.passes = self.passes
-
-        exec_start = time.perf_counter()
-        if ctx is None:
-            ctx = Context(cache_budget_bytes=state.mem_budget_bytes)
-        if use_lru:
-            ctx.set_policy(AdmissionControlledLRUPolicy(),
-                           state.mem_budget_bytes)
-        else:
-            ctx.set_policy(PinnedPolicy(set()), state.mem_budget_bytes)
-
-        timer = ExclusiveTimer()
-        env: Dict[int, Any] = {}
-        fitted: Dict[int, Transformer] = {}
-
-        def dataset_of(node: g.OpNode) -> Dataset:
-            if node.id in env:
-                return env[node.id]
-            if node.kind == g.SOURCE:
-                if node.is_pipeline_input:
-                    raise ValueError(
-                        "training execution reached the pipeline input "
-                        "placeholder; estimator training data must be "
-                        "bound via and_then(est, data)")
-                ds = node.op
-                if ds.ctx is not ctx:
-                    # Re-root foreign datasets into the execution context so
-                    # the caching policy applies uniformly.
-                    ds = ctx.parallelize(ds.collect(), ds.num_partitions)
-            elif node.kind == g.TRANSFORMER:
-                parent = dataset_of(node.parents[0])
-                ds = parent.map_partitions(
-                    timer.wrap(node.id, node.op.apply_partition),
-                    name=node.label)
-            elif node.kind == g.APPLY:
-                est_node, data_node = node.parents
-                model = fit_estimator(est_node)
-                parent = dataset_of(data_node)
-                ds = parent.map_partitions(
-                    timer.wrap(node.id, model.apply_partition),
-                    name=node.label)
-            elif node.kind == g.GATHER:
-                ds = g.zip_gather([dataset_of(p) for p in node.parents])
-            else:
-                raise ValueError(f"cannot execute node kind {node.kind}")
-            if node.id in cache_ids:
-                ds.cache()
-                if not use_lru:
-                    ctx.cache.policy.cache_set.add(ds.id)
-            env[node.id] = ds
-            return ds
-
-        def fit_estimator(node: g.OpNode) -> Transformer:
-            if node.id in fitted:
-                return fitted[node.id]
-            data = dataset_of(node.parents[0])
-            with timer.time_block(node.id):
-                if len(node.parents) == 2:
-                    labels = dataset_of(node.parents[1])
-                    model = node.op.fit(data, labels)
-                else:
-                    model = node.op.fit(data)
-            fitted[node.id] = model
-            report.estimator_seconds[node.id] = timer.times[node.id]
-            return model
-
-        # Fit every estimator reachable from the sink, in dependency order.
-        for node in g.ancestors([sink]):
-            if node.kind == g.ESTIMATOR:
-                fit_estimator(node)
-
-        report.execute_seconds = time.perf_counter() - exec_start
-        report.node_seconds = dict(timer.times)
-        report.node_labels = state.node_labels()
-        report.recomputations = ctx.stats.total_computations()
-
-        # -- build the inference-only pipeline --------------------------
-        def inference_node(node: g.OpNode,
-                           memo: Dict[int, g.OpNode]) -> g.OpNode:
-            if node.id in memo:
-                return memo[node.id]
-            if node.kind == g.APPLY:
-                data_parent = inference_node(node.parents[1], memo)
-                out = g.OpNode(g.TRANSFORMER, fitted[node.parents[0].id],
-                               (data_parent,), label=node.label)
-            elif node.kind == g.TRANSFORMER:
-                out = g.OpNode(g.TRANSFORMER, node.op,
-                               (inference_node(node.parents[0], memo),),
-                               label=node.label)
-            elif node.kind == g.GATHER:
-                out = g.OpNode(g.GATHER, None,
-                               tuple(inference_node(p, memo)
-                                     for p in node.parents), label="gather")
-            elif node.is_pipeline_input:
-                out = node
-            else:
-                raise ValueError(
-                    f"node {node} cannot appear on the inference path")
-            memo[node.id] = out
-            return out
-
-        memo: Dict[int, g.OpNode] = {}
-        inference_sink = inference_node(sink, memo)
-        new_input = memo.get(state.input_node.id, state.input_node)
-        return FittedPipeline(new_input, inference_sink,
-                              training_report=report)
+        return resolve_backend(backend).execute(self, ctx)

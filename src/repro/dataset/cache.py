@@ -14,6 +14,7 @@ Three policies matter to the paper's experiments (Section 5.4):
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
@@ -98,6 +99,13 @@ class CacheManager:
     Keys are ``(dataset_id, partition_index)`` pairs; values are lists of
     rows.  Eviction happens at insert time until the new entry fits, per the
     configured policy.
+
+    Thread-safe: the pipelined execution backend pulls partitions of shared
+    datasets from several threads, so every compound operation (hit
+    bookkeeping, the admit/evict/insert sequence) runs under one lock —
+    without it, concurrent evictions race ``entries.pop`` and corrupt the
+    ``used`` accounting.  Policy callbacks run under the lock and must not
+    call back into the manager.
     """
 
     def __init__(self, budget_bytes: float = float("inf"),
@@ -110,35 +118,52 @@ class CacheManager:
         self.misses = 0
         self.evictions = 0
         self.rejections = 0
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable) -> Optional[list]:
-        entry = self.entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self.policy.touched(key, self)
-        return entry.value
+        with self._lock:
+            entry = self.entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.policy.touched(key, self)
+            return entry.value
+
+    def peek(self, key: Hashable) -> Optional[list]:
+        """Like :meth:`get` but without hit/miss accounting.
+
+        For re-checks after waiting on an in-flight compute, where the
+        original lookup already counted the miss.
+        """
+        with self._lock:
+            entry = self.entries.get(key)
+            if entry is None:
+                return None
+            self.policy.touched(key, self)
+            return entry.value
 
     def contains(self, key: Hashable) -> bool:
-        return key in self.entries
+        with self._lock:
+            return key in self.entries
 
     def put(self, key: Hashable, value: list, size: int) -> bool:
         """Insert ``value``; returns True if the entry was admitted."""
-        if key in self.entries:
-            return True
-        if not self.policy.admits(key, size, self):
-            self.rejections += 1
-            return False
-        while self.used + size > self.budget:
-            victim = self.policy.victim(self)
-            if victim is None:
+        with self._lock:
+            if key in self.entries:
+                return True
+            if not self.policy.admits(key, size, self):
                 self.rejections += 1
                 return False
-            self._evict(victim)
-        self.entries[key] = CacheEntry(key, value, size)
-        self.used += size
-        return True
+            while self.used + size > self.budget:
+                victim = self.policy.victim(self)
+                if victim is None:
+                    self.rejections += 1
+                    return False
+                self._evict(victim)
+            self.entries[key] = CacheEntry(key, value, size)
+            self.used += size
+            return True
 
     def _evict(self, key: Hashable) -> None:
         entry = self.entries.pop(key)
@@ -147,13 +172,15 @@ class CacheManager:
 
     def invalidate(self, predicate) -> None:
         """Drop all entries whose key matches ``predicate``."""
-        for key in [k for k in self.entries if predicate(k)]:
-            entry = self.entries.pop(key)
-            self.used -= entry.size
+        with self._lock:
+            for key in [k for k in self.entries if predicate(k)]:
+                entry = self.entries.pop(key)
+                self.used -= entry.size
 
     def clear(self) -> None:
-        self.entries.clear()
-        self.used = 0
+        with self._lock:
+            self.entries.clear()
+            self.used = 0
 
     def __len__(self) -> int:
         return len(self.entries)

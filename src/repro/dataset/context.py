@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -16,22 +17,28 @@ class ExecutionStats:
     ``compute_counts[dataset_id]`` is the number of partition computations
     performed for that dataset — recomputation of uncached intermediates
     shows up directly here, which is how Figure 10's comparisons are
-    measured.
+    measured.  Updates are locked: the pipelined backend records computes
+    from several threads, and an unguarded read-modify-write would drop
+    counts.
     """
 
     compute_counts: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     elements_computed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record_compute(self, dataset_id: int, num_elements: int) -> None:
-        self.compute_counts[dataset_id] += 1
-        self.elements_computed += num_elements
+        with self._lock:
+            self.compute_counts[dataset_id] += 1
+            self.elements_computed += num_elements
 
     def total_computations(self) -> int:
         return sum(self.compute_counts.values())
 
     def reset(self) -> None:
-        self.compute_counts.clear()
-        self.elements_computed = 0
+        with self._lock:
+            self.compute_counts.clear()
+            self.elements_computed = 0
 
 
 class Context:
@@ -49,10 +56,14 @@ class Context:
         self.stats = ExecutionStats()
         self.default_partitions = default_partitions
         self._next_dataset_id = 0
+        self._id_lock = threading.Lock()
 
     def next_dataset_id(self) -> int:
-        self._next_dataset_id += 1
-        return self._next_dataset_id
+        # Locked: pipelined estimator fits may derive datasets on pool
+        # threads, and duplicate ids would alias (id, partition) cache keys.
+        with self._id_lock:
+            self._next_dataset_id += 1
+            return self._next_dataset_id
 
     def parallelize(self, items, num_partitions: Optional[int] = None) -> "Dataset":
         """Create a source :class:`Dataset` from an in-memory sequence."""

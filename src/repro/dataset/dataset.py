@@ -13,6 +13,7 @@ automatic-materialization experiments (paper Section 5.4).
 from __future__ import annotations
 
 import random
+import threading
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -41,6 +42,10 @@ class Dataset:
         self.parents = parents
         self.name = name or f"dataset-{self.id}"
         self.should_cache = False
+        # Per-partition in-flight guards for cached datasets: threads
+        # racing the same cold partition wait for one compute instead of
+        # duplicating the whole upstream flow (dict.setdefault is atomic).
+        self._inflight: dict = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -66,16 +71,27 @@ class Dataset:
         """Materialize partition ``i``, consulting the cache if enabled."""
         if not 0 <= i < self.num_partitions:
             raise IndexError(f"partition {i} out of range [0, {self.num_partitions})")
+        if not self.should_cache:
+            rows = self._compute(i)
+            self.ctx.stats.record_compute(self.id, len(rows))
+            return rows
         key = (self.id, i)
-        if self.should_cache:
-            hit = self.ctx.cache.get(key)
+        hit = self.ctx.cache.get(key)
+        if hit is not None:
+            return hit
+        # Cold partition: compute under a per-partition lock so concurrent
+        # pulls (the pipelined backend) do the work once.  Lineage is a
+        # DAG of distinct datasets, so a compute never re-enters its own
+        # (dataset, partition) lock.
+        with self._inflight.setdefault(i, threading.Lock()):
+            # peek, not get: the miss was already counted above.
+            hit = self.ctx.cache.peek(key)
             if hit is not None:
                 return hit
-        rows = self._compute(i)
-        self.ctx.stats.record_compute(self.id, len(rows))
-        if self.should_cache:
+            rows = self._compute(i)
+            self.ctx.stats.record_compute(self.id, len(rows))
             self.ctx.cache.put(key, rows, estimate_partition_size(rows))
-        return rows
+            return rows
 
     def _iter_partitions(self) -> Iterable[List[Any]]:
         for i in range(self.num_partitions):

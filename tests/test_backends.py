@@ -1,0 +1,405 @@
+"""Tests for the pluggable ExecutionBackend API.
+
+The contract under test: every backend trains a physical plan to
+byte-identical predictions vs the serial LocalBackend, on both a linear
+(quickstart-style) pipeline and a gather/branching one; backend selection
+threads through ``plan.execute``, ``Pipeline.fit`` and
+``FittedPipeline.apply`` / ``apply_dataset``; ``ShardingPass`` decisions
+reach ``explain()`` and the sharded backend's simulated pricing anchors to
+measured serial time at ``workers=1``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import r3_4xlarge
+from repro.core import graph as g
+from repro.core.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    LocalBackend,
+    PipelinedBackend,
+    ShardedBackend,
+    plan_scaling_sweep,
+    resolve_backend,
+)
+from repro.core.executor import ExclusiveTimer
+from repro.core.optimizer import Optimizer, passes_for_level
+from repro.core.passes import ShardingPass
+from repro.core.pipeline import Pipeline
+from repro.dataset import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    NGramsFeaturizer,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.workloads import amazon_reviews
+
+WORKLOAD = amazon_reviews(200, 20, vocab_size=300, seed=0)
+
+
+def text_pipeline(ctx, wl=WORKLOAD):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(NGramsFeaturizer(1, 2))
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(200), data)
+            .and_then(LinearSolver(), data, labels))
+
+
+def branching_pipeline(ctx, wl=WORKLOAD):
+    """Two solver branches over a shared featurization, gathered."""
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    base = (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(NGramsFeaturizer(1, 1))
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(100), data))
+    branch1 = base.and_then(LinearSolver(), data, labels)
+    branch2 = base.and_then(LinearSolver(l2_reg=1.0), data, labels)
+    return Pipeline.gather([branch1, branch2])
+
+
+def comparable(rows):
+    """Map prediction rows to hashable byte-exact representations."""
+    out = []
+    for row in rows:
+        if isinstance(row, (list, tuple)):
+            out.append(tuple(comparable(row)))
+        else:
+            arr = np.asarray(row)
+            out.append((str(arr.dtype), arr.shape, arr.tobytes()))
+    return out
+
+
+def optimize(builder, extra_passes=()):
+    passes = passes_for_level("full", sample_sizes=(20, 40))
+    passes.extend(extra_passes)
+    return Optimizer(passes).optimize(builder(Context()))
+
+
+ALL_BACKENDS = [
+    pytest.param(lambda: LocalBackend(), id="local"),
+    pytest.param(lambda: PipelinedBackend(max_workers=3), id="pipelined"),
+    pytest.param(lambda: ShardedBackend(workers=4,
+                                        resources=r3_4xlarge(4)),
+                 id="sharded"),
+]
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        """LocalBackend predictions for both pipeline shapes."""
+        out = {}
+        for key, builder in [("text", text_pipeline),
+                             ("branching", branching_pipeline)]:
+            fitted = optimize(builder).execute(backend=LocalBackend())
+            rows = fitted.apply_dataset(
+                WORKLOAD.test_data(Context())).collect()
+            out[key] = comparable(rows)
+        return out
+
+    @pytest.mark.parametrize("make_backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("shape", ["text", "branching"])
+    def test_byte_identical_predictions(self, make_backend, shape,
+                                        reference):
+        builder = text_pipeline if shape == "text" else branching_pipeline
+        backend = make_backend()
+        fitted = optimize(builder).execute(backend=backend)
+        rows = fitted.apply_dataset(WORKLOAD.test_data(Context()),
+                                    backend=backend).collect()
+        assert comparable(rows) == reference[shape]
+
+    @pytest.mark.parametrize("make_backend", ALL_BACKENDS)
+    def test_single_item_apply_accepts_backend(self, make_backend):
+        fitted = optimize(text_pipeline).execute()
+        doc = "great product love it"
+        expected = comparable([fitted.apply(doc)])
+        got = comparable([fitted.apply(doc, backend=make_backend())])
+        assert got == expected
+
+    def test_fit_accepts_backend(self):
+        fitted = text_pipeline(Context()).fit(sample_sizes=(20, 40),
+                                              backend="pipelined")
+        assert fitted.training_report.backend == "pipelined"
+        assert fitted.apply("fine product") is not None
+
+    def test_report_names_backend(self):
+        plan = optimize(text_pipeline)
+        fitted = plan.execute(backend=ShardedBackend(workers=4))
+        assert fitted.training_report.backend == "sharded[workers=4]"
+
+
+class TestResolveBackend:
+    def test_none_is_local(self):
+        assert isinstance(resolve_backend(None), LocalBackend)
+
+    def test_instance_passthrough(self):
+        backend = PipelinedBackend(2)
+        assert resolve_backend(backend) is backend
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_names_resolve(self, name):
+        backend = resolve_backend(name)
+        assert isinstance(backend, ExecutionBackend)
+        assert backend.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="backend must be"):
+            resolve_backend(42)
+
+    def test_plan_execute_rejects_unknown(self):
+        plan = optimize(text_pipeline)
+        with pytest.raises(ValueError, match="unknown backend"):
+            plan.execute(backend="bogus")
+
+
+class TestPipelinedBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            PipelinedBackend(0)
+
+    def test_terminates_without_deadlock(self):
+        """Watchdog: a deadlocked scheduler fails instead of hanging."""
+        result = {}
+
+        def run():
+            fitted = optimize(branching_pipeline).execute(
+                backend=PipelinedBackend(max_workers=2))
+            result["fitted"] = fitted
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=120)
+        assert not worker.is_alive(), "pipelined execution deadlocked"
+        assert result["fitted"].training_report.backend == "pipelined"
+
+    def test_estimator_times_attributed(self):
+        fitted = optimize(branching_pipeline).execute(
+            backend=PipelinedBackend(max_workers=3))
+        report = fitted.training_report
+        # Three estimators: CommonSparseFeatures + two LinearSolvers.
+        assert len(report.estimator_seconds) == 3
+        assert all(t >= 0 for t in report.estimator_seconds.values())
+
+    def test_lru_cache_safe_under_concurrency(self):
+        """Regression: concurrent partition pulls raced the cache manager
+        (eviction KeyError + corrupted byte accounting)."""
+        reference = None
+        for backend in (LocalBackend(), PipelinedBackend(max_workers=4)):
+            fitted = branching_pipeline(Context()).fit(
+                sample_sizes=(20, 40), cache_strategy="lru",
+                mem_budget_bytes=2e5, backend=backend)
+            rows = comparable(fitted.apply_dataset(
+                WORKLOAD.test_data(Context())).collect())
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+    def test_error_propagates(self):
+        from repro.core.operators import LabelEstimator
+
+        class Boom(LabelEstimator):
+            def fit(self, data, labels):
+                raise RuntimeError("boom")
+
+        ctx = Context()
+        data = ctx.parallelize([1.0, 2.0], 2)
+        labels = ctx.parallelize([1.0, 2.0], 2)
+        pipe = Pipeline.identity().and_then(Boom(), data, labels)
+        plan = Optimizer(passes_for_level("none")).optimize(pipe)
+        with pytest.raises(RuntimeError, match="boom"):
+            plan.execute(backend=PipelinedBackend(2))
+
+
+class TestShardedBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedBackend(workers=0)
+
+    def test_workers_1_matches_serial_timings(self):
+        """With one worker and no overhead, simulation == measurement."""
+        backend = ShardedBackend(workers=1, resources=r3_4xlarge(1),
+                                 overhead_per_stage=0.0)
+        fitted = optimize(text_pipeline).execute(backend=backend)
+        report = fitted.training_report
+        assert report.simulated_workers == 1
+        assert report.simulated_seconds == pytest.approx(
+            sum(report.node_seconds.values()), rel=1e-9)
+
+    def test_more_workers_shrink_simulated_time(self):
+        results = {}
+        for w in (1, 8):
+            backend = ShardedBackend(workers=w, resources=r3_4xlarge(w),
+                                     overhead_per_stage=0.0)
+            fitted = optimize(text_pipeline).execute(backend=backend)
+            results[w] = fitted.training_report.simulated_seconds
+        assert results[8] < results[1]
+
+    def test_workers_default_to_sharding_pass(self):
+        plan = optimize(text_pipeline, [ShardingPass(workers=16)])
+        fitted = plan.execute(backend=ShardedBackend())
+        assert fitted.training_report.simulated_workers == 16
+
+    def test_breakdown_separates_solve_from_featurize(self):
+        fitted = optimize(text_pipeline).execute(
+            backend=ShardedBackend(workers=4))
+        breakdown = fitted.training_report.simulated_breakdown
+        assert "Model Solve" in breakdown
+        assert "Featurization" in breakdown
+
+    def test_scaling_sweep_over_real_plan(self):
+        backend = ShardedBackend(workers=8, resources=r3_4xlarge(8),
+                                 overhead_per_stage=0.0)
+        fitted = optimize(text_pipeline,
+                          [ShardingPass(workers=8)]).execute(backend=backend)
+        sweep = plan_scaling_sweep(fitted, [8, 16, 32, 64])
+        totals = [sum(sweep[w].values()) for w in (8, 16, 32, 64)]
+        assert sorted(sweep) == [8, 16, 32, 64]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_sweep_requires_sharded_run(self):
+        fitted = optimize(text_pipeline).execute()
+        with pytest.raises(ValueError, match="no simulated stages"):
+            plan_scaling_sweep(fitted, [8, 16])
+
+    def test_training_flow_gather_pays_coordination(self):
+        """A gather feeding an estimator gets a network-only stage; the
+        never-executed inference-path sink gather does not."""
+        from repro.nodes.numeric import VectorCombiner
+
+        def builder(ctx):
+            wl = WORKLOAD
+            data = wl.train_data(ctx)
+            labels = wl.train_label_vectors(ctx)
+            b1 = (Pipeline.identity().and_then(Tokenizer())
+                  .and_then(TermFrequency(lambda c: 1.0))
+                  .and_then(CommonSparseFeatures(100), data))
+            b2 = (Pipeline.identity().and_then(LowerCase())
+                  .and_then(Tokenizer())
+                  .and_then(TermFrequency(lambda c: 1.0))
+                  .and_then(CommonSparseFeatures(50), data))
+            return (Pipeline.gather([b1, b2]).and_then(VectorCombiner())
+                    .and_then(LinearSolver(), data, labels))
+
+        fitted = optimize(builder).execute(
+            backend=ShardedBackend(workers=8, resources=r3_4xlarge(8)))
+        gathers = [s for s in fitted.training_report.simulated_stages
+                   if s.name == "gather"]
+        assert len(gathers) == 1
+        assert gathers[0].profile_fn(1).network == 0.0
+        assert gathers[0].profile_fn(8).network > 0.0
+
+        # The branching fixture's gather sits on the inference path only
+        # and must not be priced.
+        sharded = optimize(branching_pipeline).execute(
+            backend=ShardedBackend(workers=8, resources=r3_4xlarge(8)))
+        assert all(s.name != "gather"
+                   for s in sharded.training_report.simulated_stages)
+
+    def test_apply_batch_shards_from_training_run(self):
+        """workers=None re-partitions inference using the trained count."""
+        backend = ShardedBackend()
+        plan = optimize(text_pipeline, [ShardingPass(workers=8)])
+        fitted = plan.execute(backend=backend)
+        out = fitted.apply_dataset(WORKLOAD.test_data(Context()),
+                                   backend=backend)
+        assert out.num_partitions == 8
+        serial = fitted.apply_dataset(WORKLOAD.test_data(Context()))
+        assert comparable(out.collect()) == comparable(serial.collect())
+
+
+class TestShardingPass:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardingPass(workers=0)
+
+    def test_decisions_reach_explain(self):
+        plan = optimize(text_pipeline, [ShardingPass(workers=8)])
+        text = plan.explain()
+        assert "ShardingPass" in text
+        assert "workers=8" in text
+        assert "sharding: 8 workers" in text
+        assert "coordinated=" in text
+
+    def test_roles_recorded_on_state(self):
+        plan = optimize(branching_pipeline, [ShardingPass(workers=4)])
+        state = plan.state
+        assert state.shard_workers == 4
+        kinds = {n.id: n.kind for n in g.ancestors([state.sink])}
+        for nid, role in state.shard_roles.items():
+            if kinds[nid] in (g.ESTIMATOR, g.GATHER):
+                assert role == ShardingPass.COORDINATED
+            else:
+                assert role == ShardingPass.DATA_PARALLEL
+
+    def test_workers_default_from_resources(self):
+        passes = passes_for_level("none")
+        passes.append(ShardingPass())
+        plan = Optimizer(passes).optimize(text_pipeline(Context()),
+                                          resources=r3_4xlarge(32))
+        assert plan.state.shard_workers == 32
+
+
+class TestExclusiveTimerThreadSafety:
+    def test_per_thread_attribution(self):
+        """Nested time on one thread must not leak into another's frame."""
+        timer = ExclusiveTimer()
+
+        def inner():
+            time.sleep(0.03)
+
+        wrapped_inner = timer.wrap("inner", inner)
+
+        def outer():
+            wrapped_inner()
+            time.sleep(0.03)
+
+        def other():
+            time.sleep(0.08)
+
+        threads = [threading.Thread(target=timer.wrap("outer", outer)),
+                   threading.Thread(target=timer.wrap("other", other))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # With a shared stack, "other" (started second, finished last)
+        # would absorb "outer"'s nested time or crash on pop.
+        assert timer.times["inner"] == pytest.approx(0.03, abs=0.02)
+        assert timer.times["outer"] == pytest.approx(0.03, abs=0.02)
+        assert timer.times["other"] == pytest.approx(0.08, abs=0.02)
+
+    def test_concurrent_accumulation_no_loss(self):
+        """4 threads x 20 timed calls must all land in the accumulator."""
+        timer = ExclusiveTimer()
+        calls_per_thread, sleep = 20, 0.002
+        fn = timer.wrap("x", lambda: time.sleep(sleep))
+
+        def hammer():
+            for _ in range(calls_per_thread):
+                fn()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Dropped updates would leave the total below the slept floor.
+        assert timer.times["x"] >= 4 * calls_per_thread * sleep

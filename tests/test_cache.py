@@ -116,3 +116,34 @@ class TestPinned:
         assert cache.put((42, 0), [1], 10)
         assert cache.put((42, 1), [2], 10)
         assert not cache.put((43, 0), [3], 10)
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_keeps_accounting_consistent(self):
+        """Regression: concurrent evictions raced entries.pop and drifted
+        the used-bytes accounting (pipelined backend workload)."""
+        import threading
+
+        from repro.dataset.cache import CacheManager, LRUPolicy
+
+        manager = CacheManager(budget_bytes=10_000, policy=LRUPolicy())
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(300):
+                    key = (tid % 3, i % 40)
+                    if manager.get(key) is None:
+                        manager.put(key, [i], 500)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert manager.used == sum(e.size for e in manager.entries.values())
+        assert manager.used <= manager.budget

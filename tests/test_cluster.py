@@ -95,6 +95,40 @@ class TestSimulator:
         assert sorted(result) == [8, 16, 32]
         assert all("Compute" in v for v in result.values())
 
+    def test_profile_fns_priced_once_across_calls(self):
+        """total_seconds + breakdown on the same stages reuse one run()."""
+        calls = []
+
+        def profile(w):
+            calls.append(w)
+            return CostProfile(flops=1e9)
+
+        stage = SimulatedStage("s", profile, "Compute")
+        sim = ClusterSimulator(ResourceDescriptor(cpu_flops=1e9), 0.0)
+        total = sim.total_seconds([stage])
+        breakdown = sim.breakdown([stage])
+        timings = sim.run([stage])
+        assert len(calls) == 1
+        assert total == pytest.approx(1.0)
+        assert breakdown["Compute"] == pytest.approx(1.0)
+        assert timings[0].seconds == pytest.approx(1.0)
+
+    def test_run_reprices_different_stages(self):
+        calls = []
+
+        def make(name):
+            def profile(w):
+                calls.append(name)
+                return CostProfile(flops=1e9)
+            return SimulatedStage(name, profile, "C")
+
+        sim = ClusterSimulator(ResourceDescriptor(cpu_flops=1e9), 0.0)
+        a, b = make("a"), make("b")
+        sim.total_seconds([a])
+        sim.total_seconds([b])
+        sim.total_seconds([a])  # a is no longer the cached list
+        assert calls == ["a", "b", "a"]
+
     def test_network_term_grows_with_nodes(self):
         """A stage whose network cost grows with w eventually dominates."""
         import math
