@@ -1,0 +1,101 @@
+"""Online model serving: register -> serve -> inspect stats().
+
+Trains two pipelines (the Figure-2 text classifier and a TIMIT-style
+vector classifier), registers them on one ModelServer, and pushes a mixed
+request stream through the dynamic micro-batcher and the cost-model
+serving cache.  Then demonstrates a warm version swap: v2 is compiled and
+warmed at register time, so deploy() is an atomic pointer move.
+
+Run:  python examples/model_serving.py
+"""
+
+from repro import Context, ModelServer, Pipeline
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.random_features import CosineRandomFeatures
+from repro.nodes.numeric import MaxClassifier, StandardScaler
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.workloads import amazon_reviews, timit_frames
+
+
+def train_reviews_model(wl, num_features=500, l2_reg=1e-8):
+    ctx = Context()
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(num_features), data)
+            .and_then(LinearSolver(l2_reg=l2_reg), data, labels)
+            .and_then(MaxClassifier())
+            .fit(sample_sizes=(50, 100)))
+
+
+def train_frames_model(wl):
+    ctx = Context()
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(CosineRandomFeatures(512, seed=1), data)
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier())
+            .fit(sample_sizes=(50, 100)))
+
+
+def main():
+    reviews = amazon_reviews(num_train=800, num_test=200, vocab_size=800,
+                             seed=0)
+    frames = timit_frames(num_train=600, num_test=200, dim=256,
+                          num_classes=8, seed=0)
+    print("training models...")
+    reviews_v1 = train_reviews_model(reviews)
+    frames_v1 = train_frames_model(frames)
+
+    server = ModelServer(max_batch=32, max_delay_ms=2.0,
+                         cache_budget_bytes=128e6, expected_reuse=6.0)
+    with server:
+        # Warmup items drive the op micro-profile; the optimizer's greedy
+        # cost model then picks which inference nodes earn their bytes.
+        server.register("reviews", reviews_v1,
+                        warmup_items=reviews.test_items[:16])
+        server.register("frames", frames_v1,
+                        warmup_items=frames.test_items[:16])
+        print(f"registered: {server.models()}")
+        plan = reviews_v1.inference_plan()
+        print(f"\ncompiled 'reviews' plan:\n{plan.describe()}\n")
+
+        # A production-ish stream: every item is requested three times
+        # (retries, hot content) -- the serving cache answers the repeats.
+        for _ in range(3):
+            server.predict_many("reviews", reviews.test_items)
+            server.predict_many("frames", frames.test_items)
+        doc = "terrible product, broken on arrival, want a refund"
+        print(f"predict('reviews', {doc!r}) ->",
+              server.predict("reviews", doc))
+
+        print("\n--- server.stats() after the mixed stream ---")
+        print(server.stats().describe())
+
+        # Warm swap: v2 (stronger regularization) is compiled and warmed
+        # by register(); deploy() atomically moves the default pointer.
+        reviews_v2 = train_reviews_model(reviews, l2_reg=1.0)
+        server.register("reviews", reviews_v2, version="v2",
+                        warmup_items=reviews.test_items[:16])
+        print("\nversions before deploy:", server.versions("reviews"),
+              "default:", server.default_version("reviews"))
+        server.deploy("reviews", "v2")
+        print("after deploy:", server.default_version("reviews"))
+        server.predict_many("reviews", reviews.test_items)
+        stats = server.stats("reviews", "v2").models["reviews@v2"]
+        print(f"v2 served {stats.requests} requests, "
+              f"p95 {stats.p95_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,17 @@ Execution is pluggable: the same plan trains serially
 
     model = plan.execute(backend="pipelined")
     fitted = pipe.fit(backend=ShardedBackend(workers=8))
+
+Trained pipelines serve online traffic through :mod:`repro.serving`:
+``ModelServer`` compiles each registered model into a flat
+``InferencePlan``, micro-batches concurrent requests, and memoizes the
+intermediates the optimizer's cost model deems worth their bytes::
+
+    server = ModelServer(max_batch=64, cache_budget_bytes=256e6)
+    with server:
+        server.register("reviews", model, warmup_items=sample_docs)
+        label = server.predict("reviews", "great product")
+        print(server.stats().describe())
 """
 
 from repro.cluster import ResourceDescriptor
@@ -76,8 +87,9 @@ from repro.core import (
 )
 from repro.cost import CostModel, CostProfile
 from repro.dataset import Context, Dataset
+from repro.serving import InferencePlan, ModelServer, compile_inference_plan
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Context",
@@ -89,9 +101,11 @@ __all__ = [
     "ExecutionBackend",
     "FittedPipeline",
     "FusionPass",
+    "InferencePlan",
     "LabelEstimator",
     "LocalBackend",
     "MaterializationPass",
+    "ModelServer",
     "OperatorSelectionPass",
     "Optimizer",
     "Pass",
@@ -104,4 +118,5 @@ __all__ = [
     "ShardingPass",
     "Transformer",
     "__version__",
+    "compile_inference_plan",
 ]

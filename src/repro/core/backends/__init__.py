@@ -20,7 +20,11 @@ Selection threads through the public API: ``plan.execute(backend=...)``,
 the default.
 """
 
-from repro.core.backends.base import ExecutionBackend, TrainingSession
+from repro.core.backends.base import (
+    ExecutionBackend,
+    TrainingSession,
+    recursive_apply_item,
+)
 from repro.core.backends.local import LocalBackend
 from repro.core.backends.pipelined import PipelinedBackend
 from repro.core.backends.sharded import ShardedBackend, plan_scaling_sweep
@@ -65,5 +69,6 @@ __all__ = [
     "ShardedBackend",
     "TrainingSession",
     "plan_scaling_sweep",
+    "recursive_apply_item",
     "resolve_backend",
 ]

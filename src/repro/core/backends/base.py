@@ -84,28 +84,46 @@ class ExecutionBackend:
         return eval_node(fitted.sink)
 
     def apply_item(self, fitted: "FittedPipeline", item: Any) -> Any:
-        """Apply a fitted pipeline to a single item."""
-        memo: Dict[int, Any] = {fitted.input_node.id: item}
+        """Apply a fitted pipeline to a single item.
 
-        def eval_node(node: g.OpNode) -> Any:
-            if node.id in memo:
-                return memo[node.id]
-            if node.kind == g.TRANSFORMER:
-                value = node.op.apply(eval_node(node.parents[0]))
-            elif node.kind == g.GATHER:
-                value = [eval_node(p) for p in node.parents]
-            elif node.kind == g.SOURCE:
-                raise ValueError("fitted pipeline contains an unbound source")
-            else:
-                raise ValueError(f"unexpected node kind {node.kind} in "
-                                 "fitted pipeline")
-            memo[node.id] = value
-            return value
-
-        return eval_node(fitted.sink)
+        Runs the pipeline's cached compiled
+        :class:`~repro.serving.compiler.InferencePlan` instead of
+        re-walking the DAG with a fresh closure and memo per request —
+        same operators in the same order, so results are byte-identical
+        to :func:`recursive_apply_item` (the reference semantics).
+        """
+        return fitted.inference_plan().run_item(item)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def recursive_apply_item(fitted: "FittedPipeline", item: Any) -> Any:
+    """Reference single-item inference: recursive DAG walk, fresh memo.
+
+    This was the hot path before inference plans were compiled; it is kept
+    as the executable specification the compiled path must match
+    byte-for-byte (the serving tests enforce it) and as the naive baseline
+    ``benchmarks/bench_serving.py`` measures against.
+    """
+    memo: Dict[int, Any] = {fitted.input_node.id: item}
+
+    def eval_node(node: g.OpNode) -> Any:
+        if node.id in memo:
+            return memo[node.id]
+        if node.kind == g.TRANSFORMER:
+            value = node.op.apply(eval_node(node.parents[0]))
+        elif node.kind == g.GATHER:
+            value = [eval_node(p) for p in node.parents]
+        elif node.kind == g.SOURCE:
+            raise ValueError("fitted pipeline contains an unbound source")
+        else:
+            raise ValueError(f"unexpected node kind {node.kind} in "
+                             "fitted pipeline")
+        memo[node.id] = value
+        return value
+
+    return eval_node(fitted.sink)
 
 
 class TrainingSession:

@@ -30,9 +30,21 @@ from repro.core.profiler import PipelineProfile
 
 
 class MaterializationProblem:
-    """A costed DAG ready for cache-set search."""
+    """A costed DAG ready for cache-set search.
 
-    def __init__(self, sinks: List[g.OpNode], profile: PipelineProfile):
+    ``sink_requests`` is how many times each sink's output is requested per
+    problem instance.  Training materialization uses the default 1 (the
+    sink is pulled once); the serving cache selection re-aims the same
+    recursion at inference by setting it to the expected number of
+    requests per distinct input — a cached node then executes once while
+    an uncached one re-executes per request.
+    """
+
+    def __init__(self, sinks: List[g.OpNode], profile: PipelineProfile,
+                 sink_requests: float = 1.0):
+        if sink_requests < 1.0:
+            raise ValueError(
+                f"sink_requests must be >= 1, got {sink_requests}")
         self.sinks = sinks
         self.order = g.ancestors(sinks)
         self.succ = g.successors_map(sinks)
@@ -40,17 +52,19 @@ class MaterializationProblem:
         self.size = {n.id: profile.size(n.id) for n in self.order}
         self.weight = {n.id: profile.nodes[n.id].weight for n in self.order}
         self.sink_ids = {s.id for s in sinks}
+        self.sink_requests = float(sink_requests)
 
     # ------------------------------------------------------------------
     def request_counts(self, cache_set: Set[int]) -> Dict[int, float]:
         """C(v) for every node under the given cache set."""
         counts: Dict[int, float] = {}
         for node in reversed(self.order):
-            c = 1.0 if node.id in self.sink_ids else 0.0
+            c = self.sink_requests if node.id in self.sink_ids else 0.0
             for p in self.succ[node.id]:
                 executions = 1.0 if p.id in cache_set else counts[p.id]
                 c += self.weight[p.id] * executions
-            counts[node.id] = max(c, 1.0) if node.id in self.sink_ids else c
+            counts[node.id] = (max(c, self.sink_requests)
+                               if node.id in self.sink_ids else c)
         return counts
 
     def estimate_runtime(self, cache_set: Set[int]) -> float:

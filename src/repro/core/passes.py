@@ -28,7 +28,7 @@ passes subclass :class:`Pass` and drop into
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core import graph as g
 from repro.core import materialization as mat
@@ -199,6 +199,14 @@ class ShardingPass(Pass):
     and :class:`~repro.core.backends.ShardedBackend` prices it.
 
     ``workers`` defaults to the plan's resource descriptor node count.
+    With ``workers="auto"`` the count is chosen cost-optimally: every
+    profiled node is priced as a simulated stage (compute splits ``1/w``,
+    coordinated nodes pay a network term growing with ``log2 w``) and the
+    candidate in ``[1, max_workers]`` minimizing total simulated seconds
+    wins — the resource budget defaults to the descriptor's node count.
+    Auto mode therefore requires a profiled plan (run
+    ``ProfilingPass``/``OperatorSelectionPass`` first).
+
     This pass rewrites nothing, so it can run anywhere in the pass list;
     conventionally it goes last, after MaterializationPass.
     """
@@ -206,11 +214,24 @@ class ShardingPass(Pass):
     #: role names shared with the sharded backend
     DATA_PARALLEL = "data-parallel"
     COORDINATED = "coordinated"
+    AUTO = "auto"
 
-    def __init__(self, workers: Optional[int] = None):
-        if workers is not None and workers < 1:
+    def __init__(self, workers: Optional[Union[int, str]] = None,
+                 max_workers: Optional[int] = None,
+                 overhead_per_stage: float = 0.0):
+        if isinstance(workers, str):
+            if workers != self.AUTO:
+                raise ValueError(
+                    f"workers must be an int >= 1, None, or "
+                    f"{self.AUTO!r}; got {workers!r}")
+        elif workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}")
         self.workers = workers
+        self.max_workers = max_workers
+        self.overhead_per_stage = overhead_per_stage
 
     @classmethod
     def role_for(cls, node) -> str:
@@ -221,7 +242,6 @@ class ShardingPass(Pass):
         return cls.DATA_PARALLEL
 
     def run(self, state: PlanState) -> None:
-        workers = self.workers or state.resources.num_nodes
         labels = state.node_labels()
         roles = {}
         coordinated = []
@@ -231,6 +251,14 @@ class ShardingPass(Pass):
             roles[node.id] = self.role_for(node)
             if roles[node.id] == self.COORDINATED:
                 coordinated.append(labels[node.id])
+        if self.workers == self.AUTO:
+            workers, simulated = self._choose_workers(state, roles)
+            state.annotate(auto=True,
+                           budget=self.max_workers
+                           or state.resources.num_nodes,
+                           simulated_seconds=round(simulated, 4))
+        else:
+            workers = self.workers or state.resources.num_nodes
         state.shard_workers = workers
         state.shard_roles = roles
         state.annotate(
@@ -239,5 +267,65 @@ class ShardingPass(Pass):
                               if r == self.DATA_PARALLEL),
             coordinated=sorted(set(coordinated)))
 
+    def _choose_workers(self, state: PlanState,
+                        roles: Dict[int, str]) -> Tuple[int, float]:
+        """Minimize simulated seconds over worker counts in the budget.
+
+        Each profiled node becomes one simulated stage: its extrapolated
+        serial time calibrates the stage's flops against the descriptor's
+        per-node compute rate; coordinated nodes additionally move their
+        profiled output bytes through a ``log2 w`` aggregation tree.
+        Ties break toward fewer workers (cheapest cluster that achieves
+        the optimum).
+        """
+        import math
+
+        from repro.cluster.simulator import ClusterSimulator, SimulatedStage
+        from repro.cost.profile import CostProfile
+
+        if state.profile is None:
+            raise ValueError(
+                "ShardingPass(workers='auto') needs a profiled plan: run "
+                "ProfilingPass or OperatorSelectionPass before ShardingPass")
+        if state.unprofiled_nodes():
+            raise ValueError(
+                "profile is stale: the DAG was rewritten after profiling; "
+                "order rewrite passes before ShardingPass(workers='auto')")
+        resources = state.resources
+        budget = self.max_workers or resources.num_nodes
+        profile = state.profile
+
+        def make_stage(node, seconds, coord_bytes):
+            flops_total = seconds * resources.cpu_flops
+
+            def profile_fn(w: int) -> CostProfile:
+                network = 0.0
+                if coord_bytes > 0.0 and w > 1:
+                    network = coord_bytes * math.log2(w)
+                return CostProfile(flops=flops_total / w, network=network)
+
+            return SimulatedStage(node.label, profile_fn)
+
+        stages = []
+        for node in g.ancestors([state.sink]):
+            if node.is_pipeline_input or node.id not in profile.nodes:
+                continue
+            seconds = profile.t(node.id)
+            coord_bytes = (profile.size(node.id)
+                           if roles.get(node.id) == self.COORDINATED
+                           else 0.0)
+            if seconds <= 0.0 and coord_bytes <= 0.0:
+                continue
+            stages.append(make_stage(node, seconds, coord_bytes))
+
+        best_w, best_seconds = 1, float("inf")
+        for w in range(1, budget + 1):
+            sim = ClusterSimulator(resources.with_nodes(w),
+                                   self.overhead_per_stage)
+            seconds = sim.total_seconds(stages)
+            if seconds < best_seconds - 1e-12:
+                best_w, best_seconds = w, seconds
+        return best_w, best_seconds
+
     def __repr__(self) -> str:
-        return f"{self.name}(workers={self.workers})"
+        return f"{self.name}(workers={self.workers!r})"

@@ -10,6 +10,7 @@ returning a :class:`FittedPipeline` usable on new data.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Optional, Sequence, Union
 
 from repro.core import graph as g
@@ -184,9 +185,52 @@ class FittedPipeline(Transformer):
         self.input_node = input_node
         self.sink = sink
         self.training_report = training_report
+        self._compiled_plan = None
+        self._compile_lock = threading.Lock()
+
+    def __getstate__(self):
+        # The compiled plan (and its lock) is a cache over the DAG;
+        # recompiled on demand after unpickling.
+        state = self.__dict__.copy()
+        state["_compiled_plan"] = None
+        del state["_compile_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Pickles written before the compiled-plan cache existed carry
+        # neither attribute; default them instead of crashing on apply.
+        self.__dict__.setdefault("_compiled_plan", None)
+        self._compile_lock = threading.Lock()
+
+    def inference_plan(self):
+        """The compiled flat op program for this pipeline (cached).
+
+        Compiled once on first use and reused by every subsequent
+        single-item apply — the inference DAG is immutable after fit, so
+        the per-request graph walk the recursive path paid is pure
+        overhead.  See :mod:`repro.serving.compiler`.
+        """
+        plan = self._compiled_plan
+        if plan is None:
+            from repro.serving.compiler import compile_inference_plan
+
+            with self._compile_lock:
+                if self._compiled_plan is None:
+                    self._compiled_plan = compile_inference_plan(self)
+                plan = self._compiled_plan
+        return plan
 
     def apply(self, item: Any, backend=None) -> Any:
-        """Apply to one item; ``backend`` selects the execution backend."""
+        """Apply to one item; ``backend`` selects the execution backend.
+
+        The default path runs the cached compiled
+        :class:`~repro.serving.compiler.InferencePlan` — same operators,
+        same order, same numerics as the recursive walk, without
+        rebuilding the closure and memo per call.
+        """
+        if backend is None:
+            return self.inference_plan().run_item(item)
         from repro.core.backends import resolve_backend
 
         return resolve_backend(backend).apply_item(self, item)

@@ -182,5 +182,11 @@ class CacheManager:
             self.entries.clear()
             self.used = 0
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def __len__(self) -> int:
         return len(self.entries)

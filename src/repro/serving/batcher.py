@@ -1,0 +1,197 @@
+"""Dynamic micro-batching: amortize per-request cost across a flush.
+
+Requests enter a bounded queue as ``(payload, Future)`` pairs.  A worker
+thread opens a batch on the first request, then keeps admitting until
+either ``max_batch`` requests are collected or ``max_delay_ms`` has passed
+since the batch opened — the classic dynamic-batching policy: full batches
+under load (throughput), prompt flushes when idle (latency).  The flush is
+handed to the runner (which vectorizes through the compiled plan's
+``run_batch``), and each request's Future resolves with its row.
+
+Backpressure is explicit: when the queue is full, :meth:`submit` raises
+:class:`ServerOverloadedError` instead of buffering without bound — the
+caller sheds load, the queue depth stays an honest health signal.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, List, Sequence, Tuple
+
+
+class ServerOverloadedError(RuntimeError):
+    """The bounded request queue is full; the caller should shed load."""
+
+
+class MicroBatcher:
+    """Queue + worker thread flushing on ``max_batch`` or ``max_delay_ms``.
+
+    ``runner`` maps a list of payloads to a same-length list of results.
+    Not started by default: call :meth:`start` (the server does) — requests
+    submitted before ``start`` simply wait in the queue, which tests use to
+    get deterministic flush sizes.
+    """
+
+    def __init__(self, runner: Callable[[List[Any]], Sequence[Any]],
+                 max_batch: int = 32, max_delay_ms: float = 2.0,
+                 max_queue: int = 1024, name: str = "batcher"):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.runner = runner
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.name = name
+        self._queue: "queue.Queue[Tuple[Any, Future]]" = \
+            queue.Queue(maxsize=max_queue)
+        self._stop = threading.Event()
+        self._thread: threading.Thread = None
+        self._lock = threading.Lock()
+        # Serializes submit's stopped-check+enqueue against stop's flag
+        # set: without it a put can land after the post-join sweep and
+        # park its Future forever.
+        self._submit_lock = threading.Lock()
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name=f"microbatcher-{self.name}",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the worker; by default finishes queued requests first."""
+        if not drain:
+            while True:
+                try:
+                    _, fut = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                fut.cancel()
+        with self._submit_lock:
+            # Under the submit lock: every future submit now rejects,
+            # and every already-enqueued request is visible to the
+            # worker's final drain or the sweep below.
+            self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+        # Post-join sweep: a request that slipped in between the worker's
+        # final empty-check and its exit must still resolve, not park its
+        # Future until the caller's timeout.
+        leftovers = []
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        for lo in range(0, len(leftovers), self.max_batch):
+            batch = leftovers[lo:lo + self.max_batch]
+            if drain:
+                self._flush(batch)
+            else:
+                for _, fut in batch:
+                    fut.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> Future:
+        fut: Future = Future()
+        with self._submit_lock:
+            if self._stop.is_set():
+                raise ServerOverloadedError(
+                    f"{self.name}: batcher is stopped")
+            try:
+                self._queue.put_nowait((payload, fut))
+            except queue.Full:
+                raise ServerOverloadedError(
+                    f"{self.name}: request queue full "
+                    f"({self._queue.maxsize} pending)") from None
+        return fut
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.batched_requests / self.batches
+                if self.batches else 0.0)
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        import time
+
+        get = self._queue.get
+        get_nowait = self._queue.get_nowait
+        while not (self._stop.is_set() and self._queue.empty()):
+            try:
+                batch = [get(timeout=0.02)]
+            except queue.Empty:
+                continue
+            deadline = time.perf_counter() + self.max_delay_ms / 1000.0
+            while len(batch) < self.max_batch:
+                # Drain whatever is already queued before touching the
+                # clock: a hot queue fills the batch without timeouts.
+                try:
+                    batch.append(get_nowait())
+                    continue
+                except queue.Empty:
+                    pass
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._flush(batch)
+
+    def _flush(self, batch: List[Tuple[Any, Future]]) -> None:
+        batch = [(payload, fut) for payload, fut in batch
+                 if fut.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        payloads = [payload for payload, _ in batch]
+        try:
+            results = self.runner(payloads)
+            if len(results) != len(payloads):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results for "
+                    f"{len(payloads)} requests")
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            for _, fut in batch:
+                fut.set_exception(exc)
+            return
+        for (_, fut), result in zip(batch, results):
+            fut.set_result(result)
+
+    def __repr__(self) -> str:
+        return (f"MicroBatcher(max_batch={self.max_batch}, "
+                f"max_delay_ms={self.max_delay_ms}, "
+                f"depth={self.queue_depth}, running={self.running})")

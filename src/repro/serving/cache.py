@@ -1,0 +1,219 @@
+"""Latency-aware serving cache: the paper's cache selection, re-aimed.
+
+Training-time materialization (paper Section 4.3) asks "which intermediates
+are worth RAM, given how often the DAG re-reads them?".  Serving asks the
+same question across *requests*: a production stream repeats inputs
+(trending items, hot queries, retried calls), so memoizing the right
+intermediate answers repeats without recomputing the pipeline.
+
+:func:`choose_serving_cache_set` reuses the optimizer's machinery
+verbatim: per-op costs and sizes measured by
+:meth:`~repro.serving.compiler.InferencePlan.profile_ops` become a
+:class:`~repro.core.profiler.PipelineProfile` over the inference DAG, and
+:class:`~repro.core.materialization.MaterializationProblem` — with
+``sink_requests`` set to the expected request count per distinct input —
+feeds the same greedy Algorithm 1 that picks training cache sets.  A node
+is selected when memoizing it (one execution per distinct input instead of
+one per request) buys more modelled time than its bytes cost under the
+budget.
+
+At runtime :class:`ServingCache` holds the selected nodes' outputs keyed
+by ``(node_id, input fingerprint)`` in a byte-budgeted
+:class:`~repro.dataset.cache.CacheManager` with plain LRU eviction — the
+budgeted-eviction machinery the dataset layer already ships.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.dataset.cache import CacheManager, LRUPolicy
+from repro.dataset.sizing import estimate_size
+
+try:
+    import scipy.sparse as sp
+except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
+    sp = None
+
+
+# ----------------------------------------------------------------------
+# Input fingerprints
+# ----------------------------------------------------------------------
+
+def fingerprint(item: Any) -> bytes:
+    """Stable content digest of a request item (cache key half).
+
+    Covers the request types the pipelines consume: strings, bytes,
+    numbers, numpy arrays, scipy sparse rows, and (nested) sequences.
+    Type and shape are folded in, so ``b"1"``, ``1`` and ``np.int64(1)``
+    do not collide.  Unknown types raise ``TypeError`` — hashing
+    ``repr()`` would fold in memory addresses, and an address reused
+    after garbage collection would alias two different requests to one
+    cache entry (a silent wrong answer); disable the serving cache to
+    serve opaque item types.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    _feed(h, item)
+    return h.digest()
+
+
+def _feed(h, item: Any) -> None:
+    if isinstance(item, str):
+        h.update(b"s")
+        h.update(item.encode("utf-8", "surrogatepass"))
+    elif isinstance(item, bytes):
+        h.update(b"b")
+        h.update(item)
+    elif isinstance(item, np.ndarray):
+        h.update(b"a")
+        h.update(str(item.dtype).encode())
+        h.update(repr(item.shape).encode())
+        h.update(np.ascontiguousarray(item).tobytes())
+    elif sp is not None and sp.issparse(item):
+        csr = item.tocsr()
+        h.update(b"p")
+        h.update(repr(csr.shape).encode())
+        h.update(np.ascontiguousarray(csr.indptr).tobytes())
+        h.update(np.ascontiguousarray(csr.indices).tobytes())
+        h.update(np.ascontiguousarray(csr.data).tobytes())
+    elif isinstance(item, (int, float, complex, bool, type(None))):
+        h.update(b"n")
+        h.update(repr(item).encode())
+    elif isinstance(item, (list, tuple)):
+        h.update(b"l" if isinstance(item, list) else b"t")
+        h.update(str(len(item)).encode())
+        for x in item:
+            h.update(b"\x00")
+            _feed(h, x)
+    elif isinstance(item, dict):
+        h.update(b"d")
+        for k in sorted(item, key=repr):
+            h.update(b"\x00")
+            _feed(h, k)
+            h.update(b"\x01")
+            _feed(h, item[k])
+    elif isinstance(item, np.generic):
+        h.update(b"g")
+        h.update(str(item.dtype).encode())
+        h.update(item.tobytes())
+    else:
+        raise TypeError(
+            f"cannot fingerprint a {type(item).__name__}: supported "
+            "request types are str, bytes, numbers, numpy arrays, scipy "
+            "sparse rows, and (nested) lists/tuples/dicts of those; "
+            "disable the serving cache (cache_budget_bytes=0) for "
+            "opaque item types")
+
+
+# ----------------------------------------------------------------------
+# Runtime cache
+# ----------------------------------------------------------------------
+
+class ServingCache:
+    """Cross-request memo of selected inference nodes, LRU under a budget.
+
+    ``node_ids`` is the selected cache set (which ops to memoize);
+    ``budget_bytes`` bounds the total bytes retained across all entries.
+    Values are stored by reference — pipeline outputs are treated as
+    immutable, the same contract batch inference already relies on.
+    Thread-safe via the underlying :class:`CacheManager`.
+    """
+
+    def __init__(self, budget_bytes: float, node_ids: Iterable[int]):
+        if budget_bytes <= 0:
+            raise ValueError(
+                f"budget_bytes must be > 0, got {budget_bytes}")
+        self.manager = CacheManager(budget_bytes, LRUPolicy())
+        self.node_ids = frozenset(node_ids)
+
+    def lookup(self, node_id: int, fp: bytes,
+               count: bool = True) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``.
+
+        ``count=False`` performs the lookup without hit/miss accounting
+        — for re-probes of a key the caller already counted once for
+        this request (e.g. the server's pre-queue sink check followed by
+        the batch path's backward pass).
+        """
+        key = (node_id, fp)
+        boxed = self.manager.get(key) if count else self.manager.peek(key)
+        if boxed is None:
+            return False, None
+        return True, boxed[0]
+
+    def put(self, node_id: int, fp: bytes, value: Any) -> bool:
+        # Boxed so legitimately-falsy outputs round-trip unambiguously.
+        return self.manager.put((node_id, fp), [value],
+                                estimate_size(value))
+
+    @property
+    def hits(self) -> int:
+        return self.manager.hits
+
+    @property
+    def misses(self) -> int:
+        return self.manager.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.manager.hit_rate
+
+    @property
+    def used_bytes(self) -> int:
+        return self.manager.used
+
+    @property
+    def budget_bytes(self) -> float:
+        return self.manager.budget
+
+    def __len__(self) -> int:
+        return len(self.manager)
+
+    def __repr__(self) -> str:
+        return (f"ServingCache(nodes={len(self.node_ids)}, "
+                f"entries={len(self)}, used={self.used_bytes}, "
+                f"hit_rate={self.hit_rate:.2f})")
+
+
+# ----------------------------------------------------------------------
+# Cost-model cache-set selection
+# ----------------------------------------------------------------------
+
+def choose_serving_cache_set(fitted, plan, budget_bytes: float,
+                             expected_reuse: float = 4.0) -> Set[int]:
+    """Pick the inference nodes worth memoizing under the byte budget.
+
+    ``plan`` must carry an op micro-profile
+    (:meth:`InferencePlan.profile_ops`); ``expected_reuse`` is the
+    modelled number of requests per distinct input (the serving analogue
+    of the materialization weight).  Returns node ids of the fitted DAG.
+    """
+    from repro.core import graph as g
+    from repro.core.materialization import (
+        MaterializationProblem,
+        greedy_cache_set,
+    )
+    from repro.core.profiler import NodeProfile, PipelineProfile
+
+    if not plan.op_seconds:
+        raise ValueError("inference plan is unprofiled: call "
+                         "plan.profile_ops(sample_items) first")
+    if expected_reuse <= 1.0:
+        return set()
+
+    slot_of = {op.node_id: op.slot for op in plan.ops}
+    profile = PipelineProfile()
+    for node in g.ancestors([fitted.sink]):
+        slot = slot_of[node.id]
+        profile.nodes[node.id] = NodeProfile(
+            node=node,
+            t_seconds=plan.op_seconds.get(slot, 0.0),
+            size_bytes=plan.op_bytes.get(slot, 0.0),
+            stats=None,
+            weight=1)
+    problem = MaterializationProblem([fitted.sink], profile,
+                                     sink_requests=expected_reuse)
+    return greedy_cache_set(problem, budget_bytes)

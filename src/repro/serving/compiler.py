@@ -1,0 +1,348 @@
+"""InferencePlan: a FittedPipeline lowered to a flat op program.
+
+The training-time hot path walks the inference DAG recursively, building a
+fresh closure and memo dict per request
+(:func:`repro.core.backends.base.recursive_apply_item`).  That is fine for
+occasional scoring but wrong for serving: at thousands of requests per
+second the per-request graph walk is pure overhead, and the recursive
+shape hides the batch-vectorization opportunity.
+
+:func:`compile_inference_plan` lowers the fitted DAG once into an
+:class:`InferencePlan` — a topologically-ordered list of
+:class:`InferenceOp` slots, each reading its inputs from earlier slots.
+The lowering preserves every optimizer decision already baked into the
+DAG: stages fused by :class:`~repro.core.passes.FusionPass` arrive as a
+single :class:`~repro.core.fusion.FusedTransformer` node and stay one op,
+and sub-DAGs merged by CSE occupy one slot, so they are evaluated once per
+request without a memo dict.
+
+Two execution modes:
+
+- :meth:`InferencePlan.run_item` — one request, per-item ``op.apply``;
+  byte-identical to the recursive walk (same ops, same order, same
+  item-level numerics).
+- :meth:`InferencePlan.run_batch` — a micro-batch, vectorized through
+  ``op.apply_partition`` exactly like the existing
+  ``FittedPipeline.apply_dataset`` path (a micro-batch is one partition).
+  Operators with BLAS-batched partitions (``LinearMapper``,
+  ``RandomFeaturesTransformer``) may differ from the per-item path in the
+  last float ulp — the same caveat ``apply_dataset`` already carries —
+  which is why served pipelines conventionally end in a classification
+  head.
+
+Both modes consult an attached :class:`~repro.serving.cache.ServingCache`
+(keyed by input fingerprint) when one is configured: ``run_item``
+short-circuits at the deepest cached node on the path to the sink,
+``run_batch`` inserts the outputs of cache-marked ops for every item of
+the flush.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import graph as g
+from repro.dataset.sizing import estimate_size
+
+#: op kinds of the compiled program
+INPUT = "input"
+TRANSFORM = "transform"
+GATHER = "gather"
+
+
+@dataclass(frozen=True)
+class InferenceOp:
+    """One instruction: compute ``slot`` from earlier ``parents`` slots."""
+
+    slot: int
+    node_id: int
+    kind: str
+    op: Any
+    parents: Tuple[int, ...]
+    label: str
+
+
+class InferencePlan:
+    """A compiled, reusable inference program for one fitted pipeline.
+
+    Build with :func:`compile_inference_plan`; plans are immutable except
+    for the optional serving cache attached via :meth:`attach_cache`.
+    Thread-safe: execution state lives on the stack of each call.
+    """
+
+    def __init__(self, ops: List[InferenceOp], input_slot: Optional[int],
+                 sink_slot: int):
+        self.ops = list(ops)
+        self.input_slot = input_slot
+        self.sink_slot = sink_slot
+        self.cache = None  # Optional[ServingCache], attached by the server
+        self._cached_slots: Tuple[int, ...] = ()
+        self._cached_slot_set: frozenset = frozenset()
+        #: per-request seconds / output bytes per slot (see profile_ops)
+        self.op_seconds: Dict[int, float] = {}
+        self.op_bytes: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def describe(self) -> str:
+        lines = [f"InferencePlan({len(self.ops)} ops)"]
+        for op in self.ops:
+            mark = " [cached]" if op.slot in self._cached_slots else ""
+            parents = ",".join(str(p) for p in op.parents)
+            lines.append(f"  %{op.slot} = {op.kind}({op.label})"
+                         f" <- [{parents}]{mark}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serving cache
+    # ------------------------------------------------------------------
+    def attach_cache(self, cache) -> None:
+        """Attach a ServingCache; its node ids select the memoized slots."""
+        self.cache = cache
+        self._cached_slots = tuple(
+            op.slot for op in self.ops
+            if op.kind != INPUT and op.node_id in cache.node_ids)
+        self._cached_slot_set = frozenset(self._cached_slots)
+
+    def cached_result(self, fp: bytes) -> Tuple[bool, Any]:
+        """Fast path: is the *sink* output cached for this fingerprint?
+
+        Returns ``(hit, value)``; used by the server to answer repeats
+        without paying the batching queue.  Counts one hit/miss — a
+        caller forwarding the miss into ``run_item``/``run_batch``
+        should pass ``sink_probed=True`` so the request is not counted
+        twice.
+        """
+        cache = self.cache
+        if cache is None or self.sink_slot not in self._cached_slot_set:
+            return False, None
+        return cache.lookup(self.ops[self.sink_slot].node_id, fp)
+
+    # ------------------------------------------------------------------
+    # Execution: single item
+    # ------------------------------------------------------------------
+    def run_item(self, item: Any, fp: Optional[bytes] = None,
+                 sink_probed: bool = False) -> Any:
+        """Apply the program to one item (per-item ``op.apply`` numerics).
+
+        ``sink_probed`` means the caller already counted a sink lookup
+        for this request (the server's pre-queue fast path), so the
+        backward pass re-probes it without hit/miss accounting.
+        """
+        cache = self.cache
+        ops = self.ops
+        slots: List[Any] = [None] * len(ops)
+        if cache is None:
+            for op in ops:
+                kind = op.kind
+                if kind == TRANSFORM:
+                    slots[op.slot] = op.op.apply(slots[op.parents[0]])
+                elif kind == GATHER:
+                    slots[op.slot] = [slots[p] for p in op.parents]
+                else:
+                    slots[op.slot] = item
+            return slots[self.sink_slot]
+
+        from repro.serving.cache import fingerprint
+
+        if fp is None:
+            fp = fingerprint(item)
+        cached = self._cached_slot_set
+        n = len(ops)
+        needed = [False] * n
+        have = [False] * n
+        needed[self.sink_slot] = True
+        # Backward pass: a cache hit satisfies its consumers, so nothing
+        # upstream of the deepest hit is computed.
+        for i in range(n - 1, -1, -1):
+            if not needed[i]:
+                continue
+            op = ops[i]
+            if i in cached:
+                hit, value = cache.lookup(
+                    op.node_id, fp,
+                    count=not (sink_probed and i == self.sink_slot))
+                if hit:
+                    slots[i] = value
+                    have[i] = True
+                    continue
+            for p in op.parents:
+                needed[p] = True
+        for i in range(n):
+            if not needed[i] or have[i]:
+                continue
+            op = ops[i]
+            value = _compute_item_op(op, slots, item)
+            slots[i] = value
+            if i in cached:
+                cache.put(op.node_id, fp, value)
+        return slots[self.sink_slot]
+
+    # ------------------------------------------------------------------
+    # Execution: micro-batch
+    # ------------------------------------------------------------------
+    def run_batch(self, items: Sequence[Any],
+                  fps: Optional[Sequence[bytes]] = None,
+                  sink_probed: bool = False) -> List[Any]:
+        """Apply the program to a micro-batch, one partition per op.
+
+        Vectorizes through ``op.apply_partition`` — the same numerics as
+        ``FittedPipeline.apply_dataset`` on a single partition.  When a
+        serving cache is attached and fingerprints are supplied, each
+        item individually resumes from its deepest cached ancestor (the
+        per-item partial reuse of :meth:`run_item`, batched: every op
+        runs once over exactly the sub-batch of items that still need
+        it) and the outputs of cache-marked ops are inserted.
+        """
+        if self.cache is None or fps is None or not self._cached_slots:
+            slots: List[Any] = [None] * len(self.ops)
+            for op in self.ops:
+                kind = op.kind
+                if kind == TRANSFORM:
+                    # Copy the parent row list: apply_partition may
+                    # consume or mutate it, and a CSE-shared slot can
+                    # have more readers.
+                    value = op.op.apply_partition(
+                        list(slots[op.parents[0]]))
+                elif kind == GATHER:
+                    value = [list(row)
+                             for row in zip(*(slots[p]
+                                              for p in op.parents))]
+                else:
+                    value = list(items)
+                slots[op.slot] = value
+            return slots[self.sink_slot]
+        return self._run_batch_cached(items, fps, sink_probed)
+
+    def _run_batch_cached(self, items: Sequence[Any],
+                          fps: Sequence[bytes],
+                          sink_probed: bool = False) -> List[Any]:
+        cache = self.cache
+        ops = self.ops
+        n_ops, n = len(ops), len(items)
+        cached = self._cached_slot_set
+        values = [[None] * n for _ in range(n_ops)]
+        needed = [[False] * n for _ in range(n_ops)]
+        have = [[False] * n for _ in range(n_ops)]
+        # Per-item backward pass, exactly run_item's: a cache hit
+        # satisfies this item's consumers, so nothing upstream of the
+        # deepest hit is computed for it.
+        for i in range(n):
+            fp = fps[i]
+            needed[self.sink_slot][i] = True
+            for s in range(n_ops - 1, -1, -1):
+                if not needed[s][i]:
+                    continue
+                op = ops[s]
+                if s in cached:
+                    hit, value = cache.lookup(
+                        op.node_id, fp,
+                        count=not (sink_probed and s == self.sink_slot))
+                    if hit:
+                        values[s][i] = value
+                        have[s][i] = True
+                        continue
+                for p in op.parents:
+                    needed[p][i] = True
+        for s in range(n_ops):
+            op = ops[s]
+            idx = [i for i in range(n)
+                   if needed[s][i] and not have[s][i]]
+            if not idx:
+                continue
+            if op.kind == TRANSFORM:
+                parent = values[op.parents[0]]
+                sub = op.op.apply_partition([parent[i] for i in idx])
+            elif op.kind == GATHER:
+                sub = [[values[p][i] for p in op.parents] for i in idx]
+            else:
+                sub = [items[i] for i in idx]
+            row = values[s]
+            for i, value in zip(idx, sub):
+                row[i] = value
+            if s in cached:
+                for i, value in zip(idx, sub):
+                    cache.put(op.node_id, fps[i], value)
+        sink = values[self.sink_slot]
+        return list(sink)
+
+    # ------------------------------------------------------------------
+    # Micro-profiling (drives the serving-cache selection)
+    # ------------------------------------------------------------------
+    def profile_ops(self, sample_items: Sequence[Any]) -> None:
+        """Measure per-request seconds and output bytes for every op.
+
+        Runs the warmup items one by one through the per-item path,
+        timing each op and sizing its output — the serving analogue of
+        the optimizer's sample profiling, feeding the cost-model cache
+        selection in :mod:`repro.serving.cache`.
+        """
+        if not sample_items:
+            raise ValueError("profile_ops needs at least one sample item")
+        seconds = {op.slot: 0.0 for op in self.ops}
+        sizes = {op.slot: 0.0 for op in self.ops}
+        for item in sample_items:
+            slots: List[Any] = [None] * len(self.ops)
+            for op in self.ops:
+                start = time.perf_counter()
+                value = _compute_item_op(op, slots, item)
+                seconds[op.slot] += time.perf_counter() - start
+                sizes[op.slot] += float(estimate_size(value))
+                slots[op.slot] = value
+        n = len(sample_items)
+        self.op_seconds = {slot: s / n for slot, s in seconds.items()}
+        self.op_bytes = {slot: b / n for slot, b in sizes.items()}
+
+
+def _compute_item_op(op: InferenceOp, slots: List[Any], item: Any) -> Any:
+    """Evaluate one op for one item (the per-item dispatch rule)."""
+    kind = op.kind
+    if kind == TRANSFORM:
+        return op.op.apply(slots[op.parents[0]])
+    if kind == GATHER:
+        return [slots[p] for p in op.parents]
+    return item
+
+
+def compile_inference_plan(fitted) -> InferencePlan:
+    """Lower a :class:`~repro.core.pipeline.FittedPipeline` to a flat plan.
+
+    The DAG is traversed once, topologically; every reachable node becomes
+    one op reading parent values from earlier slots.  Only inference-legal
+    node kinds are accepted (transformers, gathers and the pipeline-input
+    placeholder — estimators were consumed at fit time).
+    """
+    order = g.ancestors([fitted.sink])
+    slot_of: Dict[int, int] = {}
+    ops: List[InferenceOp] = []
+    input_slot: Optional[int] = None
+    for node in order:
+        slot = len(ops)
+        if node.kind == g.TRANSFORMER:
+            kind = TRANSFORM
+            parents = (slot_of[node.parents[0].id],)
+        elif node.kind == g.GATHER:
+            kind = GATHER
+            parents = tuple(slot_of[p.id] for p in node.parents)
+        elif node.is_pipeline_input:
+            kind = INPUT
+            parents = ()
+            input_slot = slot
+        elif node.kind == g.SOURCE:
+            raise ValueError(
+                "fitted pipeline contains an unbound source; only the "
+                "pipeline-input placeholder may appear at inference time")
+        else:
+            raise ValueError(
+                f"cannot compile node kind {node.kind!r} into an "
+                "inference plan")
+        ops.append(InferenceOp(slot, node.id, kind, node.op, parents,
+                               node.label))
+        slot_of[node.id] = slot
+    return InferencePlan(ops, input_slot, slot_of[fitted.sink.id])

@@ -1,0 +1,353 @@
+"""ModelServer: online inference over compiled plans.
+
+The server owns a registry of named models with explicit versions.  Each
+registered version is compiled once (:mod:`repro.serving.compiler`),
+optionally warmed (op micro-profile + cost-model cache selection), and
+given its own micro-batcher — so :meth:`deploy` is a *warm swap*: the new
+version is already compiled and serving-ready before the default-version
+pointer moves, and in-flight requests against the old version drain
+unaffected.
+
+Request path (:meth:`submit` / :meth:`predict`):
+
+1. resolve the model version (default or pinned),
+2. fingerprint the item when a serving cache is configured; a cached
+   sink output answers immediately without touching the queue,
+3. otherwise enqueue into the version's micro-batcher (or, with
+   ``micro_batching=False``, run the compiled per-item path inline),
+4. a completion callback records end-to-end latency and errors.
+
+:meth:`stats` snapshots the whole fleet — per-model p50/p95/p99 latency,
+throughput, queue depth, batch-size distribution, and cache hit rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serving.batcher import MicroBatcher, ServerOverloadedError
+from repro.serving.cache import (
+    ServingCache,
+    choose_serving_cache_set,
+    fingerprint,
+)
+from repro.serving.compiler import InferencePlan, compile_inference_plan
+from repro.serving.metrics import (
+    LatencyRecorder,
+    ModelStats,
+    ServerStats,
+    percentiles_ms,
+)
+
+
+class ServedModel:
+    """One registered (name, version): compiled plan + batcher + metrics."""
+
+    def __init__(self, name: str, version: str, fitted,
+                 plan: InferencePlan, batcher: Optional[MicroBatcher],
+                 cache: Optional[ServingCache]):
+        self.name = name
+        self.version = version
+        self.fitted = fitted
+        self.plan = plan
+        self.batcher = batcher
+        self.cache = cache
+        self.latency = LatencyRecorder()
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    def stats(self) -> ModelStats:
+        p50, p95, p99 = percentiles_ms(self.latency)
+        out = ModelStats(
+            name=self.name, version=self.version,
+            requests=self.latency.count, errors=self.latency.errors,
+            throughput_rps=self.latency.throughput_rps,
+            mean_ms=self.latency.mean_seconds * 1000.0,
+            p50_ms=p50, p95_ms=p95, p99_ms=p99,
+            plan_ops=len(self.plan),
+            cached_nodes=(len(self.cache.node_ids)
+                          if self.cache is not None else 0))
+        if self.batcher is not None:
+            out.queue_depth = self.batcher.queue_depth
+            out.batches = self.batcher.batches
+            out.mean_batch_size = self.batcher.mean_batch_size
+            out.max_batch_size = self.batcher.max_batch_seen
+        if self.cache is not None:
+            out.cache_hits = self.cache.hits
+            out.cache_misses = self.cache.misses
+            out.cache_hit_rate = self.cache.hit_rate
+            out.cache_entries = len(self.cache)
+            out.cache_used_bytes = self.cache.used_bytes
+        return out
+
+
+class ModelServer:
+    """Multi-model online serving with micro-batching and a serving cache.
+
+    Construction knobs (overridable per :meth:`register` call):
+
+    - ``max_batch`` / ``max_delay_ms`` / ``max_queue`` — the dynamic
+      micro-batching policy and the bounded-queue backpressure limit.
+    - ``cache_budget_bytes`` — per-model serving-cache budget; 0 disables
+      the cache.  With warmup items the cached nodes are selected by the
+      optimizer's greedy cost model (see :mod:`repro.serving.cache`);
+      without warmup every op is cache-marked and the budgeted LRU
+      decides what stays.
+    - ``expected_reuse`` — modelled requests per distinct input, the
+      serving analogue of the materialization weight.
+    - ``micro_batching`` — with ``False``, requests run inline on the
+      per-item compiled path (byte-identical to ``FittedPipeline.apply``
+      for every pipeline, including raw-score outputs).
+    """
+
+    def __init__(self, max_batch: int = 32, max_delay_ms: float = 2.0,
+                 max_queue: int = 1024, cache_budget_bytes: float = 0.0,
+                 expected_reuse: float = 4.0, micro_batching: bool = True):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if cache_budget_bytes < 0:
+            raise ValueError("cache_budget_bytes must be >= 0, got "
+                             f"{cache_budget_bytes}")
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.max_queue = max_queue
+        self.cache_budget_bytes = cache_budget_bytes
+        self.expected_reuse = expected_reuse
+        self.micro_batching = micro_batching
+        self._lock = threading.RLock()
+        self._versions: Dict[str, Dict[str, ServedModel]] = {}
+        self._default_version: Dict[str, str] = {}
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, fitted, version: str = "v1",
+                 warmup_items: Optional[Sequence[Any]] = None,
+                 cache_budget_bytes: Optional[float] = None,
+                 expected_reuse: Optional[float] = None,
+                 deploy: Optional[bool] = None) -> ServedModel:
+        """Compile and (optionally) warm a model version for serving.
+
+        The first version registered under ``name`` becomes the default;
+        later versions stay warm but undeployed until :meth:`deploy`
+        (or ``deploy=True``) moves the pointer.
+        """
+        budget = (self.cache_budget_bytes if cache_budget_bytes is None
+                  else cache_budget_bytes)
+        reuse = (self.expected_reuse if expected_reuse is None
+                 else expected_reuse)
+        plan = compile_inference_plan(fitted)
+
+        cache = None
+        if budget > 0:
+            if warmup_items:
+                plan.profile_ops(warmup_items)
+                node_ids = choose_serving_cache_set(
+                    fitted, plan, budget, expected_reuse=reuse)
+            else:
+                # No measurements to rank ops: mark everything and let
+                # the budgeted LRU keep what earns its bytes.
+                node_ids = {op.node_id for op in plan.ops
+                            if op.kind != "input"}
+            if node_ids:
+                cache = ServingCache(budget, node_ids)
+                plan.attach_cache(cache)
+
+        batcher = None
+        if self.micro_batching:
+            def run(payloads: List[Any], _plan=plan) -> List[Any]:
+                items = [item for item, _fp in payloads]
+                fps = ([fp for _item, fp in payloads]
+                       if _plan.cache is not None else None)
+                # submit() already counted each payload's sink probe.
+                return _plan.run_batch(items, fps, sink_probed=True)
+
+            batcher = MicroBatcher(
+                run, max_batch=self.max_batch,
+                max_delay_ms=self.max_delay_ms, max_queue=self.max_queue,
+                name=f"{name}@{version}")
+
+        model = ServedModel(name, version, fitted, plan, batcher, cache)
+        with self._lock:
+            versions = self._versions.setdefault(name, {})
+            displaced = versions.get(version)
+            versions[version] = model
+            make_default = (deploy if deploy is not None
+                            else name not in self._default_version)
+            if make_default:
+                self._default_version[name] = version
+            if self._started and batcher is not None:
+                batcher.start()
+        if displaced is not None and displaced.batcher is not None:
+            # Re-registering a live (name, version) must not leak the old
+            # worker thread; its queued requests drain first.
+            displaced.batcher.stop()
+        return model
+
+    def deploy(self, name: str, version: str) -> ServedModel:
+        """Warm-swap the default version of ``name`` (already compiled)."""
+        with self._lock:
+            model = self._resolve(name, version)
+            self._default_version[name] = version
+            return model
+
+    def models(self) -> List[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def versions(self, name: str) -> List[str]:
+        with self._lock:
+            if name not in self._versions:
+                raise KeyError(f"no model registered under {name!r}")
+            return sorted(self._versions[name])
+
+    def default_version(self, name: str) -> str:
+        with self._lock:
+            if name not in self._default_version:
+                raise KeyError(f"no model registered under {name!r}")
+            return self._default_version[name]
+
+    def _resolve(self, name: str,
+                 version: Optional[str] = None) -> ServedModel:
+        with self._lock:
+            if name not in self._versions:
+                raise KeyError(
+                    f"no model registered under {name!r}; registered: "
+                    f"{sorted(self._versions)}")
+            version = version or self._default_version.get(name)
+            if version is None:
+                raise KeyError(
+                    f"model {name!r} has no deployed version (all were "
+                    f"registered with deploy=False); deploy() one of "
+                    f"{sorted(self._versions[name])}")
+            try:
+                return self._versions[name][version]
+            except KeyError:
+                raise KeyError(
+                    f"model {name!r} has no version {version!r}; "
+                    f"registered: {sorted(self._versions[name])}") from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ModelServer":
+        with self._lock:
+            self._started = True
+            self._stopped = False
+            for versions in self._versions.values():
+                for model in versions.values():
+                    if model.batcher is not None:
+                        model.batcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        with self._lock:
+            self._started = False
+            self._stopped = True
+            batchers = [model.batcher
+                        for versions in self._versions.values()
+                        for model in versions.values()
+                        if model.batcher is not None]
+        for batcher in batchers:
+            batcher.stop(drain=drain)
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(self, name: str, item: Any,
+               version: Optional[str] = None) -> Future:
+        """Enqueue one request; returns a Future of the prediction."""
+        if self._stopped:
+            # Checked before the cache fast path too: a stopped server
+            # must not keep answering hits while rejecting misses.
+            raise ServerOverloadedError(
+                "server is stopped; call start() to serve again")
+        model = self._resolve(name, version)
+        start = time.perf_counter()
+        fp = None
+        if model.cache is not None:
+            fp = fingerprint(item)
+            hit, value = model.plan.cached_result(fp)
+            if hit:
+                fut: Future = Future()
+                fut.set_result(value)
+                model.latency.record(time.perf_counter() - start)
+                return fut
+        if model.batcher is None:
+            fut = Future()
+            try:
+                fut.set_result(model.plan.run_item(
+                    item, fp=fp, sink_probed=fp is not None))
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                fut.set_exception(exc)
+            model.latency.record(time.perf_counter() - start,
+                                 error=fut.exception() is not None)
+            return fut
+        if not model.batcher.running:
+            # Late start() on a never-started server is forgiven (an
+            # unstarted batcher would park the request forever), but a
+            # stopped server must reject, not resurrect its workers.
+            with self._lock:
+                if self._stopped:
+                    raise ServerOverloadedError(
+                        "server is stopped; call start() to serve again")
+                model.batcher.start()
+        fut = model.batcher.submit((item, fp))
+
+        def _record(f: Future, _start=start, _latency=model.latency):
+            _latency.record(time.perf_counter() - _start,
+                            error=(not f.cancelled()
+                                   and f.exception() is not None))
+
+        fut.add_done_callback(_record)
+        return fut
+
+    def predict(self, name: str, item: Any, version: Optional[str] = None,
+                timeout: Optional[float] = 60.0) -> Any:
+        """Synchronous single prediction (submit + wait)."""
+        return self.submit(name, item, version=version).result(timeout)
+
+    def predict_many(self, name: str, items: Sequence[Any],
+                     version: Optional[str] = None,
+                     timeout: Optional[float] = 60.0) -> List[Any]:
+        """Open-loop convenience: submit all items, then gather."""
+        futures = [self.submit(name, item, version=version)
+                   for item in items]
+        return [fut.result(timeout) for fut in futures]
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def stats(self, name: Optional[str] = None,
+              version: Optional[str] = None) -> ServerStats:
+        """Snapshot serving metrics for one model or the whole fleet."""
+        with self._lock:
+            if name is not None:
+                models = [self._resolve(name, version)]
+            else:
+                models = [model for versions in self._versions.values()
+                          for model in versions.values()]
+        return ServerStats(models={m.key: m.stats() for m in models})
+
+    def __repr__(self) -> str:
+        with self._lock:
+            n = sum(len(v) for v in self._versions.values())
+        return (f"ModelServer(models={n}, max_batch={self.max_batch}, "
+                f"max_delay_ms={self.max_delay_ms}, "
+                f"micro_batching={self.micro_batching})")
+
+
+__all__ = ["ModelServer", "ServedModel", "ServerOverloadedError"]

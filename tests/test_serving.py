@@ -1,0 +1,719 @@
+"""Tests for the online serving subsystem (repro.serving).
+
+The headline contract, in the style of ``tests/test_backends.py``: every
+workload in ``workloads/registry.py`` served through :class:`ModelServer`
+— batched and unbatched, cache on and off — returns predictions
+byte-identical to ``FittedPipeline.apply``.  Served pipelines end in a
+classification head (as production scoring does); the unbatched path is
+additionally byte-identical on raw score vectors, since it runs the same
+per-item ops as ``apply``.
+
+Component coverage: the InferencePlan compiler (flat lowering, fusion/CSE
+preservation, compiled-plan caching on FittedPipeline), the micro-batcher
+(flush on max_batch / max_delay, bounded-queue backpressure, error
+propagation), the cost-model serving cache (greedy selection under
+``sink_requests``, fingerprints, LRU eviction), the server registry (warm
+swap, versions, stats) and ``ShardingPass(workers="auto")``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import graph as g
+from repro.core.backends import LocalBackend, recursive_apply_item
+from repro.core.materialization import (
+    MaterializationProblem,
+    greedy_cache_set,
+)
+from repro.core.optimizer import Optimizer, passes_for_level
+from repro.core.passes import FusionPass, ShardingPass
+from repro.core.pipeline import Pipeline
+from repro.core.plan import PassDecision
+from repro.core.profiler import NodeProfile, PipelineProfile
+from repro.dataset import Context
+from repro.nodes.images import GrayScaler
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.random_features import CosineRandomFeatures
+from repro.nodes.numeric import (
+    Flatten,
+    MaxClassifier,
+    Normalizer,
+    StandardScaler,
+)
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.serving import (
+    InferencePlan,
+    MicroBatcher,
+    ModelServer,
+    ServerOverloadedError,
+    ServingCache,
+    compile_inference_plan,
+    fingerprint,
+)
+from repro.workloads import (
+    amazon_reviews,
+    cifar10_images,
+    imagenet_images,
+    timit_frames,
+    voc_images,
+    youtube8m,
+)
+
+
+def comparable(rows):
+    """Map prediction rows to hashable byte-exact representations."""
+    out = []
+    for row in rows:
+        if isinstance(row, (list, tuple)):
+            out.append(tuple(comparable(row)))
+        else:
+            arr = np.asarray(row)
+            out.append((str(arr.dtype), arr.shape, arr.tobytes()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Servable scenarios: one classifier-headed pipeline per registry workload
+# ----------------------------------------------------------------------
+
+def _vector_pipeline(ctx, wl, features):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(CosineRandomFeatures(features, seed=1), data)
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier()))
+
+
+def _image_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(GrayScaler())
+            .and_then(Flatten())
+            .and_then(Normalizer())
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier()))
+
+
+def _text_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(120), data)
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier()))
+
+
+SCENARIOS = {
+    "amazon": lambda ctx: (_text_pipeline(
+        ctx, amazon_reviews(120, 16, vocab_size=200, seed=0)),
+        amazon_reviews(120, 16, vocab_size=200, seed=0).test_items),
+    "timit": lambda ctx: (_vector_pipeline(
+        ctx, timit_frames(100, 16, dim=24, num_classes=4, seed=0), 32),
+        timit_frames(100, 16, dim=24, num_classes=4, seed=0).test_items),
+    "imagenet": lambda ctx: (_image_pipeline(
+        ctx, imagenet_images(24, 8, size=16, num_classes=3, seed=0)),
+        imagenet_images(24, 8, size=16, num_classes=3, seed=0).test_items),
+    "voc": lambda ctx: (_image_pipeline(
+        ctx, voc_images(20, 8, size=16, num_classes=3, seed=0)),
+        voc_images(20, 8, size=16, num_classes=3, seed=0).test_items),
+    "cifar10": lambda ctx: (_image_pipeline(
+        ctx, cifar10_images(24, 8, size=12, num_classes=3, seed=0)),
+        cifar10_images(24, 8, size=12, num_classes=3, seed=0).test_items),
+    "youtube8m": lambda ctx: (_vector_pipeline(
+        ctx, youtube8m(100, 16, dim=32, num_classes=5, seed=0), 24),
+        youtube8m(100, 16, dim=32, num_classes=5, seed=0).test_items),
+}
+
+_FITTED = {}
+
+
+def fitted_scenario(name):
+    """Train each scenario once per session (fit is the slow part)."""
+    if name not in _FITTED:
+        pipe, items = SCENARIOS[name](Context())
+        fitted = pipe.fit(level="none")
+        _FITTED[name] = (fitted, items,
+                         comparable([fitted.apply(x) for x in items]))
+    return _FITTED[name]
+
+
+class TestServingEquivalence:
+    """ModelServer == FittedPipeline.apply, byte for byte."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("batched", [True, False],
+                             ids=["batched", "unbatched"])
+    @pytest.mark.parametrize("cache_budget", [0.0, 1e7],
+                             ids=["cache-off", "cache-on"])
+    def test_served_predictions_byte_identical(self, name, batched,
+                                               cache_budget):
+        fitted, items, expected = fitted_scenario(name)
+        server = ModelServer(max_batch=8, max_delay_ms=5.0,
+                             micro_batching=batched,
+                             cache_budget_bytes=cache_budget)
+        with server:
+            server.register(name, fitted, warmup_items=items[:3])
+            got = comparable(server.predict_many(name, items))
+            assert got == expected
+            # Repeats (cache hits, when enabled) must not change bytes.
+            again = comparable(server.predict_many(name, items))
+            assert again == expected
+            if cache_budget:
+                assert server.stats(name).models[f"{name}@v1"].cache_hits > 0
+
+    def test_unbatched_serving_matches_raw_scores(self):
+        """Without the classifier head, the inline path still matches
+        apply bit-for-bit (it runs the identical per-item ops)."""
+        wl = timit_frames(80, 12, dim=16, num_classes=3, seed=1)
+        ctx = Context()
+        pipe = _vector_pipeline(ctx, wl, 16)  # includes MaxClassifier...
+        fitted = pipe.fit(level="none")
+        # ...so strip to the raw-score prefix: serve the score pipeline.
+        wl_items = wl.test_items
+        raw = (Pipeline.identity()
+               .and_then(StandardScaler(), wl.train_data(ctx))
+               .and_then(CosineRandomFeatures(16, seed=1), wl.train_data(ctx))
+               .and_then(LinearSolver(), wl.train_data(ctx),
+                         wl.train_label_vectors(ctx))
+               .fit(level="none"))
+        expected = comparable([raw.apply(x) for x in wl_items])
+        server = ModelServer(micro_batching=False, cache_budget_bytes=1e7)
+        with server:
+            server.register("raw", raw, warmup_items=wl_items[:2])
+            got = comparable(server.predict_many("raw", wl_items))
+            again = comparable(server.predict_many("raw", wl_items))
+        assert got == expected
+        assert again == expected
+        assert comparable([fitted.apply(wl_items[0])])  # fitted still usable
+
+
+class TestInferencePlanCompiler:
+    def test_flat_lowering_is_topological(self):
+        fitted, items, _ = fitted_scenario("timit")
+        plan = compile_inference_plan(fitted)
+        assert len(plan) == len(g.ancestors([fitted.sink]))
+        for op in plan.ops:
+            assert all(p < op.slot for p in op.parents)
+        assert plan.sink_slot == len(plan) - 1
+
+    def test_run_item_matches_recursive_walk(self):
+        for name in ("amazon", "timit", "imagenet"):
+            fitted, items, _ = fitted_scenario(name)
+            plan = compile_inference_plan(fitted)
+            for item in items[:4]:
+                assert comparable([plan.run_item(item)]) == comparable(
+                    [recursive_apply_item(fitted, item)])
+
+    def test_gather_pipeline_compiles_and_matches(self):
+        wl = amazon_reviews(100, 10, vocab_size=150, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        base = (Pipeline.identity().and_then(LowerCase())
+                .and_then(Tokenizer())
+                .and_then(TermFrequency(lambda c: 1.0))
+                .and_then(CommonSparseFeatures(80), data))
+        fitted = Pipeline.gather(
+            [base.and_then(LinearSolver(), data, labels),
+             base.and_then(LinearSolver(l2_reg=1.0), data, labels)],
+        ).fit(level="pipe", sample_sizes=(10, 20))
+        plan = fitted.inference_plan()
+        # CSE merged the shared featurization: one slot feeds both
+        # solver branches, and run_item computes it once per request.
+        gather_op = plan.ops[plan.sink_slot]
+        assert gather_op.kind == "gather"
+        assert len(gather_op.parents) == 2
+        for item in wl.test_items[:4]:
+            assert comparable(plan.run_item(item)) == comparable(
+                recursive_apply_item(fitted, item))
+        batch = plan.run_batch(wl.test_items)
+        assert comparable(batch) == comparable(
+            fitted.apply_dataset(
+                Context().parallelize(wl.test_items, 1)).collect())
+
+    def test_fused_stages_stay_fused(self):
+        wl = timit_frames(60, 8, dim=12, num_classes=3, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(Normalizer())
+                .and_then(Flatten())
+                .and_then(LinearSolver(), data, labels))
+        passes = passes_for_level("none")
+        passes.insert(0, FusionPass())
+        fitted = Optimizer(passes).optimize(pipe).execute()
+        from repro.core.fusion import FusedTransformer
+
+        plan = compile_inference_plan(fitted)
+        fused = [op for op in plan.ops
+                 if isinstance(op.op, FusedTransformer)]
+        assert fused, "FusionPass stages must arrive as one compiled op"
+
+    def test_fitted_pipeline_caches_compiled_plan(self):
+        fitted, items, _ = fitted_scenario("timit")
+        plan1 = fitted.inference_plan()
+        fitted.apply(items[0])
+        assert fitted.inference_plan() is plan1
+
+    def test_pre_compiled_plan_pickles_load(self):
+        """A pickle whose state predates the compiled-plan cache (no
+        _compiled_plan key) must apply cleanly, not AttributeError."""
+        from repro.core.pipeline import FittedPipeline
+
+        fitted, items, expected = fitted_scenario("voc")
+        state = fitted.__getstate__()
+        del state["_compiled_plan"]  # simulate a v1.1.0 pickle payload
+        revived = FittedPipeline.__new__(FittedPipeline)
+        revived.__setstate__(state)
+        assert comparable([revived.apply(items[0])]) == [expected[0]]
+
+    def test_apply_with_backend_matches_default(self):
+        fitted, items, expected = fitted_scenario("voc")
+        got = comparable([fitted.apply(x, backend=LocalBackend())
+                          for x in items])
+        assert got == expected
+
+    def test_rejects_unbound_source(self):
+        ctx = Context()
+        bound = g.source(ctx.parallelize([1, 2], 1))
+        sink = g.OpNode(g.TRANSFORMER, Normalizer(), (bound,))
+        from repro.core.pipeline import FittedPipeline
+
+        broken = FittedPipeline(g.pipeline_input(), sink)
+        with pytest.raises(ValueError, match="unbound source"):
+            compile_inference_plan(broken)
+
+
+class TestMicroBatcher:
+    def test_flushes_on_max_batch(self):
+        sizes = []
+
+        def runner(items):
+            sizes.append(len(items))
+            return items
+
+        batcher = MicroBatcher(runner, max_batch=4, max_delay_ms=500)
+        futures = [batcher.submit(i) for i in range(10)]
+        batcher.start()
+        assert [f.result(timeout=10) for f in futures] == list(range(10))
+        batcher.stop()
+        # Pre-queued requests flush as full batches; only the remainder
+        # waits out the delay.
+        assert sizes[0] == 4
+        assert sum(sizes) == 10
+        assert max(sizes) <= 4
+
+    def test_flushes_on_max_delay(self):
+        batcher = MicroBatcher(lambda items: items, max_batch=64,
+                               max_delay_ms=20).start()
+        start = time.perf_counter()
+        assert batcher.submit("x").result(timeout=10) == "x"
+        elapsed = time.perf_counter() - start
+        batcher.stop()
+        assert elapsed < 5.0  # flushed by the delay, not max_batch
+
+    def test_bounded_queue_sheds_load(self):
+        batcher = MicroBatcher(lambda items: items, max_queue=2)
+        batcher.submit(1)
+        batcher.submit(2)
+        with pytest.raises(ServerOverloadedError, match="queue full"):
+            batcher.submit(3)
+
+    def test_runner_error_propagates_to_futures(self):
+        def boom(items):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(boom, max_batch=2, max_delay_ms=1).start()
+        fut = batcher.submit("x")
+        with pytest.raises(RuntimeError, match="boom"):
+            fut.result(timeout=10)
+        batcher.stop()
+
+    def test_wrong_result_length_is_an_error(self):
+        batcher = MicroBatcher(lambda items: items[:-1], max_batch=2,
+                               max_delay_ms=1).start()
+        fut = batcher.submit("x")
+        with pytest.raises(RuntimeError, match="results for"):
+            fut.result(timeout=10)
+        batcher.stop()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(lambda i: i, max_batch=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatcher(lambda i: i, max_queue=0)
+
+    def test_submit_after_stop_is_rejected(self):
+        batcher = MicroBatcher(lambda items: items).start()
+        batcher.stop()
+        with pytest.raises(ServerOverloadedError, match="stopped"):
+            batcher.submit("x")
+
+    def test_stop_drains_requests_enqueued_during_shutdown(self):
+        """The post-join sweep resolves late arrivals instead of parking
+        their futures until the caller's timeout."""
+        batcher = MicroBatcher(lambda items: items, max_delay_ms=1)
+        fut = batcher.submit("x")  # worker never started: queue only
+        batcher.stop()  # drain=True must still flush it
+        assert fut.result(timeout=1) == "x"
+
+
+class TestServingCacheSelection:
+    def _problem(self, times, sizes, sink_requests):
+        """A 3-node chain a -> b -> c with the given costs/sizes."""
+        a = g.OpNode(g.TRANSFORMER, Normalizer(), (g.pipeline_input(),),
+                     label="a")
+        b = g.OpNode(g.TRANSFORMER, Normalizer(), (a,), label="b")
+        c = g.OpNode(g.TRANSFORMER, Normalizer(), (b,), label="c")
+        profile = PipelineProfile()
+        for node, t, size in zip((a, b, c), times, sizes):
+            profile.nodes[node.id] = NodeProfile(
+                node=node, t_seconds=t, size_bytes=size, stats=None)
+        profile.nodes[a.parents[0].id] = NodeProfile(
+            node=a.parents[0], t_seconds=0.0, size_bytes=0.0, stats=None)
+        return c, MaterializationProblem([c], profile,
+                                         sink_requests=sink_requests)
+
+    def test_sink_requests_make_linear_chains_cacheable(self):
+        # With one request per input, caching a linear chain buys
+        # nothing; with repeats, the sink is the best buy.
+        _, once = self._problem([1.0, 1.0, 1.0], [10, 10, 10], 1.0)
+        assert greedy_cache_set(once, mem_budget=100) == set()
+        sink, repeated = self._problem([1.0, 1.0, 1.0], [10, 10, 10], 5.0)
+        assert sink.id in greedy_cache_set(repeated, mem_budget=100)
+
+    def test_budget_excludes_fat_nodes(self):
+        sink, problem = self._problem([1.0, 1.0, 1.0], [10, 10, 1000], 5.0)
+        chosen = greedy_cache_set(problem, mem_budget=50)
+        assert sink.id not in chosen  # sink too big for the budget
+        assert chosen  # but a cheaper upstream node still pays off
+
+    def test_sink_requests_validation(self):
+        with pytest.raises(ValueError, match="sink_requests"):
+            self._problem([1.0], [1.0], 0.5)
+
+    def test_server_selects_expensive_sink(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(cache_budget_bytes=1e7, expected_reuse=8.0)
+        model = server.register("m", fitted, warmup_items=items[:4])
+        sink_id = fitted.sink.id
+        assert sink_id in model.cache.node_ids
+
+
+class TestServingCacheRuntime:
+    def test_lru_eviction_under_budget(self):
+        value = np.zeros(64)  # estimate_size >> 1 byte
+        from repro.dataset.sizing import estimate_size
+
+        size = estimate_size(value)
+        cache = ServingCache(budget_bytes=2.5 * size, node_ids={1})
+        cache.put(1, b"a", value)
+        cache.put(1, b"b", value)
+        cache.put(1, b"c", value)  # evicts the oldest (a)
+        assert len(cache) == 2
+        assert cache.lookup(1, b"a") == (False, None)
+        assert cache.lookup(1, b"c")[0]
+        assert cache.manager.evictions == 1
+
+    def test_boxed_values_roundtrip_falsy_outputs(self):
+        cache = ServingCache(budget_bytes=1e6, node_ids={1})
+        cache.put(1, b"k", 0)
+        assert cache.lookup(1, b"k") == (True, 0)
+
+    def test_fingerprints_discriminate(self):
+        a = np.arange(4, dtype=np.float64)
+        assert fingerprint(a) == fingerprint(a.copy())
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+        assert fingerprint(a) != fingerprint(a.reshape(2, 2))
+        assert fingerprint("doc") == fingerprint("doc")
+        assert fingerprint("doc") != fingerprint("Doc")
+        assert fingerprint([1, 2]) != fingerprint((1, 2))
+        assert fingerprint(1) != fingerprint("1")
+        import scipy.sparse as sp
+
+        row = sp.csr_matrix(np.eye(3)[0])
+        assert fingerprint(row) == fingerprint(row.copy())
+        assert fingerprint(row) != fingerprint(sp.csr_matrix(np.eye(3)[1]))
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            ServingCache(budget_bytes=0, node_ids={1})
+
+    def test_opaque_types_are_rejected_not_aliased(self):
+        # repr() of a default object embeds its memory address; hashing
+        # it would alias two different requests after address reuse.
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            fingerprint(Opaque())
+        assert isinstance(fingerprint(np.int64(7)), bytes)
+
+    def test_batched_reuse_of_intermediate_only_cache(self):
+        """When the sink is over budget, a cached featurizer must still
+        answer repeats on the batched path (not be write-only)."""
+        fitted, items, expected = fitted_scenario("timit")
+        plan = compile_inference_plan(fitted)
+        # Cache only the RandomFeatures output: the expensive prefix.
+        feature_node = [op.node_id for op in plan.ops
+                        if "RandomFeatures" in op.label][0]
+        cache = ServingCache(budget_bytes=1e7, node_ids={feature_node})
+        plan.attach_cache(cache)
+        fps = [fingerprint(x) for x in items]
+        first = plan.run_batch(items, fps)
+        assert cache.hits == 0 and len(cache) == len(items)
+        second = plan.run_batch(items, fps)
+        assert cache.hits == len(items)
+        assert comparable(first) == comparable(second) == expected
+
+
+class TestModelServer:
+    def test_warm_swap_between_versions(self):
+        wl = timit_frames(80, 10, dim=16, num_classes=3, seed=2)
+        ctx = Context()
+        v1 = _vector_pipeline(ctx, wl, 16).fit(level="none")
+        v2 = (Pipeline.identity()
+              .and_then(Normalizer())
+              .and_then(LinearSolver(), wl.train_data(ctx),
+                        wl.train_label_vectors(ctx))
+              .and_then(MaxClassifier())
+              .fit(level="none"))
+        item = wl.test_items[0]
+        server = ModelServer(micro_batching=False)
+        with server:
+            server.register("m", v1, version="v1")
+            server.register("m", v2, version="v2")  # warm, not default
+            assert server.default_version("m") == "v1"
+            assert server.versions("m") == ["v1", "v2"]
+            assert server.predict("m", item) == v1.apply(item)
+            server.deploy("m", "v2")
+            assert server.default_version("m") == "v2"
+            assert server.predict("m", item) == v2.apply(item)
+            # Pinned requests still reach the undeployed version.
+            assert server.predict("m", item, version="v1") == v1.apply(item)
+
+    def test_reregistering_a_version_stops_displaced_batcher(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(max_batch=4, max_delay_ms=1.0)
+        with server:
+            old = server.register("m", fitted)
+            assert old.batcher.running
+            new = server.register("m", fitted, version="v1")
+            assert not old.batcher.running
+            assert new.batcher.running
+            assert server.predict("m", items[0]) == fitted.apply(items[0])
+
+    def test_stopped_server_rejects_instead_of_resurrecting(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(max_batch=4, max_delay_ms=1.0,
+                             cache_budget_bytes=1e7)
+        with server:
+            model = server.register("m", fitted, warmup_items=items[:3])
+            server.predict("m", items[0])
+        assert not model.batcher.running
+        # Rejects cold requests AND cached repeats alike.
+        with pytest.raises(ServerOverloadedError, match="stopped"):
+            server.predict("m", items[1])
+        with pytest.raises(ServerOverloadedError, match="stopped"):
+            server.predict("m", items[0])
+        assert not model.batcher.running  # no worker was resurrected
+        server.start()
+        assert server.predict("m", items[0]) == fitted.apply(items[0])
+
+    def test_cache_hit_rate_counts_each_request_once(self):
+        """The pre-queue sink probe and the batch path's backward pass
+        must not double-count one request's miss."""
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(max_batch=4, max_delay_ms=2.0,
+                             cache_budget_bytes=1e7)
+        with server:
+            server.register("m", fitted, warmup_items=items[:3])
+            cold = items[:2]
+            server.predict_many("m", cold)   # 2 misses
+            server.predict_many("m", cold)   # 2 hits
+            stats = server.stats("m").models["m@v1"]
+        assert (stats.cache_hits, stats.cache_misses) == (2, 2)
+        assert stats.cache_hit_rate == pytest.approx(0.5)
+
+    def test_stats_report_cached_nodes_before_any_traffic(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(cache_budget_bytes=1e7)
+        server.register("m", fitted, warmup_items=items[:3])
+        stats = server.stats("m").models["m@v1"]
+        assert stats.cached_nodes > 0  # selection visible pre-traffic
+
+    def test_undeployed_only_model_raises_actionable_error(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(micro_batching=False)
+        server.register("m", fitted, version="v1", deploy=False)
+        with pytest.raises(KeyError, match="no deployed version"):
+            server.predict("m", items[0])
+        server.deploy("m", "v1")
+        assert server.predict("m", items[0]) == fitted.apply(items[0])
+
+    def test_unknown_model_and_version(self):
+        server = ModelServer()
+        with pytest.raises(KeyError, match="no model registered"):
+            server.predict("ghost", 1)
+        fitted, items, _ = fitted_scenario("timit")
+        server.register("m", fitted)
+        with pytest.raises(KeyError, match="no version"):
+            server.predict("m", items[0], version="v9")
+
+    def test_stats_report_shape(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(max_batch=4, max_delay_ms=2.0,
+                             cache_budget_bytes=1e7)
+        with server:
+            server.register("timit", fitted, warmup_items=items[:3])
+            server.predict_many("timit", items)
+            server.predict_many("timit", items)
+            stats = server.stats()
+        model = stats.models["timit@v1"]
+        assert model.requests == 2 * len(items)
+        assert stats.total_requests == model.requests
+        assert model.errors == 0
+        assert model.throughput_rps > 0
+        assert 0 < model.p50_ms <= model.p95_ms <= model.p99_ms
+        assert model.batches >= 1
+        assert 1 <= model.mean_batch_size <= 4
+        assert model.cache_hit_rate > 0
+        assert model.plan_ops == len(fitted.inference_plan())
+        text = stats.describe()
+        assert "timit@v1" in text
+        assert "p95" in text
+        assert "hit rate" in text
+
+    def test_request_errors_are_recorded_and_raised(self):
+        from repro.core.operators import Transformer
+
+        class Boom(Transformer):
+            def apply(self, item):
+                raise RuntimeError("inference boom")
+
+        fitted = (Pipeline.identity().and_then(Boom())
+                  .fit(level="none"))
+        for batched in (True, False):
+            server = ModelServer(max_batch=2, max_delay_ms=1.0,
+                                 micro_batching=batched)
+            with server:
+                server.register("m", fitted)
+                with pytest.raises(RuntimeError, match="inference boom"):
+                    server.predict("m", 1)
+                assert server.stats("m").models["m@v1"].errors == 1
+
+    def test_concurrent_clients_closed_loop(self):
+        fitted, items, expected = fitted_scenario("youtube8m")
+        server = ModelServer(max_batch=8, max_delay_ms=2.0,
+                             cache_budget_bytes=1e7)
+        failures = []
+
+        def client():
+            for item, want in zip(items, expected):
+                got = comparable([server.predict("youtube8m", item)])
+                if got != [want]:
+                    failures.append(got)
+
+        with server:
+            server.register("youtube8m", fitted, warmup_items=items[:3])
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not any(t.is_alive() for t in threads), "clients hung"
+        assert not failures
+        assert server.stats().total_requests == 4 * len(items)
+
+
+class TestShardingAutoWorkers:
+    def _plan(self, workers, max_workers=None, resources=None):
+        from repro.cluster.resources import r3_4xlarge
+
+        wl = amazon_reviews(150, 10, vocab_size=200, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity().and_then(LowerCase())
+                .and_then(Tokenizer())
+                .and_then(TermFrequency(lambda c: 1.0))
+                .and_then(CommonSparseFeatures(100), data)
+                .and_then(LinearSolver(), data, labels))
+        passes = passes_for_level("pipe", sample_sizes=(10, 20))
+        passes.append(ShardingPass(workers=workers,
+                                   max_workers=max_workers))
+        return Optimizer(passes).optimize(
+            pipe, resources=resources or r3_4xlarge(16))
+
+    def test_auto_respects_budget(self):
+        plan = self._plan("auto", max_workers=4)
+        assert 1 <= plan.state.shard_workers <= 4
+
+    def test_auto_defaults_budget_to_resources(self):
+        plan = self._plan("auto")
+        assert 1 <= plan.state.shard_workers <= 16
+
+    def test_auto_decision_reaches_explain(self):
+        plan = self._plan("auto", max_workers=8)
+        text = plan.explain()
+        assert "auto=True" in text
+        assert "budget=8" in text
+        assert "simulated_seconds=" in text
+
+    def test_auto_requires_profile(self):
+        from repro.cluster.resources import r3_4xlarge
+
+        wl = amazon_reviews(60, 5, vocab_size=100, seed=0)
+        ctx = Context()
+        pipe = (Pipeline.identity().and_then(Tokenizer())
+                .and_then(TermFrequency(lambda c: 1.0))
+                .and_then(CommonSparseFeatures(50), wl.train_data(ctx))
+                .and_then(LinearSolver(), wl.train_data(ctx),
+                          wl.train_label_vectors(ctx)))
+        passes = passes_for_level("none")
+        passes.append(ShardingPass(workers="auto"))
+        with pytest.raises(ValueError, match="needs a profiled plan"):
+            Optimizer(passes).optimize(pipe, resources=r3_4xlarge(8))
+
+    def test_auto_finds_interior_optimum_when_coordination_dominates(self):
+        # Inflate the solver's profiled output: its log2(w) aggregation
+        # traffic then outweighs the 1/w compute win well below the
+        # budget, so auto must stop early.
+        plan = self._plan(1)  # profiled plan; sharding decision ignored
+        state = plan.state
+        for node in g.ancestors([state.sink]):
+            if node.kind == g.ESTIMATOR:
+                state.profile.nodes[node.id].size_bytes = 1e12
+        sharding = ShardingPass(workers="auto", max_workers=128)
+        state.decisions.append(PassDecision(name=sharding.name))
+        sharding.run(state)
+        assert state.shard_workers < 128
+
+    def test_auto_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="workers must be"):
+            ShardingPass(workers="turbo")
+        with pytest.raises(ValueError, match="max_workers"):
+            ShardingPass(workers="auto", max_workers=0)
+
+    def test_sharded_backend_consumes_auto_decision(self):
+        from repro.core.backends import ShardedBackend
+
+        plan = self._plan("auto", max_workers=6)
+        fitted = plan.execute(backend=ShardedBackend())
+        assert (fitted.training_report.simulated_workers
+                == plan.state.shard_workers)
