@@ -5,14 +5,24 @@ persists them under ``benchmarks/results/`` so the output survives pytest's
 capture.  Timing of the headline operation goes through pytest-benchmark's
 ``benchmark`` fixture (single round — these are experiments, not
 micro-benchmarks).
+
+Headline *ratio* metrics (speedups, throughput multiples — the numbers
+that should hold on any machine) additionally go through
+:func:`record_result`, which appends structured runs to
+``benchmarks/results/BENCH_<name>.json``.  CI uploads these as artifacts
+(the performance trajectory across commits) and
+``benchmarks/check_regression.py`` gates merges on them against the
+committed ``benchmarks/baselines.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
 from contextlib import contextmanager
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -25,6 +35,42 @@ def report(name: str, lines: Iterable[str]) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+
+
+def record_result(name: str, metrics: Dict[str, float]) -> str:
+    """Append one structured bench run to ``BENCH_<name>.json``.
+
+    The file holds every run recorded on this checkout (CI keeps one per
+    job, uploaded as an artifact), newest last::
+
+        {"name": ..., "runs": [{"recorded_at": ..., "cpus": ...,
+                                "python": ..., "metrics": {...}}, ...]}
+
+    Record machine-independent ratios, not wall-clock seconds — the
+    regression gate compares them across runner generations.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    doc = {"name": name, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                loaded = json.load(f)
+            if isinstance(loaded.get("runs"), list):
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # corrupt trajectory file: start a fresh one
+    doc["name"] = name
+    doc["runs"].append({
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+    })
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 @contextmanager

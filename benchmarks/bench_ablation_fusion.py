@@ -9,7 +9,6 @@ transformer-heavy text pipeline and verifies results are unchanged.
 import time
 
 import numpy as np
-import pytest
 
 from repro.core import passes_for_level
 from repro.dataset import Context

@@ -10,7 +10,6 @@ optimum) and optimization cost (seconds to choose the cache set).
 import time
 
 import numpy as np
-import pytest
 
 from repro.core import graph as g
 from repro.core import materialization as mat

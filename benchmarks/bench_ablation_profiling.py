@@ -8,7 +8,6 @@ of total fit time, and whether the optimizer's decisions (operator
 selections and cache set sizes) are stable across sample sizes.
 """
 
-import pytest
 
 from repro.dataset import Context
 from repro.pipelines import amazon_pipeline, voc_pipeline

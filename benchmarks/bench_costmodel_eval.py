@@ -10,10 +10,8 @@ incurred by wrong choices (should stay small).
 
 import time
 
-import pytest
 
 from repro.cluster.microbench import microbenchmark
-from repro.cluster.resources import local_machine
 from repro.core.stats import DataStats, stats_from_rows
 from repro.dataset import Context
 from repro.nodes.learning.linear import LinearSolver

@@ -13,7 +13,6 @@ partition computations.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.pipelines import amazon_pipeline, voc_pipeline

@@ -8,7 +8,6 @@ behaviour on the scaled VOC DAG: the cache set shrinks monotonically with
 the budget and keeps the most valuable (latest reused) nodes.
 """
 
-import pytest
 
 from repro.cluster.resources import local_machine
 from repro.core import materialization as mat
@@ -18,7 +17,7 @@ from repro.dataset import Context
 from repro.pipelines import voc_pipeline
 from repro.workloads import voc_images
 
-from _common import fmt_row, once, report
+from _common import once, report
 
 
 def test_fig11_voc_cache_set_vs_budget(benchmark):

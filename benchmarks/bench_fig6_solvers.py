@@ -11,7 +11,6 @@ orderings hold; the final assertions check the paper's shape.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.nodes.learning.linear import (

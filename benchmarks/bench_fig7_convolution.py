@@ -9,7 +9,6 @@ separable strategy beats both whenever the filters are rank-1.
 import time
 
 import numpy as np
-import pytest
 
 from repro.nodes.convolution import (
     BLASConvolver,

@@ -24,7 +24,6 @@ Two sections:
 
 import time
 
-import pytest
 
 from repro.baselines import SystemMLSolver, VowpalWabbitSolver
 from repro.cluster.microbench import microbenchmark

@@ -10,7 +10,6 @@ optimization, and the dominant source of improvement differs per pipeline.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.pipelines import amazon_pipeline, timit_pipeline, voc_pipeline

@@ -38,7 +38,7 @@ from repro.nodes.numeric import MaxClassifier, StandardScaler
 from repro.serving import ModelServer
 from repro.workloads import timit_frames, youtube8m
 
-from _common import fmt_row, once, report
+from _common import fmt_row, once, record_result, report
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
@@ -174,6 +174,16 @@ def test_serving_throughput_open_loop(benchmark):
             f"{stats.batches} batches, mean size "
             f"{stats.mean_batch_size:.1f}")
     report("serving_throughput", lines)
+
+    # Performance-trajectory artifact: machine-independent throughput
+    # ratios, gated by benchmarks/check_regression.py.
+    metrics = {}
+    for name, r in results.items():
+        metrics[f"speedup_{name}"] = r["served"] / r["naive"]
+        metrics[f"batched_speedup_{name}"] = r["batched"] / r["naive"]
+    metrics["min_speedup"] = min(r["served"] / r["naive"]
+                                 for r in results.values())
+    record_result("serving", metrics)
 
     for name, r in results.items():
         # Micro-batching alone must beat the naive walk...

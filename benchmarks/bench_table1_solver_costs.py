@@ -6,7 +6,6 @@ Local QR O(nd(d+k)), Dist. QR O(nd(d+k)/w), L-BFGS O(insk/w),
 Block O(ind(b+k)/w).
 """
 
-import pytest
 
 from repro.cluster.resources import r3_4xlarge
 from repro.core.stats import DataStats

@@ -10,7 +10,6 @@ Scaled down (n in {2000, 20000}, d in {32, 256}) the same orderings hold.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.nodes.learning.pca import (

@@ -5,7 +5,6 @@ scaling factors are explicit.  The generated solve-input sparsity must
 match the paper's regime (sparse text vs dense vectors/images).
 """
 
-import pytest
 
 from repro.workloads import (
     PAPER_DATASETS,

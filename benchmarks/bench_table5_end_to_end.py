@@ -9,7 +9,6 @@ the claim.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.evaluation import accuracy, mean_average_precision, top_k_accuracy

@@ -14,7 +14,6 @@ The cluster is simulated (see repro.baselines.tensorflow_sim for the
 model); this is a substitution documented in DESIGN.md.
 """
 
-import pytest
 
 from repro.baselines import keystone_cifar_time, tensorflow_cifar_time
 

@@ -10,7 +10,6 @@ regression with comparable accuracy.
 
 import time
 
-import pytest
 
 from repro.dataset import Context
 from repro.evaluation import accuracy

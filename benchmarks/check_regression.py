@@ -1,0 +1,108 @@
+"""Gate CI on the benchmark performance trajectory.
+
+Reads every ``benchmarks/results/BENCH_<name>.json`` the fast-mode bench
+steps produced, flattens the latest run of each into ``<bench>.<metric>``
+values, and compares them against ``benchmarks/baselines.json``.  All
+gated metrics are higher-is-better machine-independent ratios (speedups,
+throughput multiples); a metric more than ``tolerance`` (default 30%)
+below its committed baseline fails the job.
+
+Metrics missing from the results are skipped with a warning by default —
+a 1-CPU runner legitimately cannot measure multi-process speedup — and
+fail when ``--strict`` (or ``REGRESSION_STRICT=1``) is set, which CI uses
+so the gate cannot silently rot.
+
+Run locally after the fast-mode benches:
+
+    REPRO_BENCH_FAST=1 PYTHONPATH=src python -m pytest \
+        benchmarks/bench_serving.py benchmarks/bench_fig12_scalability.py
+    python benchmarks/check_regression.py
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(HERE, "results")
+BASELINES_PATH = os.path.join(HERE, "baselines.json")
+
+
+def load_latest_metrics(results_dir):
+    """Flatten the newest run of every BENCH_*.json into one mapping."""
+    metrics = {}
+    if not os.path.isdir(results_dir):
+        return metrics
+    for filename in sorted(os.listdir(results_dir)):
+        if not (filename.startswith("BENCH_") and filename.endswith(".json")):
+            continue
+        with open(os.path.join(results_dir, filename)) as f:
+            doc = json.load(f)
+        runs = doc.get("runs") or []
+        if not runs:
+            continue
+        for key, value in runs[-1].get("metrics", {}).items():
+            metrics[f"{doc['name']}.{key}"] = float(value)
+    return metrics
+
+
+def check(baselines, measured, strict):
+    """Compare measured metrics to baselines; returns a list of failures."""
+    tolerance = float(baselines.get("tolerance", 0.30))
+    failures = []
+    for key, spec in sorted(baselines["metrics"].items()):
+        baseline = float(spec["baseline"])
+        floor = baseline * (1.0 - tolerance)
+        if key not in measured:
+            message = f"MISSING  {key}: no measurement (baseline {baseline:g})"
+            if strict:
+                failures.append(message)
+            else:
+                print(f"  [skip] {message}")
+            continue
+        value = measured[key]
+        status = "ok" if value >= floor else "REGRESSED"
+        print(
+            f"  [{status:>9}] {key}: {value:.3f} "
+            f"(baseline {baseline:g}, floor {floor:.3f})"
+        )
+        if value < floor:
+            failures.append(
+                f"REGRESSED {key}: {value:.3f} < floor {floor:.3f} "
+                f"(baseline {baseline:g}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        default=os.environ.get("REGRESSION_STRICT", "") not in ("", "0"),
+        help="fail when a gated metric was not measured at all",
+    )
+    parser.add_argument("--results-dir", default=RESULTS_DIR)
+    parser.add_argument("--baselines", default=BASELINES_PATH)
+    args = parser.parse_args(argv)
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+    measured = load_latest_metrics(args.results_dir)
+    print(
+        f"regression check: {len(measured)} measured metric(s), "
+        f"{len(baselines['metrics'])} gated"
+    )
+    failures = check(baselines, measured, args.strict)
+    if failures:
+        print("\nperformance regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("performance regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ STRATEGIES = ["greedy", "lru", "rule"]
 
 def main():
     wl = amazon_reviews(num_train=800, num_test=1, vocab_size=1500, seed=0)
+    computes = {}
     print(f"{'strategy':<8} {'budget(MB)':>10} {'exec(s)':>8} "
           f"{'computes':>9}  cached-nodes")
     for budget_mb in BUDGETS_MB:
@@ -35,10 +36,19 @@ def main():
             report = fitted.training_report
             cached = (report.cache_set_labels if strategy == "greedy"
                       else f"({strategy} manages the cache)")
+            computes[(strategy, budget_mb)] = \
+                exec_ctx.stats.total_computations()
             print(f"{strategy:<8} {budget_mb:>10.1f} "
                   f"{report.execute_seconds:>8.2f} "
                   f"{exec_ctx.stats.total_computations():>9}  {cached}")
         print()
+    # Gate the smoke run: the caching claim itself.  A generous budget
+    # must never recompute more than a starved one under greedy
+    # selection (compute counts are deterministic).
+    big, small = max(BUDGETS_MB), min(BUDGETS_MB)
+    assert computes[("greedy", big)] <= computes[("greedy", small)], (
+        f"greedy caching regressed: {computes[('greedy', big)]} computes "
+        f"at {big}MB vs {computes[('greedy', small)]} at {small}MB")
 
 
 if __name__ == "__main__":

@@ -56,6 +56,11 @@ def main():
     best = result.best
     print(f"\nbest: {best.params} -> accuracy {best.score:.3f} "
           f"(chance = {1 / workload.num_classes:.3f})")
+    # Gate the smoke run: the search must find a configuration that
+    # genuinely beats chance.
+    assert best.score > 1.5 / workload.num_classes, (
+        f"best accuracy {best.score:.3f} is not meaningfully above "
+        f"chance {1 / workload.num_classes:.3f}")
 
 
 if __name__ == "__main__":

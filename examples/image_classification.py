@@ -35,10 +35,15 @@ def main():
 
     scores = model.apply_dataset(workload.test_data(ctx)).collect()
     predictions = [MaxClassifier().apply(s) for s in scores]
-    print(f"  accuracy : {accuracy(predictions, workload.test_labels):.3f} "
+    acc = accuracy(predictions, workload.test_labels)
+    mean_ap = mean_average_precision(scores, workload.test_labels,
+                                     workload.num_classes)
+    print(f"  accuracy : {acc:.3f} "
           f"(chance = {1 / workload.num_classes:.2f})")
-    print(f"  mAP      : "
-          f"{mean_average_precision(scores, workload.test_labels, workload.num_classes):.3f}")
+    print(f"  mAP      : {mean_ap:.3f}")
+    # Gate the smoke run: learnable signal must survive the Fisher stack.
+    assert acc >= 0.6, f"accuracy {acc:.3f} collapsed (chance is 0.2)"
+    assert mean_ap >= 0.6, f"mAP {mean_ap:.3f} collapsed"
 
 
 if __name__ == "__main__":

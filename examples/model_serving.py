@@ -73,8 +73,14 @@ def main():
         # A production-ish stream: every item is requested three times
         # (retries, hot content) -- the serving cache answers the repeats.
         for _ in range(3):
-            server.predict_many("reviews", reviews.test_items)
-            server.predict_many("frames", frames.test_items)
+            served_reviews = server.predict_many("reviews",
+                                                 reviews.test_items)
+            served_frames = server.predict_many("frames", frames.test_items)
+        # Gate the smoke run: served == offline apply, repeats included.
+        assert served_reviews == [reviews_v1.apply(x)
+                                  for x in reviews.test_items]
+        assert served_frames == [frames_v1.apply(x)
+                                 for x in frames.test_items]
         doc = "terrible product, broken on arrival, want a refund"
         print(f"predict('reviews', {doc!r}) ->",
               server.predict("reviews", doc))
@@ -91,10 +97,13 @@ def main():
               "default:", server.default_version("reviews"))
         server.deploy("reviews", "v2")
         print("after deploy:", server.default_version("reviews"))
+        assert server.default_version("reviews") == "v2", "deploy() no-op"
         server.predict_many("reviews", reviews.test_items)
         stats = server.stats("reviews", "v2").models["reviews@v2"]
         print(f"v2 served {stats.requests} requests, "
               f"p95 {stats.p95_ms:.2f} ms")
+        assert stats.requests >= len(reviews.test_items)
+        assert stats.errors == 0, f"{stats.errors} serving errors"
 
 
 if __name__ == "__main__":

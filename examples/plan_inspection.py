@@ -65,8 +65,12 @@ def main():
     plan = optimizer.optimize(pipe, level="full")
 
     # 2. Explain: every pass and its decisions, inspectable up front.
-    print(plan.explain())
+    explained = plan.explain()
+    print(explained)
+    assert "BudgetAuditPass" in explained, "user pass missing from explain()"
+    assert "cache set" in explained
     est = plan.estimated_runtime_seconds()
+    assert est is not None and est > 0, "profiled plan lost its estimate"
     print(f"\nmodelled training time under this cache set: {est:.3f}s")
 
     # The optimized DAG as Graphviz (cached nodes rendered filled).
@@ -77,11 +81,15 @@ def main():
     # 3. Execute: train under the plan's decisions.
     model = plan.execute()
     report = model.training_report
+    assert "BudgetAuditPass" in report.passes, \
+        "user pass missing from the training report"
     print(f"\nexecuted in {report.execute_seconds:.2f}s "
           f"(passes: {report.passes})")
-    for doc in ["this product is great I love it",
-                "terrible waste of money, want a refund"]:
+    good, bad = ("this product is great I love it",
+                 "terrible waste of money, want a refund")
+    for doc in (good, bad):
         print(f"  score={model.apply(doc)[0]:+.2f}  <-  {doc!r}")
+    assert model.apply(good).shape == model.apply(bad).shape
 
 
 if __name__ == "__main__":

@@ -59,6 +59,10 @@ def main():
     acc = accuracy(predictions, workload.test_labels)
     print(f"  test accuracy   : {acc:.3f} (chance = "
           f"{1 / workload.num_classes:.2f})")
+    # Gate the smoke run: the pipeline must actually learn (CI runs this).
+    assert acc >= 0.8, f"accuracy {acc:.3f} collapsed (chance is 0.5)"
+    assert report.cse_nodes_removed > 0, "CSE found nothing to merge"
+    assert report.selections, "operator selection made no choice"
 
     # Single-item inference with the fitted pipeline.
     print("\nSample predictions:")

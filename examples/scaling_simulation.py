@@ -14,6 +14,7 @@ NODES = [8, 16, 32, 64, 128]
 
 
 def main():
+    speedups = {}
     for pipeline in ("amazon", "timit", "imagenet"):
         print(f"\n{pipeline} (minutes per stage):")
         results = pipeline_scaling(pipeline, NODES)
@@ -21,15 +22,24 @@ def main():
         header = f"{'nodes':>6} " + " ".join(f"{c:>14}" for c in categories)
         print(header + f" {'total':>8} {'speedup':>8}")
         base_total = None
+        totals = []
         for nodes in NODES:
             breakdown = results[nodes]
             total = sum(breakdown.values())
+            totals.append(total)
             if base_total is None:
                 base_total = total
             cols = " ".join(f"{breakdown.get(c, 0) / 60:>14.1f}"
                             for c in categories)
             print(f"{nodes:>6} {cols} {total / 60:>8.1f} "
                   f"{base_total / total:>7.1f}x")
+        # Gate the smoke run: strong scaling must be monotone.
+        assert all(a > b for a, b in zip(totals, totals[1:])), pipeline
+        speedups[pipeline] = totals[0] / totals[-1]
+    # The Figure-12 shape: featurization-bound ImageNet out-scales the
+    # coordination-bound pipelines.
+    assert speedups["imagenet"] > speedups["amazon"]
+    assert speedups["imagenet"] > speedups["timit"]
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from repro.nodes.learning.linear import LinearSolver
 from repro.nodes.learning.pca import PCAEstimator
 
 
-def show_choice(title, optimizable, stats, resources):
+def show_choice(title, optimizable, stats, resources, expect=None):
     print(f"\n{title}")
     print(f"  stats: n={stats.n:,} d={stats.d:,} k={stats.k} "
           f"sparsity={stats.sparsity:g}")
@@ -26,6 +26,11 @@ def show_choice(title, optimizable, stats, resources):
         print(f"    {name:<18} {cost:12.1f} s{marker}")
     chosen = optimizable.optimize(stats, resources)
     print(f"  -> chosen: {type(chosen).__name__}")
+    # Gate the smoke run: the selections the docstring promises.
+    if expect is not None:
+        assert type(chosen).__name__ == expect, (
+            f"expected {expect}, optimizer chose {type(chosen).__name__}")
+    return chosen
 
 
 def main():
@@ -35,7 +40,7 @@ def main():
     show_choice("Amazon-like: 65M sparse text documents, binary",
                 solver,
                 DataStats(n=65_000_000, d=100_000, k=2, sparsity=0.001),
-                cluster)
+                cluster, expect="LBFGSSolver")
     show_choice("Small dense problem: exact solve is cheap",
                 solver,
                 DataStats(n=2_000_000, d=1024, k=2, sparsity=1.0),
@@ -43,13 +48,14 @@ def main():
     show_choice("TIMIT-like: 65k dense features, 147 classes",
                 solver,
                 DataStats(n=2_251_569, d=65_536, k=147, sparsity=1.0),
-                cluster)
+                cluster, expect="BlockCoordinateSolver")
 
     pca = PCAEstimator(k=16)
     show_choice("PCA: wide data, small k (approximate wins)",
                 pca, DataStats(n=10_000, d=4096, k=1), cluster)
     show_choice("PCA: huge n (distributed wins)",
-                pca, DataStats(n=100_000_000, d=4096, k=1), cluster)
+                pca, DataStats(n=100_000_000, d=4096, k=1), cluster,
+                expect="DistributedTSVD")
 
 
 if __name__ == "__main__":

@@ -46,11 +46,13 @@ The classic one-call path still works: ``model = pipe.fit()`` (optionally
 
 Execution is pluggable: the same plan trains serially
 (``LocalBackend``), with independent branches overlapped on threads
-(``PipelinedBackend``), or priced per-shard on a simulated cluster
-(``ShardedBackend``)::
+(``PipelinedBackend``), priced per-shard on a simulated cluster
+(``ShardedBackend``), or actually sharded across worker processes
+(``ProcessPoolBackend``)::
 
     model = plan.execute(backend="pipelined")
     fitted = pipe.fit(backend=ShardedBackend(workers=8))
+    fitted = pipe.fit(backend=ProcessPoolBackend(workers=4))
 
 Trained pipelines serve online traffic through :mod:`repro.serving`:
 ``ModelServer`` compiles each registered model into a flat
@@ -80,6 +82,7 @@ from repro.core import (
     PhysicalPlan,
     Pipeline,
     PipelinedBackend,
+    ProcessPoolBackend,
     ProfilingPass,
     ShardedBackend,
     ShardingPass,
@@ -112,6 +115,7 @@ __all__ = [
     "PhysicalPlan",
     "Pipeline",
     "PipelinedBackend",
+    "ProcessPoolBackend",
     "ProfilingPass",
     "ResourceDescriptor",
     "ShardedBackend",

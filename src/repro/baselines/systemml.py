@@ -10,7 +10,6 @@ cannot be pipelined into the solver).
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 import scipy.sparse as sp

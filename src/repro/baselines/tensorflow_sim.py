@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.resources import ResourceDescriptor
 from repro.cluster.simulator import ClusterSimulator, SimulatedStage

@@ -48,6 +48,7 @@ from repro.core.backends import (
     ExecutionBackend,
     LocalBackend,
     PipelinedBackend,
+    ProcessPoolBackend,
     ShardedBackend,
     plan_scaling_sweep,
     resolve_backend,
@@ -59,6 +60,7 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "PipelinedBackend",
+    "ProcessPoolBackend",
     "ShardedBackend",
     "ShardingPass",
     "plan_scaling_sweep",

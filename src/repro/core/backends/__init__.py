@@ -2,7 +2,7 @@
 
 One logical plan, several execution strategies — the KeystoneML premise
 (and SparkCL's: one programming model lowered onto heterogeneous engines).
-The protocol lives in :mod:`repro.core.backends.base`; three backends
+The protocol lives in :mod:`repro.core.backends.base`; four backends
 ship:
 
 - :class:`LocalBackend` — serial depth-first training (the default; the
@@ -12,12 +12,17 @@ ship:
 - :class:`ShardedBackend` — partitions the training flow across N
   simulated workers and prices per-shard stage times through the cluster
   simulator, opening the strong-scaling axis to *real* plans.
+- :class:`ProcessPoolBackend` — actually executes shards in separate
+  worker processes (spawn-safe, GIL-free), merging per-shard sufficient
+  statistics where estimators support it and gathering featurized shards
+  otherwise.
 
 Selection threads through the public API: ``plan.execute(backend=...)``,
 ``Pipeline.fit(backend=...)`` and ``FittedPipeline.apply`` /
 ``apply_dataset`` all accept an instance, a registry name from
-:data:`BACKENDS` (``"local" | "pipelined" | "sharded"``), or ``None`` for
-the default.
+:data:`BACKENDS` (``"local" | "pipelined" | "sharded" | "process"``), or
+``None`` for the default.  ``plan.execute(backend="auto")`` additionally
+honours the backend a ``ShardingPass(workers="auto")`` recommended.
 """
 
 from repro.core.backends.base import (
@@ -27,6 +32,10 @@ from repro.core.backends.base import (
 )
 from repro.core.backends.local import LocalBackend
 from repro.core.backends.pipelined import PipelinedBackend
+from repro.core.backends.process import (
+    ProcessPoolBackend,
+    shutdown_worker_pools,
+)
 from repro.core.backends.sharded import ShardedBackend, plan_scaling_sweep
 
 #: registry of backend names accepted wherever ``backend=`` is
@@ -34,6 +43,7 @@ BACKENDS = {
     LocalBackend.name: LocalBackend,
     PipelinedBackend.name: PipelinedBackend,
     ShardedBackend.name: ShardedBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
 }
 
 
@@ -66,9 +76,11 @@ __all__ = [
     "ExecutionBackend",
     "LocalBackend",
     "PipelinedBackend",
+    "ProcessPoolBackend",
     "ShardedBackend",
     "TrainingSession",
     "plan_scaling_sweep",
     "recursive_apply_item",
     "resolve_backend",
+    "shutdown_worker_pools",
 ]

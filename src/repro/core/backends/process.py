@@ -1,0 +1,476 @@
+"""ProcessPoolBackend: true multi-process sharded training execution.
+
+The sharded backend *prices* shards on a simulated cluster while training
+serially in-process; this backend actually executes them.  The training
+data is partitioned into contiguous shards (one chunk of partitions per
+worker), the training flow feeding each estimator is flattened into a
+picklable *shard program* — the same flat-op idea as
+:mod:`repro.serving.compiler`, aimed at training instead of inference —
+and worker processes run the program over their shard, dodging the GIL
+for the numpy-light featurization operators that dominate the paper's
+pipelines.
+
+Two merge strategies, chosen per estimator:
+
+- **stat-merge** — estimators implementing the
+  :class:`~repro.core.operators.ShardableEstimator` protocol (common
+  feature selection, standard scaling, distributed PCA/QR) have workers
+  compute per-partition sufficient statistics; the parent merges them
+  with the estimator's own serial reduction order, so only counters /
+  moment sums / R factors cross the process boundary.
+- **gather-and-fit** — everything else (iterative solvers: L-BFGS,
+  k-means, block coordinate) has workers compute and return the
+  *featurized* shard rows; the parent registers them as materialized
+  partitions and runs the unmodified serial fit over them.
+
+Both reproduce :class:`~repro.core.backends.local.LocalBackend`
+predictions byte-for-byte: workers execute the identical
+``apply_partition`` chain over the identical partition boundaries, and
+stat merges replay the identical reduction tree
+(``tests/test_backends.py`` enforces this across every registry
+workload).
+
+Everything shipped must pickle — worker entry points are module-level
+(spawn-safe), shard inputs are pickled in per-shard chunks, and operators
+carrying small user functions pack them via :mod:`repro.core.serde`.  An
+estimator whose flow cannot be pickled falls back to serial in-parent
+execution (recorded in ``TrainingReport.process_fallback``) rather than
+failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.core import graph as g
+from repro.core.backends.base import ExecutionBackend, TrainingSession
+from repro.dataset.context import Context
+from repro.dataset.dataset import Dataset, _StoredPartitions
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import FittedPipeline
+    from repro.core.plan import PhysicalPlan
+
+#: errors that mean "this flow cannot cross the process boundary" — the
+#: backend degrades to serial in-parent execution instead of failing
+_SHIP_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+class _UnshippablePlan(Exception):
+    """The flow cannot be executed in worker processes."""
+
+
+# ----------------------------------------------------------------------
+# Shard programs
+# ----------------------------------------------------------------------
+#
+# A program is a topologically ordered list of steps; step i's output
+# lives in slot i.  Step shape: (kind, node_id, op, parent_slots) with
+# kind in {"source", "op", "gather"}.  Sources are fed per-partition from
+# the parent; "op" covers transformer nodes and apply nodes (whose op is
+# the already-fitted model).  Estimator nodes never ship.
+
+
+def _build_program(roots: List[g.OpNode], *, session=None,
+                   materialized=None, virtual_sources=None):
+    """Flatten the flow feeding ``roots`` into a picklable program.
+
+    Returns ``(steps, sources, slots)`` where ``sources`` maps source
+    node id to the parent-side :class:`Dataset` supplying its partitions
+    and ``slots`` maps node id to program slot.  Materialized
+    intermediates are re-shipped (instead of recomputed) only when the
+    optimizer's materialization pass chose to cache them — the cache-set
+    decision doubles as the ship-vs-recompute policy.
+    """
+    materialized = materialized or {}
+    virtual_sources = virtual_sources or {}
+    cache_ids = session.cache_ids if session is not None else set()
+    slots: Dict[int, int] = {}
+    steps: List[Tuple[str, int, Any, Tuple[int, ...]]] = []
+    sources: Dict[int, Dataset] = {}
+
+    def add(kind, node, op, parent_slots):
+        slots[node.id] = len(steps)
+        steps.append((kind, node.id, op, tuple(parent_slots)))
+
+    for node in g.ancestors(roots):
+        if node.kind == g.ESTIMATOR or node.id in slots:
+            continue
+        if node.id in virtual_sources:
+            add("source", node, None, ())
+            sources[node.id] = virtual_sources[node.id]
+        elif node.is_pipeline_input:
+            raise _UnshippablePlan(
+                "flow reached the unbound pipeline input")
+        elif node.kind == g.SOURCE:
+            add("source", node, None, ())
+            sources[node.id] = session.dataset_of(node)
+        elif node.id in materialized and node.id in cache_ids:
+            add("source", node, None, ())
+            sources[node.id] = materialized[node.id]
+        elif node.kind == g.TRANSFORMER:
+            add("op", node, node.op, (slots[node.parents[0].id],))
+        elif node.kind == g.APPLY:
+            model = session.fitted.get(node.parents[0].id)
+            if model is None:
+                raise RuntimeError(
+                    f"apply node {node.label!r} references an unfitted "
+                    "estimator; estimators must be scheduled in "
+                    "dependency order")
+            add("op", node, model, (slots[node.parents[1].id],))
+        elif node.kind == g.GATHER:
+            add("gather", node, None,
+                [slots[p.id] for p in node.parents])
+        else:
+            raise _UnshippablePlan(f"cannot ship node kind {node.kind}")
+    return steps, sources, slots
+
+
+def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
+                   num_partitions: int) -> Dict[str, Any]:
+    """Worker entry point: run a shard program over one partition chunk.
+
+    Module-level (spawn-safe); ``blob`` is the pickled ``(steps,
+    out_slots, stats_spec)`` triple, shared by every shard of a wave.
+    Returns computed partitions per requested output, per-partition
+    sufficient statistics when a stats spec is present, and per-node
+    compute seconds for the training report.
+    """
+    steps, out_slots, stats_spec = pickle.loads(blob)
+    rows_out: Dict[str, List[list]] = {name: [] for name, _ in out_slots}
+    stats_out: List[Any] = []
+    times: Dict[int, float] = {}
+    for idx in range(num_partitions):
+        env: Dict[int, list] = {}
+        for slot, (kind, node_id, op, parents) in enumerate(steps):
+            if kind == "source":
+                env[slot] = source_parts[node_id][idx]
+            elif kind == "op":
+                start = time.perf_counter()
+                env[slot] = op.apply_partition(env[parents[0]])
+                times[node_id] = (times.get(node_id, 0.0)
+                                  + time.perf_counter() - start)
+            else:  # gather: element-wise zip into list rows
+                parts = [env[s] for s in parents]
+                if len({len(p) for p in parts}) > 1:
+                    raise ValueError(
+                        "gather partition length mismatch: "
+                        f"{[len(p) for p in parts]}")
+                env[slot] = [list(row) for row in zip(*parts)]
+        for name, slot in out_slots:
+            rows_out[name].append(env[slot])
+        if stats_spec is not None:
+            est_id, est_op, stat_slots = stats_spec
+            start = time.perf_counter()
+            stats_out.append(
+                est_op.partition_stats(*(env[s] for s in stat_slots)))
+            times[est_id] = (times.get(est_id, 0.0)
+                            + time.perf_counter() - start)
+    return {"rows": rows_out, "stats": stats_out, "times": times}
+
+
+# ----------------------------------------------------------------------
+# Worker pools
+# ----------------------------------------------------------------------
+
+_POOL_LOCK = threading.Lock()
+_POOLS: Dict[Tuple[str, int], ProcessPoolExecutor] = {}
+
+
+def _shared_pool(start_method: str, workers: int) -> ProcessPoolExecutor:
+    """Process pools are expensive (interpreter + numpy import per spawn);
+    share them per (start method, size) across backend instances."""
+    import multiprocessing
+
+    key = (start_method, workers)
+    with _POOL_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(start_method))
+            _POOLS[key] = pool
+        return pool
+
+
+def _discard_shared_pool(start_method: str, workers: int) -> None:
+    with _POOL_LOCK:
+        pool = _POOLS.pop((start_method, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_worker_pools() -> None:
+    """Shut down every shared worker pool (tests, interpreter teardown)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute training shards in separate worker processes.
+
+    ``workers`` defaults to the plan's
+    :class:`~repro.core.passes.ShardingPass` decision, falling back to
+    the machine's CPU count.  ``workers=1`` degenerates to the serial
+    reference execution (no pool).  ``task_timeout`` bounds every wave of
+    shard tasks — a wedged worker raises instead of hanging the fit.
+    ``merge_stats=False`` disables the sufficient-statistics path (every
+    estimator then gathers and fits in the parent).  ``start_method``
+    defaults to ``"spawn"``: fork-safety is not assumed anywhere, and
+    spawn keeps worker state disjoint from the parent's locks.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None,
+                 task_timeout: Optional[float] = None,
+                 merge_stats: bool = True,
+                 start_method: str = "spawn",
+                 reuse_pool: bool = True):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.merge_stats = merge_stats
+        self.start_method = start_method
+        self.reuse_pool = reuse_pool
+        self._private_pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool(self, workers: int) -> ProcessPoolExecutor:
+        if self.reuse_pool:
+            return _shared_pool(self.start_method, workers)
+        if self._private_pool is None:
+            import multiprocessing
+
+            self._private_pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(self.start_method))
+        return self._private_pool
+
+    def _drop_pool(self, workers: int) -> None:
+        if self.reuse_pool:
+            _discard_shared_pool(self.start_method, workers)
+        elif self._private_pool is not None:
+            self._private_pool.shutdown(wait=False, cancel_futures=True)
+            self._private_pool = None
+
+    def close(self) -> None:
+        """Release the private pool (shared pools stay warm)."""
+        if self._private_pool is not None:
+            self._private_pool.shutdown(wait=True, cancel_futures=True)
+            self._private_pool = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _resolve_workers(self, plan: "PhysicalPlan") -> int:
+        if self.workers is not None:
+            return self.workers
+        if plan.state.shard_workers is not None:
+            return plan.state.shard_workers
+        return os.cpu_count() or 1
+
+    def execute(self, plan: "PhysicalPlan",
+                ctx: Optional[Context] = None) -> "FittedPipeline":
+        workers = self._resolve_workers(plan)
+        session = TrainingSession(
+            plan, ctx, backend_name=f"{self.name}[workers={workers}]")
+        session.report.process_workers = workers
+        if workers <= 1:
+            session.run_serial()
+            return session.finish()
+        materialized: Dict[int, Dataset] = {}
+        for node in session.estimator_nodes():
+            self._fit_parallel(session, node, materialized, workers)
+        return session.finish()
+
+    def _fit_parallel(self, session: TrainingSession, node: g.OpNode,
+                      materialized: Dict[int, Dataset],
+                      workers: int) -> None:
+        report = session.report
+        op = node.op
+        roots = [p for p in node.parents]
+        try:
+            steps, sources, slots = _build_program(
+                roots, session=session, materialized=materialized)
+        except _UnshippablePlan as exc:
+            session.fit_estimator(node)
+            report.process_fallback.append(f"{node.label}: {exc}")
+            return
+
+        if not any(kind == "op" for kind, *_ in steps):
+            # Pure-source flow: nothing to parallelize, no IPC to pay.
+            session.fit_estimator(node)
+            return
+
+        stats_ok = (self.merge_stats
+                    and hasattr(op, "partition_stats")
+                    and hasattr(op, "fit_from_stats"))
+        # Only the *shipping* work lives in the try: an error raised by
+        # the estimator's own fit must surface as-is, not be relabelled
+        # "unshippable" and re-run from scratch.
+        fallback = None
+        try:
+            if stats_ok:
+                spec = (node.id, op, tuple(slots[r.id] for r in roots))
+                result = self._run_wave(session, steps, sources, [],
+                                        spec, workers)
+            else:
+                outputs = [(str(r.id), r) for r in roots
+                           if r.kind != g.SOURCE
+                           and r.id not in materialized]
+                result = None
+                if outputs:
+                    result = self._run_wave(
+                        session, steps, sources,
+                        [(name, slots[r.id]) for name, r in outputs],
+                        None, workers)
+        except (_UnshippablePlan,) + _SHIP_ERRORS as exc:
+            fallback = type(exc).__name__
+        except BrokenProcessPool:
+            self._drop_pool(workers)
+            fallback = "broken pool"
+        except CancelledError:
+            # The pool was shut down mid-wave (e.g. global teardown);
+            # don't drop it here — the shutter already owns its fate.
+            fallback = "pool cancelled"
+        if fallback is not None:
+            session.fit_estimator(node)
+            report.process_fallback.append(f"{node.label}: {fallback}")
+            return
+
+        if stats_ok:
+            with session.timer.time_block(node.id):
+                model = op.fit_from_stats(result["stats"])
+            with session._lock:
+                session.fitted[node.id] = model
+                report.estimator_seconds[node.id] = \
+                    session.timer.times[node.id]
+            report.process_stat_merged.append(node.label)
+            return
+        if result is not None:
+            for name, root in outputs:
+                ds = Dataset(session.ctx, len(result["rows"][name]),
+                             _StoredPartitions(result["rows"][name]),
+                             name=f"process({root.label})")
+                with session._lock:
+                    session.env[root.id] = ds
+                materialized[root.id] = ds
+        session.fit_estimator(node)
+        report.process_gathered.append(node.label)
+
+    # ------------------------------------------------------------------
+    # Wave execution
+    # ------------------------------------------------------------------
+    def _run_wave(self, session: Optional[TrainingSession], steps, sources,
+                  out_slots, stats_spec, workers: int) -> Dict[str, Any]:
+        """Run one program over all partitions, sharded across workers."""
+        counts = {ds.num_partitions for ds in sources.values()}
+        if len(counts) != 1:
+            raise _UnshippablePlan(
+                f"sources disagree on partitioning: {sorted(counts)}")
+        num_partitions = counts.pop()
+        blob = pickle.dumps((steps, out_slots, stats_spec),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        shards = min(workers, num_partitions)
+        bounds = [round(j * num_partitions / shards)
+                  for j in range(shards + 1)]
+        chunks = [range(bounds[j], bounds[j + 1]) for j in range(shards)
+                  if bounds[j] < bounds[j + 1]]
+        pool = self._pool(workers)
+        futures = []
+        for chunk in chunks:
+            src = {nid: [ds.partition(i) for i in chunk]
+                   for nid, ds in sources.items()}
+            futures.append(pool.submit(_execute_shard, blob, src,
+                                       len(chunk)))
+        deadline = (None if self.task_timeout is None
+                    else time.monotonic() + self.task_timeout)
+        results = []
+        for future in futures:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            try:
+                results.append(future.result(timeout=remaining))
+            except FutureTimeoutError:
+                for f in futures:
+                    f.cancel()
+                # A shared pool may be serving other backends: leave it
+                # alive (the wedged worker frees itself eventually);
+                # only a private pool is torn down.
+                if not self.reuse_pool:
+                    self._drop_pool(workers)
+                raise RuntimeError(
+                    f"process backend wave timed out after "
+                    f"{self.task_timeout}s ({len(results)}/{len(futures)} "
+                    "shards finished); raise task_timeout or check for a "
+                    "wedged operator") from None
+        merged: Dict[str, Any] = {
+            "rows": {name: [] for name, _ in out_slots},
+            "stats": [],
+        }
+        for result in results:
+            for name, parts in result["rows"].items():
+                merged["rows"][name].extend(parts)
+            merged["stats"].extend(result["stats"])
+            if session is not None:
+                for node_id, seconds in result["times"].items():
+                    session.timer.add(node_id, seconds)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def apply_batch(self, fitted: "FittedPipeline", data: Dataset) -> Dataset:
+        """Batch inference with partitions computed in worker processes.
+
+        Falls back to the serial reference path for single-partition
+        inputs, ``workers=1``, or unshippable pipelines; results are
+        byte-identical either way (same ``apply_partition`` chain over
+        the same partitions).
+        """
+        workers = self.workers or os.cpu_count() or 1
+        if workers <= 1 or data.num_partitions < 2:
+            return super().apply_batch(fitted, data)
+        try:
+            steps, sources, slots = _build_program(
+                [fitted.sink],
+                virtual_sources={fitted.input_node.id: data})
+            if not any(kind == "op" for kind, *_ in steps):
+                return super().apply_batch(fitted, data)
+            result = self._run_wave(None, steps, sources,
+                                    [("out", slots[fitted.sink.id])],
+                                    None, workers)
+        except BrokenProcessPool:
+            self._drop_pool(workers)
+            return super().apply_batch(fitted, data)
+        except CancelledError:
+            return super().apply_batch(fitted, data)
+        except (_UnshippablePlan,) + _SHIP_ERRORS:
+            return super().apply_batch(fitted, data)
+        return Dataset(data.ctx, data.num_partitions,
+                       _StoredPartitions(result["rows"]["out"]),
+                       name=f"process({data.name})")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(workers={self.workers}, "
+                f"task_timeout={self.task_timeout})")

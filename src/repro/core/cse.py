@@ -11,7 +11,7 @@ into a single computation, enabling reuse.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core import graph as g
 

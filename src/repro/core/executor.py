@@ -80,6 +80,11 @@ class ExclusiveTimer:
         if stack:
             stack[-1] += total
 
+    def add(self, node_id: Any, seconds: float) -> None:
+        """Credit externally measured seconds (e.g. from worker processes)."""
+        with self._lock:
+            self.times[node_id] += seconds
+
     def wrap(self, node_id: Any, fn: Callable) -> Callable:
         def wrapped(*args, **kwargs):
             start = time.perf_counter()
@@ -136,6 +141,14 @@ class TrainingReport:
     simulated_stages: List[Any] = field(default_factory=list)
     simulated_resources: Optional[ResourceDescriptor] = None
     simulated_overhead_per_stage: float = 0.0
+    #: filled by ProcessPoolBackend: worker-process count and, per
+    #: estimator label, which merge strategy trained it.  With process
+    #: execution ``node_seconds`` aggregates per-node compute *across*
+    #: workers (CPU seconds, not wall clock).
+    process_workers: Optional[int] = None
+    process_stat_merged: List[str] = field(default_factory=list)
+    process_gathered: List[str] = field(default_factory=list)
+    process_fallback: List[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:

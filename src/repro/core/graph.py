@@ -20,7 +20,7 @@ substitution performed by the optimizer (``node.op`` swap).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 _node_ids = itertools.count(1)
 

@@ -23,7 +23,7 @@ which it found too slow for optimization-time use.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core import graph as g
 from repro.core.profiler import PipelineProfile

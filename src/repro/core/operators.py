@@ -123,6 +123,37 @@ class Iterative:
     weight: int = 1
 
 
+class ShardableEstimator:
+    """Protocol marker: fit decomposes into per-partition statistics.
+
+    Estimators whose training reduces partition-wise sufficient
+    statistics (frequency counters, moment sums, Gram matrices, local QR
+    factors) implement two methods, and
+    :class:`~repro.core.backends.process.ProcessPoolBackend` then computes
+    the statistics inside worker processes and merges them in the parent
+    instead of gathering the featurized rows:
+
+    - ``partition_stats(rows)`` (estimators) or
+      ``partition_stats(rows, label_rows)`` (label estimators) — the
+      statistic of one partition's rows, or ``None`` for partitions the
+      serial fit would skip (e.g. empty ones).  Must be picklable.
+    - ``fit_from_stats(partials)`` — one partial per partition, in
+      partition order, merged into the fitted :class:`Transformer`.
+
+    Byte-identity contract: ``fit(data)`` must itself route through the
+    same two methods, so the merged result is bit-for-bit the serial one
+    by construction — implementations must preserve the serial reduction
+    order (use :func:`repro.dataset.dataset.tree_combine` for
+    tree-aggregated statistics, left-to-right accumulation otherwise).
+    """
+
+    def partition_stats(self, rows, label_rows=None):
+        raise NotImplementedError
+
+    def fit_from_stats(self, partials: List[Any]) -> Transformer:
+        raise NotImplementedError
+
+
 class IdentityTransformer(Transformer):
     """Passes items through unchanged; useful as a pipeline seed."""
 
@@ -143,6 +174,21 @@ class FunctionTransformer(Transformer):
 
     def apply(self, item: Any) -> Any:
         return self.fn(item)
+
+    def __getstate__(self):
+        # Lambdas are common here; pack the function so the transformer
+        # survives pickling (process backend, model persistence).
+        from repro.core.serde import pack_callable
+
+        state = self.__dict__.copy()
+        state["fn"] = pack_callable(self.fn)
+        return state
+
+    def __setstate__(self, state):
+        from repro.core.serde import unpack_callable
+
+        state["fn"] = unpack_callable(state["fn"])
+        self.__dict__.update(state)
 
     def __repr__(self) -> str:
         return f"FunctionTransformer({self.name})"

@@ -215,6 +215,11 @@ class ShardingPass(Pass):
     DATA_PARALLEL = "data-parallel"
     COORDINATED = "coordinated"
     AUTO = "auto"
+    #: in auto mode, recommend ProcessPoolBackend when the simulated
+    #: network (coordination) share of total time is below this fraction
+    #: — cheap coordination means multi-process shards pay off; above it
+    #: thread-pool overlap (no IPC) is the better real execution
+    PROCESS_NETWORK_FRACTION = 0.15
 
     def __init__(self, workers: Optional[Union[int, str]] = None,
                  max_workers: Optional[int] = None,
@@ -252,11 +257,16 @@ class ShardingPass(Pass):
             if roles[node.id] == self.COORDINATED:
                 coordinated.append(labels[node.id])
         if self.workers == self.AUTO:
-            workers, simulated = self._choose_workers(state, roles)
+            workers, simulated, network_fraction = \
+                self._choose_workers(state, roles)
+            state.shard_backend = self._recommend_backend(
+                workers, network_fraction)
             state.annotate(auto=True,
                            budget=self.max_workers
                            or state.resources.num_nodes,
-                           simulated_seconds=round(simulated, 4))
+                           simulated_seconds=round(simulated, 4),
+                           network_fraction=round(network_fraction, 4),
+                           recommended_backend=state.shard_backend)
         else:
             workers = self.workers or state.resources.num_nodes
         state.shard_workers = workers
@@ -267,8 +277,23 @@ class ShardingPass(Pass):
                               if r == self.DATA_PARALLEL),
             coordinated=sorted(set(coordinated)))
 
-    def _choose_workers(self, state: PlanState,
-                        roles: Dict[int, str]) -> Tuple[int, float]:
+    def _recommend_backend(self, workers: int,
+                           network_fraction: float) -> str:
+        """Map the auto decision onto a *real* execution backend.
+
+        One worker: serial.  Cheap coordination: worker processes win
+        (featurization dominates and shards are independent).  Expensive
+        coordination: stay in-process and overlap with threads — process
+        shards would pay the simulated network cost as real IPC.
+        """
+        if workers <= 1:
+            return "local"
+        if network_fraction <= self.PROCESS_NETWORK_FRACTION:
+            return "process"
+        return "pipelined"
+
+    def _choose_workers(self, state: PlanState, roles: Dict[int, str]
+                        ) -> Tuple[int, float, float]:
         """Minimize simulated seconds over worker counts in the budget.
 
         Each profiled node becomes one simulated stage: its extrapolated
@@ -276,7 +301,8 @@ class ShardingPass(Pass):
         per-node compute rate; coordinated nodes additionally move their
         profiled output bytes through a ``log2 w`` aggregation tree.
         Ties break toward fewer workers (cheapest cluster that achieves
-        the optimum).
+        the optimum).  Also returns the network share of the optimum's
+        simulated time, which drives the backend recommendation.
         """
         import math
 
@@ -325,7 +351,12 @@ class ShardingPass(Pass):
             seconds = sim.total_seconds(stages)
             if seconds < best_seconds - 1e-12:
                 best_w, best_seconds = w, seconds
-        return best_w, best_seconds
+        network_seconds = sum(
+            stage.profile_fn(best_w).network
+            for stage in stages) / resources.network_bandwidth
+        network_fraction = (network_seconds / best_seconds
+                            if best_seconds > 0 else 0.0)
+        return best_w, best_seconds, network_fraction
 
     def __repr__(self) -> str:
         return f"{self.name}(workers={self.workers!r})"

@@ -69,6 +69,11 @@ class PlanState:
     shard_workers: Optional[int] = None
     #: node id -> "data-parallel" | "coordinated" (see ShardingPass)
     shard_roles: Dict[int, str] = field(default_factory=dict)
+    #: execution backend recommended by ShardingPass(workers="auto"):
+    #: "process" when the simulated coordination cost is low enough for
+    #: multi-process shards to pay off, "pipelined" when coordination
+    #: dominates, "local" at one worker (None: no recommendation)
+    shard_backend: Optional[str] = None
 
     def annotate(self, **details: Any) -> None:
         """Attach decision details to the pass currently running."""
@@ -195,8 +200,12 @@ class PhysicalPlan:
             roles = self.state.shard_roles
             dp = sum(1 for r in roles.values() if r == "data-parallel")
             coord = sum(1 for r in roles.values() if r == "coordinated")
-            lines.append(f"  sharding: {self.state.shard_workers} workers "
-                         f"({dp} data-parallel, {coord} coordinated nodes)")
+            sharding = (f"  sharding: {self.state.shard_workers} workers "
+                        f"({dp} data-parallel, {coord} coordinated nodes)")
+            if self.state.shard_backend is not None:
+                sharding += (", recommended backend: "
+                             f"{self.state.shard_backend}")
+            lines.append(sharding)
         runtime = self.estimated_runtime_seconds()
         if runtime is not None:
             cache_bytes = self.estimated_cache_bytes()
@@ -223,14 +232,19 @@ class PhysicalPlan:
 
         ``backend`` selects the execution strategy — ``None`` (serial
         :class:`~repro.core.backends.LocalBackend`), a name from
-        :data:`repro.core.backends.BACKENDS`, or an
-        :class:`~repro.core.backends.ExecutionBackend` instance.  Every
-        backend honours the plan's caching policy and trains to identical
-        predictions; the returned pipeline carries a
+        :data:`repro.core.backends.BACKENDS`, an
+        :class:`~repro.core.backends.ExecutionBackend` instance, or
+        ``"auto"`` to honour the backend a
+        :class:`~repro.core.passes.ShardingPass` with ``workers="auto"``
+        recommended for this plan (serial when no recommendation was
+        recorded).  Every backend honours the plan's caching policy and
+        trains to identical predictions; the returned pipeline carries a
         :class:`~repro.core.executor.TrainingReport` combining the
         optimizer's decisions with measured (and, for the sharded
         backend, simulated) execution times.
         """
         from repro.core.backends import resolve_backend
 
+        if backend == "auto":
+            backend = self.state.shard_backend or "local"
         return resolve_backend(backend).execute(self, ctx)

@@ -16,17 +16,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core import graph as g
 from repro.core.operators import Optimizable
 from repro.core.stats import DataStats, num_label_dims, stats_from_rows
 from repro.dataset.context import Context
 from repro.dataset.sizing import estimate_size
-
-if False:  # typing only
-    from repro.cluster.resources import ResourceDescriptor
-
 
 @dataclass
 class NodeProfile:

@@ -14,12 +14,52 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Tuple
 
 import numpy as np
 
 from repro.dataset.context import Context
 from repro.dataset.sizing import estimate_partition_size
+
+
+def tree_combine(partials: List[Any], comb: Callable[[Any, Any], Any]) -> Any:
+    """Pairwise binary combining tree over ``partials`` (non-empty).
+
+    The single definition of the tree shape used by
+    :meth:`Dataset.tree_aggregate` *and* by estimators that merge
+    per-partition sufficient statistics computed elsewhere (the process
+    backend's stat-merge path) — both must reduce in exactly the same
+    order for results to stay byte-identical.
+    """
+    if not partials:
+        raise ValueError("tree_combine requires at least one partial")
+    level = list(partials)
+    while len(level) > 1:
+        nxt = []
+        for j in range(0, len(level), 2):
+            if j + 1 < len(level):
+                nxt.append(comb(level[j], level[j + 1]))
+            else:
+                nxt.append(level[j])
+        level = nxt
+    return level[0]
+
+
+class _StoredPartitions:
+    """Compute function over pre-materialized partitions.
+
+    Used by unpickled datasets and by backends that register partitions
+    computed elsewhere (worker processes) — both hand over exclusively
+    owned row lists, so only the outer list is copied here.  Each pull
+    returns a shallow copy, matching ``from_items`` — consumers may
+    mutate the returned row lists.
+    """
+
+    def __init__(self, partitions: List[List[Any]]):
+        self.partitions = list(partitions)
+
+    def __call__(self, i: int) -> List[Any]:
+        return list(self.partitions[i])
 
 
 class Dataset:
@@ -96,6 +136,41 @@ class Dataset:
     def _iter_partitions(self) -> Iterable[List[Any]]:
         for i in range(self.num_partitions):
             yield self.partition(i)
+
+    def iter_partitions(self) -> Iterable[List[Any]]:
+        """Yield every partition's row list, in partition order."""
+        return self._iter_partitions()
+
+    # ------------------------------------------------------------------
+    # Pickling (materialize-on-serialize)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle as materialized partitions.
+
+        Lineage (``_compute`` closures, parents, the owning context) is
+        process-local and unpicklable by design; a dataset crossing a
+        pickle boundary is frozen into its partition contents instead.
+        Executing a plan against an unpickled source re-roots it into the
+        execution context exactly like any other foreign dataset.
+        """
+        return {
+            "name": self.name,
+            "num_partitions": self.num_partitions,
+            "partitions": [self.partition(i)
+                           for i in range(self.num_partitions)],
+            "should_cache": self.should_cache,
+        }
+
+    def __setstate__(self, state):
+        ctx = Context()
+        self.ctx = ctx
+        self.id = ctx.next_dataset_id()
+        self.num_partitions = state["num_partitions"]
+        self._compute = _StoredPartitions(state["partitions"])
+        self.parents = ()
+        self.name = state["name"]
+        self.should_cache = state["should_cache"]
+        self._inflight = {}
 
     # ------------------------------------------------------------------
     # Transformations (lazy)
@@ -281,16 +356,7 @@ class Dataset:
             partials.append(acc)
         if not partials:
             return copy.deepcopy(zero)
-        level = partials
-        while len(level) > 1:
-            nxt = []
-            for j in range(0, len(level), 2):
-                if j + 1 < len(level):
-                    nxt.append(comb(level[j], level[j + 1]))
-                else:
-                    nxt.append(level[j])
-            level = nxt
-        return comb(copy.deepcopy(zero), level[0])
+        return comb(copy.deepcopy(zero), tree_combine(partials, comb))
 
     # ------------------------------------------------------------------
     # Numeric helpers

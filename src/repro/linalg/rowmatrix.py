@@ -8,7 +8,7 @@ paper's solver cost models (Table 1) describe.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -13,16 +13,17 @@ from typing import List
 import numpy as np
 
 
-def tsqr_r(blocks: List[np.ndarray]) -> np.ndarray:
-    """R factor of ``vstack(blocks)`` via a binary combining tree.
+def tsqr_combine(factors: List[np.ndarray]) -> np.ndarray:
+    """Combine per-block local R factors up the binary TSQR tree.
 
-    Each block must have at least as many... columns as the stack is wide;
-    blocks with fewer rows than columns are allowed (their local R is just
-    rectangular and still combines correctly).
+    ``factors`` are the level-0 local QRs (``np.linalg.qr(block,
+    mode="r")``), which may be computed anywhere — including in worker
+    processes — as long as they arrive in block order; the tree shape is
+    what makes the distributed result bit-identical to :func:`tsqr_r`.
     """
-    if not blocks:
-        raise ValueError("tsqr_r requires at least one block")
-    level = [np.linalg.qr(b, mode="r") for b in blocks]
+    if not factors:
+        raise ValueError("tsqr_combine requires at least one factor")
+    level = list(factors)
     while len(level) > 1:
         nxt = []
         for j in range(0, len(level), 2):
@@ -40,6 +41,18 @@ def tsqr_r(blocks: List[np.ndarray]) -> np.ndarray:
     return r[:d, :]
 
 
+def tsqr_r(blocks: List[np.ndarray]) -> np.ndarray:
+    """R factor of ``vstack(blocks)`` via a binary combining tree.
+
+    Each block must have at least as many... columns as the stack is wide;
+    blocks with fewer rows than columns are allowed (their local R is just
+    rectangular and still combines correctly).
+    """
+    if not blocks:
+        raise ValueError("tsqr_r requires at least one block")
+    return tsqr_combine([np.linalg.qr(b, mode="r") for b in blocks])
+
+
 def tsqr_solve(a_blocks: List[np.ndarray], b_blocks: List[np.ndarray],
                l2_reg: float = 0.0) -> np.ndarray:
     """Least-squares solve ``min ||A X - B||_F`` via TSQR on ``[A | B]``.
@@ -52,12 +65,25 @@ def tsqr_solve(a_blocks: List[np.ndarray], b_blocks: List[np.ndarray],
         raise ValueError("A and B must have matching block lists")
     d = a_blocks[0].shape[1]
     k = b_blocks[0].shape[1]
-    augmented = [np.hstack([a, b]) for a, b in zip(a_blocks, b_blocks)]
+    factors = [np.linalg.qr(np.hstack([a, b]), mode="r")
+               for a, b in zip(a_blocks, b_blocks)]
+    return tsqr_solve_from_factors(factors, d, k, l2_reg)
+
+
+def tsqr_solve_from_factors(factors: List[np.ndarray], d: int, k: int,
+                            l2_reg: float = 0.0) -> np.ndarray:
+    """Finish a TSQR least-squares solve from per-block local R factors.
+
+    ``factors`` are local QRs of the augmented ``[A_i | B_i]`` blocks in
+    block order; the regularization rows are appended here so workers
+    computing block factors never see the solver configuration.
+    """
+    factors = list(factors)
     if l2_reg > 0:
         # Append sqrt(lambda) * I rows: solves the ridge-regularized problem.
         reg_block = np.hstack([np.sqrt(l2_reg) * np.eye(d), np.zeros((d, k))])
-        augmented.append(reg_block)
-    r = tsqr_r(augmented)
+        factors.append(np.linalg.qr(reg_block, mode="r"))
+    r = tsqr_combine(factors)
     r_a = r[:d, :d]
     qtb = r[:d, d:]
     return np.linalg.solve(r_a + 1e-12 * np.eye(d), qtb)

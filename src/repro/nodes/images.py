@@ -9,8 +9,7 @@ convention of per-item descriptor sets fed into PCA / GMM / FisherVector.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

@@ -9,14 +9,14 @@ convolving the raw image with ``W c`` plus a per-filter bias.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from repro.core.operators import Estimator
 from repro.dataset.dataset import Dataset
 from repro.nodes.convolution import Convolver
-from repro.nodes.images import RandomPatchSampler, ZCAWhitener
+from repro.nodes.images import RandomPatchSampler
 from repro.nodes.learning.kmeans import kmeans_fit_array
 
 

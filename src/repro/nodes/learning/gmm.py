@@ -7,7 +7,7 @@ Each EM iteration streams the dataset once (``Iterative``).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -35,15 +35,21 @@ from scipy.optimize import minimize
 
 from repro.cost.model import CostModel
 from repro.cost.profile import CostProfile
-from repro.core.operators import Iterative, LabelEstimator, Optimizable, Transformer
+from repro.core.operators import (
+    Iterative,
+    LabelEstimator,
+    Optimizable,
+    ShardableEstimator,
+    Transformer,
+)
 from repro.dataset.dataset import Dataset
-from repro.linalg.tsqr import tsqr_solve
+from repro.linalg.tsqr import tsqr_solve_from_factors
 from repro.nodes.learning._util import (
     collect_dense,
     feature_dim,
-    iter_blocks,
     iter_xy_blocks,
     label_dim,
+    rows_to_block,
 )
 
 DOUBLE = 8.0  # bytes per float64
@@ -109,19 +115,46 @@ class LocalQRSolver(LabelEstimator):
         return LinearMapper(x)
 
 
-class DistributedQRSolver(LabelEstimator):
-    """Exact least-squares via TSQR over partition blocks."""
+class DistributedQRSolver(LabelEstimator, ShardableEstimator):
+    """Exact least-squares via TSQR over partition blocks.
+
+    The local QR of each augmented ``[A_i | B_i]`` block is a sufficient
+    statistic: workers factor their shard's blocks and the parent runs
+    the same combining tree (:func:`repro.linalg.tsqr.tsqr_combine`), so
+    the solution is bit-identical to the serial fit.
+    """
 
     def __init__(self, l2_reg: float = 1e-8):
         self.l2_reg = l2_reg
 
-    def fit(self, data: Dataset, labels: Dataset) -> LinearMapper:
-        a_blocks, b_blocks = [], []
-        for a, b in iter_xy_blocks(data, labels):
-            a_blocks.append(np.asarray(a.todense()) if sp.issparse(a) else a)
-            b_blocks.append(b)
-        x = tsqr_solve(a_blocks, b_blocks, self.l2_reg)
+    def _block_stats(self, a, b):
+        a = np.asarray(a.todense()) if sp.issparse(a) else a
+        return (np.linalg.qr(np.hstack([a, b]), mode="r"),
+                a.shape[1], b.shape[1])
+
+    def partition_stats(self, rows, label_rows=None):
+        if not rows:
+            return None
+        if label_rows is None or len(rows) != len(label_rows):
+            raise ValueError(
+                f"{len(rows)} feature rows vs "
+                f"{0 if label_rows is None else len(label_rows)} label rows")
+        return self._block_stats(rows_to_block(rows),
+                                 np.asarray(rows_to_block(label_rows)))
+
+    def fit_from_stats(self, partials) -> LinearMapper:
+        present = [p for p in partials if p is not None]
+        if not present:
+            raise ValueError("DistributedQRSolver input is empty")
+        _factor, d, k = present[0]
+        x = tsqr_solve_from_factors([f for f, _d, _k in present], d, k,
+                                    self.l2_reg)
         return LinearMapper(x)
+
+    def fit(self, data: Dataset, labels: Dataset) -> LinearMapper:
+        return self.fit_from_stats(
+            [self._block_stats(a, b)
+             for a, b in iter_xy_blocks(data, labels)])
 
 
 class LBFGSSolver(LabelEstimator, Iterative):

@@ -26,9 +26,17 @@ import scipy.sparse as sp
 
 from repro.cost.model import CostModel
 from repro.cost.profile import CostProfile
-from repro.core.operators import Estimator, Optimizable, Transformer
+from repro.core.operators import (
+    Estimator,
+    Optimizable,
+    ShardableEstimator,
+    Transformer,
+)
 from repro.dataset.dataset import Dataset
-from repro.nodes.learning._util import collect_dense, feature_dim, iter_blocks
+from repro.nodes.learning._util import (
+    iter_blocks,
+    rows_to_block,
+)
 
 DOUBLE = 8.0
 
@@ -109,32 +117,47 @@ class LocalTSVD(Estimator):
         return PCATransformer(vt[:self.k].T, mean)
 
 
-class DistributedSVD(Estimator):
-    """Exact PCA from the Gram matrix computed with an aggregation tree."""
+class DistributedSVD(Estimator, ShardableEstimator):
+    """Exact PCA from the Gram matrix computed with an aggregation tree.
+
+    Per-partition (column sum, Gram matrix, row count) triples are the
+    sufficient statistics; the parent accumulates them in partition order,
+    exactly like the serial streamed fit, so components stay
+    byte-identical when partials are computed in worker processes.
+    """
 
     def __init__(self, k: int):
         self.k = k
 
-    def fit(self, data: Dataset) -> PCATransformer:
-        d = None
-        total = None
-        gram = None
-        count = 0
-        for block in iter_blocks(data):
-            block = (np.asarray(block.todense()) if sp.issparse(block)
-                     else block)
-            if d is None:
-                d = block.shape[1]
+    def partition_stats(self, rows):
+        if not rows:
+            return None
+        block = rows_to_block(rows)
+        block = np.asarray(block.todense()) if sp.issparse(block) else block
+        return block.sum(axis=0), block.T @ block, block.shape[0]
+
+    def fit_from_stats(self, partials) -> PCATransformer:
+        total, gram, count = None, None, 0
+        for partial in partials:
+            if partial is None:
+                continue
+            p_total, p_gram, p_count = partial
+            if total is None:
+                d = p_total.shape[0]
                 total = np.zeros(d)
                 gram = np.zeros((d, d))
-            total += block.sum(axis=0)
-            gram += block.T @ block
-            count += block.shape[0]
+            total += p_total
+            gram += p_gram
+            count += p_count
         if count == 0:
             raise ValueError("PCA input is empty")
         mean = total / count
         cov = gram / count - np.outer(mean, mean)
         return PCATransformer(_components_from_cov(cov, self.k), mean)
+
+    def fit(self, data: Dataset) -> PCATransformer:
+        return self.fit_from_stats(
+            [self.partition_stats(part) for part in data.iter_partitions()])
 
 
 class DistributedTSVD(Estimator):

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.operators import Estimator, Transformer
-from repro.dataset.dataset import Dataset
+from repro.core.operators import Estimator, ShardableEstimator, Transformer
+from repro.dataset.dataset import Dataset, tree_combine
 
 
 def as_dense_row(row) -> np.ndarray:
@@ -60,29 +60,49 @@ class SignedPower(Transformer):
         return np.sign(arr) * np.abs(arr) ** self.power
 
 
-class StandardScaler(Estimator):
-    """Fit per-column mean/std; transformer standardizes rows."""
+def _add_moments(a, b):
+    """Combine (count, sum, sum-of-squares) moment triples."""
+    return a[0] + b[0], a[1] + b[1], a[2] + b[2]
+
+
+class StandardScaler(Estimator, ShardableEstimator):
+    """Fit per-column mean/std; transformer standardizes rows.
+
+    The per-partition (count, sum, sum-of-squares) triples are exposed as
+    sufficient statistics; the parent merges them with the same combining
+    tree the serial fit uses, so the fitted moments are byte-identical.
+    """
 
     def __init__(self, with_std: bool = True, eps: float = 1e-12):
         self.with_std = with_std
         self.eps = eps
 
-    def fit(self, data: Dataset) -> "StandardScalerTransformer":
-        def seq(acc, row):
-            count, total, sq = acc
+    def partition_stats(self, rows):
+        if not rows:
+            return None
+        first = as_dense_row(rows[0])
+        count, total, sq = 0, np.zeros_like(first), np.zeros_like(first)
+        for row in rows:
             arr = as_dense_row(row)
-            return count + 1, total + arr, sq + arr * arr
+            count, total, sq = count + 1, total + arr, sq + arr * arr
+        return count, total, sq
 
-        def comb(a, b):
-            return a[0] + b[0], a[1] + b[1], a[2] + b[2]
-
-        first = as_dense_row(data.first())
-        zero = (0, np.zeros_like(first), np.zeros_like(first))
-        count, total, sq = data.tree_aggregate(zero, seq, comb)
+    def fit_from_stats(self, partials) -> "StandardScalerTransformer":
+        present = [p for p in partials if p is not None]
+        if not present:
+            raise ValueError("StandardScaler input is empty")
+        zeros = np.zeros_like(present[0][1])
+        full = [(0, zeros, zeros) if p is None else p for p in partials]
+        count, total, sq = _add_moments(
+            (0, zeros, zeros), tree_combine(full, _add_moments))
         mean = total / count
         var = np.maximum(sq / count - mean * mean, 0.0)
         std = np.sqrt(var) if self.with_std else np.ones_like(mean)
         return StandardScalerTransformer(mean, std + self.eps)
+
+    def fit(self, data: Dataset) -> "StandardScalerTransformer":
+        return self.fit_from_stats(
+            [self.partition_stats(part) for part in data.iter_partitions()])
 
 
 class StandardScalerTransformer(Transformer):

@@ -10,13 +10,19 @@ from __future__ import annotations
 
 import re
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.operators import Estimator, Transformer
-from repro.dataset.dataset import Dataset
+from repro.core.operators import Estimator, ShardableEstimator, Transformer
+from repro.dataset.dataset import Dataset, tree_combine
+
+
+def _update_counter(a: Counter, b: Counter) -> Counter:
+    """The combining step shared by serial and stat-merged DF counting."""
+    a.update(b)
+    return a
 
 
 class Trim(Transformer):
@@ -81,6 +87,21 @@ class TermFrequency(Transformer):
         counts = Counter(terms)
         return {term: self.weighting(c) for term, c in counts.items()}
 
+    def __getstate__(self):
+        # The paper's canonical weighting is a lambda (``x => 1``); pack
+        # it so the operator ships to worker processes and persists.
+        from repro.core.serde import pack_callable
+
+        state = self.__dict__.copy()
+        state["weighting"] = pack_callable(self.weighting)
+        return state
+
+    def __setstate__(self, state):
+        from repro.core.serde import unpack_callable
+
+        state["weighting"] = unpack_callable(state["weighting"])
+        self.__dict__.update(state)
+
 
 class SparseFeatureVectorizer(Transformer):
     """Map ``{term: weight}`` to a 1 x d sparse row given a vocabulary."""
@@ -103,12 +124,20 @@ class SparseFeatureVectorizer(Transformer):
             shape=(1, self.dim))
 
 
-class CommonSparseFeatures(Estimator):
+class CommonSparseFeatures(Estimator, ShardableEstimator):
     """Select the ``num_features`` most frequent terms across the corpus.
 
     Fitting aggregates document frequencies with a combining tree (the
     aggregation the paper notes limits Amazon-pipeline scaling) and returns
     a :class:`SparseFeatureVectorizer` over the selected vocabulary.
+
+    The per-partition document-frequency counters are exposed as
+    sufficient statistics (:class:`~repro.core.operators.
+    ShardableEstimator`): worker processes count shards locally and the
+    parent merges with the *same* combining tree, so vocabulary order —
+    and therefore predictions — stay byte-identical to the serial fit
+    (``Counter.most_common`` ties break on insertion order, which the
+    tree shape determines).
     """
 
     def __init__(self, num_features: int):
@@ -116,19 +145,24 @@ class CommonSparseFeatures(Estimator):
             raise ValueError(f"num_features must be >= 1, got {num_features}")
         self.num_features = int(num_features)
 
-    def fit(self, data: Dataset) -> SparseFeatureVectorizer:
-        def seq(acc: Counter, term_weights: Dict[str, float]) -> Counter:
+    def partition_stats(self, rows: List[Dict[str, float]]) -> Counter:
+        acc = Counter()
+        for term_weights in rows:
             acc.update(term_weights.keys())
-            return acc
+        return acc
 
-        def comb(a: Counter, b: Counter) -> Counter:
-            a.update(b)
-            return a
-
-        counts = data.tree_aggregate(Counter(), seq, comb)
+    def fit_from_stats(self, partials: List[Counter]
+                       ) -> SparseFeatureVectorizer:
+        counts = Counter()
+        if partials:
+            counts.update(tree_combine(partials, _update_counter))
         top = counts.most_common(self.num_features)
         vocabulary = {term: i for i, (term, _count) in enumerate(top)}
         return SparseFeatureVectorizer(vocabulary)
+
+    def fit(self, data: Dataset) -> SparseFeatureVectorizer:
+        return self.fit_from_stats(
+            [self.partition_stats(part) for part in data.iter_partitions()])
 
 
 class HashingTF(Transformer):
@@ -196,34 +230,37 @@ class SuffixStemmer(Transformer):
         return out
 
 
-class IDFEstimator(Estimator):
+class IDFEstimator(Estimator, ShardableEstimator):
     """Fit inverse document frequencies over ``{term: weight}`` rows.
 
     The fitted transformer rescales term weights by
     ``log((1 + N) / (1 + df)) + 1`` (smoothed IDF); combined with
-    :class:`TermFrequency` this yields TF-IDF featurization.
+    :class:`TermFrequency` this yields TF-IDF featurization.  Document
+    counts and frequency counters are per-partition sufficient statistics
+    merged in partition order.
     """
 
-    def fit(self, data: Dataset) -> "IDFTransformer":
-        from collections import Counter as _Counter
+    def partition_stats(self, rows: List[Dict[str, float]]):
+        count, df = 0, Counter()
+        for term_weights in rows:
+            count += 1
+            df.update(term_weights.keys())
+        return (count, df)
 
-        def seq(acc, term_weights):
-            acc[0] += 1
-            acc[1].update(term_weights.keys())
-            return acc
-
-        def comb(a, b):
-            a[0] += b[0]
-            a[1].update(b[1])
-            return a
-
-        num_docs, doc_freq = data.aggregate(
-            [0, _Counter()], seq, lambda a, b: comb(a, b))
+    def fit_from_stats(self, partials) -> "IDFTransformer":
         import math as _math
 
+        num_docs, doc_freq = 0, Counter()
+        for count, df in partials:
+            num_docs += count
+            doc_freq.update(df)
         idf = {term: _math.log((1 + num_docs) / (1 + df)) + 1.0
                for term, df in doc_freq.items()}
         return IDFTransformer(idf, default=_math.log(1 + num_docs) + 1.0)
+
+    def fit(self, data: Dataset) -> "IDFTransformer":
+        return self.fit_from_stats(
+            [self.partition_stats(part) for part in data.iter_partitions()])
 
 
 class IDFTransformer(Transformer):

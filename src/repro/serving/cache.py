@@ -26,7 +26,7 @@ budgeted-eviction machinery the dataset layer already ships.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Iterable, Optional, Set, Tuple
+from typing import Any, Iterable, Set, Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ benchmark harness.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -1,0 +1,12 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.core.backends import shutdown_worker_pools
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_process_pools():
+    """Release shared worker-process pools at session end."""
+    yield
+    shutdown_worker_pools()

@@ -22,11 +22,13 @@ from repro.core.backends import (
     ExecutionBackend,
     LocalBackend,
     PipelinedBackend,
+    ProcessPoolBackend,
     ShardedBackend,
     plan_scaling_sweep,
     resolve_backend,
 )
 from repro.core.executor import ExclusiveTimer
+from repro.core.operators import Transformer
 from repro.core.optimizer import Optimizer, passes_for_level
 from repro.core.passes import ShardingPass
 from repro.core.pipeline import Pipeline
@@ -40,8 +42,13 @@ from repro.nodes.text import (
     Tokenizer,
 )
 from repro.workloads import amazon_reviews
+from workload_scenarios import SCENARIOS
 
 WORKLOAD = amazon_reviews(200, 20, vocab_size=300, seed=0)
+
+#: bounds every process-backend wave so a wedged worker fails the test
+#: run instead of hanging it (the tests' deadlock guard)
+PROCESS_TIMEOUT = 300.0
 
 
 def text_pipeline(ctx, wl=WORKLOAD):
@@ -95,6 +102,9 @@ ALL_BACKENDS = [
     pytest.param(lambda: ShardedBackend(workers=4,
                                         resources=r3_4xlarge(4)),
                  id="sharded"),
+    pytest.param(lambda: ProcessPoolBackend(workers=2,
+                                            task_timeout=PROCESS_TIMEOUT),
+                 id="process"),
 ]
 
 
@@ -323,6 +333,188 @@ class TestShardedBackend:
         assert out.num_partitions == 8
         serial = fitted.apply_dataset(WORKLOAD.test_data(Context()))
         assert comparable(out.collect()) == comparable(serial.collect())
+
+
+class SleepyTransformer(Transformer):
+    """Module-level (spawn-picklable) transformer that wedges a worker."""
+
+    def __init__(self, seconds: float = 2.0):
+        self.seconds = seconds
+
+    def apply(self, item):
+        time.sleep(self.seconds)
+        return {"term": 1.0}
+
+
+class UnpicklableTransformer(Transformer):
+    """Carries a live lock, so its flow can never ship to a worker."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+
+    def apply(self, item):
+        return {str(item): 1.0}
+
+
+class TestProcessPoolBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPoolBackend(workers=0)
+
+    def test_workers_1_degenerates_to_serial(self):
+        """One worker runs the serial reference path — no pool, identical
+        predictions, and the report still names the backend."""
+        fitted = optimize(text_pipeline).execute(
+            backend=ProcessPoolBackend(workers=1))
+        report = fitted.training_report
+        assert report.backend == "process[workers=1]"
+        assert report.process_workers == 1
+        assert not report.process_stat_merged
+        assert not report.process_gathered
+        reference = optimize(text_pipeline).execute()
+        got = comparable(fitted.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        want = comparable(reference.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        assert got == want
+
+    def test_workers_default_to_sharding_pass(self):
+        plan = optimize(text_pipeline, [ShardingPass(workers=2)])
+        backend = ProcessPoolBackend(task_timeout=PROCESS_TIMEOUT)
+        fitted = plan.execute(backend=backend)
+        assert fitted.training_report.process_workers == 2
+        assert fitted.training_report.backend == "process[workers=2]"
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_registry_workload_parity(self, name):
+        """Every registry workload trains byte-identically in processes."""
+        pipe, items = SCENARIOS[name](Context())
+        reference = pipe.fit(level="none")
+        expected = comparable([reference.apply(x) for x in items])
+
+        backend = ProcessPoolBackend(workers=2,
+                                     task_timeout=PROCESS_TIMEOUT)
+        pipe2, _ = SCENARIOS[name](Context())
+        fitted = pipe2.fit(level="none", backend=backend)
+        report = fitted.training_report
+        assert report.process_workers == 2
+        assert not report.process_fallback, report.process_fallback
+        assert comparable([fitted.apply(x) for x in items]) == expected
+        batch = fitted.apply_dataset(
+            Context().parallelize(items, 4), backend=backend)
+        assert comparable(batch.collect()) == expected
+
+    def test_stat_merge_and_gather_paths_both_used(self):
+        """The text pipeline exercises both merge strategies: frequency
+        selection merges counters, the iterative solver gathers rows."""
+        backend = ProcessPoolBackend(workers=2,
+                                     task_timeout=PROCESS_TIMEOUT)
+        fitted = optimize(text_pipeline).execute(backend=backend)
+        report = fitted.training_report
+        assert "CommonSparseFeatures" in report.process_stat_merged
+        assert "LinearSolver" in report.process_gathered
+        assert not report.process_fallback
+
+    def test_merge_stats_disabled_still_identical(self):
+        backend = ProcessPoolBackend(workers=2, merge_stats=False,
+                                     task_timeout=PROCESS_TIMEOUT)
+        fitted = optimize(text_pipeline).execute(backend=backend)
+        report = fitted.training_report
+        assert not report.process_stat_merged
+        assert "CommonSparseFeatures" in report.process_gathered
+        reference = optimize(text_pipeline).execute()
+        got = comparable(fitted.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        want = comparable(reference.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        assert got == want
+
+    def test_unpicklable_flow_falls_back_to_serial(self):
+        """An operator that cannot cross the process boundary degrades to
+        in-parent execution instead of failing the fit."""
+        ctx = Context()
+        data = ctx.parallelize([f"doc {i}" for i in range(16)], 4)
+        pipe = (Pipeline.identity()
+                .and_then(UnpicklableTransformer())
+                .and_then(CommonSparseFeatures(4), data))
+        plan = Optimizer(passes_for_level("none")).optimize(pipe)
+        backend = ProcessPoolBackend(workers=2,
+                                     task_timeout=PROCESS_TIMEOUT)
+        fitted = plan.execute(backend=backend)
+        report = fitted.training_report
+        assert report.process_fallback
+        assert "CommonSparseFeatures" in report.process_fallback[0]
+        assert fitted.apply("doc 3") is not None
+
+    def test_wave_timeout_raises_instead_of_hanging(self):
+        """The deadlock/timeout guard: a wedged worker turns into a
+        bounded RuntimeError, not a hung fit."""
+        ctx = Context()
+        data = ctx.parallelize(list(range(8)), 4)
+        pipe = (Pipeline.identity()
+                .and_then(SleepyTransformer(seconds=5.0))
+                .and_then(CommonSparseFeatures(2), data))
+        plan = Optimizer(passes_for_level("none")).optimize(pipe)
+        backend = ProcessPoolBackend(workers=2, task_timeout=0.5,
+                                     reuse_pool=False)
+        result = {}
+
+        def run():
+            try:
+                plan.execute(backend=backend)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                result["error"] = exc
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=120)
+        backend.close()
+        assert not worker.is_alive(), "timed-out wave hung the fit"
+        assert isinstance(result.get("error"), RuntimeError)
+        assert "timed out" in str(result["error"])
+
+    def test_report_times_cover_worker_nodes(self):
+        backend = ProcessPoolBackend(workers=2,
+                                     task_timeout=PROCESS_TIMEOUT)
+        fitted = optimize(text_pipeline).execute(backend=backend)
+        report = fitted.training_report
+        # Featurization executed in workers still lands in node_seconds;
+        # estimator fits are timed in the parent.
+        assert len(report.node_seconds) >= 4
+        assert len(report.estimator_seconds) == 2
+        assert all(t >= 0.0 for t in report.node_seconds.values())
+
+
+class TestAutoBackendRecommendation:
+    def test_hint_mapping(self):
+        sharding = ShardingPass(workers="auto")
+        assert sharding._recommend_backend(1, 0.0) == "local"
+        assert sharding._recommend_backend(4, 0.01) == "process"
+        assert sharding._recommend_backend(4, 0.5) == "pipelined"
+
+    def test_auto_recommends_process_when_network_is_cheap(self):
+        """Featurization-dominated text plan, tiny coordination bytes:
+        the auto-chooser recommends multi-process execution."""
+        passes = passes_for_level("full", sample_sizes=(20, 40))
+        passes.append(ShardingPass(workers="auto", max_workers=4))
+        plan = Optimizer(passes).optimize(text_pipeline(Context()),
+                                          resources=r3_4xlarge(4))
+        assert plan.state.shard_workers >= 2
+        assert plan.state.shard_backend == "process"
+        assert "recommended backend: process" in plan.explain()
+
+    def test_execute_auto_honours_recommendation(self):
+        passes = passes_for_level("full", sample_sizes=(20, 40))
+        passes.append(ShardingPass(workers="auto", max_workers=2))
+        plan = Optimizer(passes).optimize(text_pipeline(Context()),
+                                          resources=r3_4xlarge(2))
+        fitted = plan.execute(backend="auto")
+        assert fitted.training_report.backend.startswith(
+            plan.state.shard_backend)
+
+    def test_execute_auto_without_recommendation_is_local(self):
+        fitted = optimize(text_pipeline).execute(backend="auto")
+        assert fitted.training_report.backend == "local"
 
 
 class TestShardingPass:

@@ -12,7 +12,7 @@ from repro.baselines import (
 )
 from repro.cluster.resources import ResourceDescriptor
 from repro.dataset import Context
-from repro.nodes.learning.linear import LinearMapper, LocalQRSolver
+from repro.nodes.learning.linear import LinearMapper
 
 
 @pytest.fixture

@@ -1,10 +1,9 @@
 """Tests for common sub-expression elimination (paper Section 4.2)."""
 
-import pytest
 
 from repro.core import graph as g
 from repro.core.cse import count_merged, eliminate_common_subexpressions
-from repro.core.operators import Estimator, FunctionTransformer, Transformer
+from repro.core.operators import Estimator, Transformer
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context
 

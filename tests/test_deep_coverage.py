@@ -12,7 +12,6 @@ from repro.cluster.resources import ResourceDescriptor, local_machine
 from repro.core import graph as g
 from repro.core.executor import TrainingReport
 from repro.core.operators import FunctionTransformer, IdentityTransformer
-from repro.core.pipeline import Pipeline
 from repro.cost.model import execution_seconds
 from repro.cost.profile import CostProfile
 from repro.dataset import Context

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core import materialization as mat
-from repro.core.executor import ExclusiveTimer, fit_pipeline
-from repro.core.operators import Estimator, Iterative, LabelEstimator, \
-    Transformer
+from repro.core.executor import ExclusiveTimer
+from repro.core.operators import Iterative, LabelEstimator, Transformer
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context
 

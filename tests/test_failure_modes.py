@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.operators import Estimator, LabelEstimator, Transformer
+from repro.core.operators import Estimator, Transformer
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context
 from repro.nodes.learning.linear import LBFGSSolver, LocalQRSolver

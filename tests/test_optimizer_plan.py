@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import graph as g
-from repro.core.executor import fit_pipeline
 from repro.core.operators import LabelEstimator, Transformer
 from repro.core.optimizer import Optimizer, default_passes, passes_for_level
 from repro.core.passes import (

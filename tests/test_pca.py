@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.resources import ResourceDescriptor, local_machine, \
-    r3_4xlarge
+from repro.cluster.resources import r3_4xlarge
 from repro.core.stats import DataStats
 from repro.dataset import Context
 from repro.nodes.learning.pca import (

@@ -6,7 +6,6 @@ import pytest
 from repro.core import graph as g
 from repro.core.operators import (
     Estimator,
-    FunctionTransformer,
     LabelEstimator,
     Transformer,
 )
@@ -36,7 +35,7 @@ class OffsetToLabel(LabelEstimator):
 
     def fit(self, data, labels):
         pairs = list(zip(data.collect(), labels.collect()))
-        offset = sum(l - d for d, l in pairs) / len(pairs)
+        offset = sum(lab - d for d, lab in pairs) / len(pairs)
         return AddConst(offset)
 
 

@@ -2,7 +2,6 @@
 operator library (TF-IDF text, HOG images) still train and predict well."""
 
 import numpy as np
-import pytest
 
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context

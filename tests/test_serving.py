@@ -34,7 +34,6 @@ from repro.core.pipeline import Pipeline
 from repro.core.plan import PassDecision
 from repro.core.profiler import NodeProfile, PipelineProfile
 from repro.dataset import Context
-from repro.nodes.images import GrayScaler
 from repro.nodes.learning.linear import LinearSolver
 from repro.nodes.learning.random_features import CosineRandomFeatures
 from repro.nodes.numeric import (
@@ -58,85 +57,11 @@ from repro.serving import (
     compile_inference_plan,
     fingerprint,
 )
-from repro.workloads import (
-    amazon_reviews,
-    cifar10_images,
-    imagenet_images,
-    timit_frames,
-    voc_images,
-    youtube8m,
-)
+from repro.workloads import amazon_reviews, timit_frames, youtube8m
 
-
-def comparable(rows):
-    """Map prediction rows to hashable byte-exact representations."""
-    out = []
-    for row in rows:
-        if isinstance(row, (list, tuple)):
-            out.append(tuple(comparable(row)))
-        else:
-            arr = np.asarray(row)
-            out.append((str(arr.dtype), arr.shape, arr.tobytes()))
-    return out
-
-
-# ----------------------------------------------------------------------
-# Servable scenarios: one classifier-headed pipeline per registry workload
-# ----------------------------------------------------------------------
-
-def _vector_pipeline(ctx, wl, features):
-    data = wl.train_data(ctx)
-    labels = wl.train_label_vectors(ctx)
-    return (Pipeline.identity()
-            .and_then(StandardScaler(), data)
-            .and_then(CosineRandomFeatures(features, seed=1), data)
-            .and_then(LinearSolver(), data, labels)
-            .and_then(MaxClassifier()))
-
-
-def _image_pipeline(ctx, wl):
-    data = wl.train_data(ctx)
-    labels = wl.train_label_vectors(ctx)
-    return (Pipeline.identity()
-            .and_then(GrayScaler())
-            .and_then(Flatten())
-            .and_then(Normalizer())
-            .and_then(LinearSolver(), data, labels)
-            .and_then(MaxClassifier()))
-
-
-def _text_pipeline(ctx, wl):
-    data = wl.train_data(ctx)
-    labels = wl.train_label_vectors(ctx)
-    return (Pipeline.identity()
-            .and_then(LowerCase())
-            .and_then(Tokenizer())
-            .and_then(TermFrequency(lambda c: 1.0))
-            .and_then(CommonSparseFeatures(120), data)
-            .and_then(LinearSolver(), data, labels)
-            .and_then(MaxClassifier()))
-
-
-SCENARIOS = {
-    "amazon": lambda ctx: (_text_pipeline(
-        ctx, amazon_reviews(120, 16, vocab_size=200, seed=0)),
-        amazon_reviews(120, 16, vocab_size=200, seed=0).test_items),
-    "timit": lambda ctx: (_vector_pipeline(
-        ctx, timit_frames(100, 16, dim=24, num_classes=4, seed=0), 32),
-        timit_frames(100, 16, dim=24, num_classes=4, seed=0).test_items),
-    "imagenet": lambda ctx: (_image_pipeline(
-        ctx, imagenet_images(24, 8, size=16, num_classes=3, seed=0)),
-        imagenet_images(24, 8, size=16, num_classes=3, seed=0).test_items),
-    "voc": lambda ctx: (_image_pipeline(
-        ctx, voc_images(20, 8, size=16, num_classes=3, seed=0)),
-        voc_images(20, 8, size=16, num_classes=3, seed=0).test_items),
-    "cifar10": lambda ctx: (_image_pipeline(
-        ctx, cifar10_images(24, 8, size=12, num_classes=3, seed=0)),
-        cifar10_images(24, 8, size=12, num_classes=3, seed=0).test_items),
-    "youtube8m": lambda ctx: (_vector_pipeline(
-        ctx, youtube8m(100, 16, dim=32, num_classes=5, seed=0), 24),
-        youtube8m(100, 16, dim=32, num_classes=5, seed=0).test_items),
-}
+# Servable scenarios (one classifier-headed pipeline per registry
+# workload) are shared with the backend-equivalence and pickling suites.
+from workload_scenarios import SCENARIOS, _vector_pipeline, comparable
 
 _FITTED = {}
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core.stats import DataStats, num_label_dims, stats_from_rows
+from repro.core.stats import num_label_dims, stats_from_rows
 
 
 class TestStatsFromRows:

@@ -5,7 +5,6 @@ import pytest
 from repro.dataset import Context
 from repro.nodes.text import (
     IDFEstimator,
-    IDFTransformer,
     StopWordRemover,
     SuffixStemmer,
     TermFrequency,
@@ -75,7 +74,6 @@ class TestIDF:
         ctx = Context()
         tokens = [{"a": 1.0}] * 10
         idf = IDFEstimator().fit(ctx.parallelize(tokens, 5))
-        import math
 
         # df(a) = 10, N = 10 -> idf = log(11/11) + 1 = 1.
         assert idf.apply({"a": 2.0})["a"] == pytest.approx(2.0)

@@ -1,6 +1,5 @@
 """Tests for the text featurization operators."""
 
-import numpy as np
 import pytest
 import scipy.sparse as sp
 

@@ -7,7 +7,6 @@ import scipy.sparse as sp
 from repro.dataset import Context
 from repro.workloads import (
     PAPER_DATASETS,
-    Workload,
     amazon_reviews,
     cifar10_images,
     dense_vectors,
