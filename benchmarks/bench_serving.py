@@ -19,6 +19,11 @@ Two experiments:
 - ``test_serving_closed_loop_latency`` — a closed-loop generator
   (concurrent clients, one outstanding request each) reports the latency
   percentiles and cache hit rate under concurrency.
+- ``test_serving_cross_version_cache`` — two registered versions sharing
+  a featurization prefix; measures the content-addressed cache's
+  cross-version hit rate (the new version's first pass over traffic the
+  old version already served), recorded and gated as
+  ``serving_cross_version.cross_version_hit_rate``.
 
 Set ``REPRO_BENCH_FAST=1`` to shrink the workloads for CI smoke runs.
 """
@@ -193,6 +198,71 @@ def test_serving_throughput_open_loop(benchmark):
             f"{name}: {r['served']:.0f}/s < "
             f"{SPEEDUP_FLOOR}x naive {r['naive']:.0f}/s")
         assert r["stats"].cache_hit_rate > 0.3, name
+
+
+def test_serving_cross_version_cache(benchmark):
+    """Content-addressed cross-version reuse: v2 resumes from v1's work.
+
+    Both versions train through the identical featurization prefix
+    (StandardScaler -> CosineRandomFeatures) and differ only in the
+    solver, so the prefix ops carry equal content keys and one serving
+    cache backs both registered versions.  The metric is the hit rate of
+    the *new* version's first pass over a catalog only the *old* version
+    has served — every hit is an intermediate v2 never computed.
+    """
+    name = "timit"
+    cfg = WORKLOADS[name]
+    wl = timit_frames(cfg["num_train"], CATALOG, dim=cfg["dim"],
+                      num_classes=cfg["classes"], seed=0)
+
+    def fit(l2_reg):
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (Pipeline.identity()
+                .and_then(StandardScaler(), data)
+                .and_then(CosineRandomFeatures(cfg["features"], seed=1),
+                          data)
+                .and_then(LinearSolver(lbfgs_iters=20, l2_reg=l2_reg),
+                          data, labels)
+                .and_then(MaxClassifier()))
+        return pipe.fit(level="none")
+
+    v1, v2 = fit(1e-8), fit(1.0)
+
+    def run():
+        server = ModelServer(max_batch=MAX_BATCH,
+                             max_delay_ms=MAX_DELAY_MS,
+                             cache_budget_bytes=CACHE_BUDGET)
+        with server:
+            # No warmup: every non-input op is cache-marked, so the
+            # shared prefix is cacheable in both versions.
+            server.register(name, v1, version="v1")
+            m2 = server.register(name, v2, version="v2", deploy=True)
+            catalog = list(wl.test_items)
+            # The old version serves the catalog (writes the prefix)...
+            expected_v1 = server.predict_many(name, catalog, version="v1")
+            hits_before = m2.cache.hits
+            # ...then the new version sees the same traffic cold.
+            served = server.predict_many(name, catalog)
+            cross_hits = m2.cache.hits - hits_before
+        return expected_v1, served, cross_hits, len(catalog)
+
+    expected_v1, served, cross_hits, n = once(benchmark, run)
+    assert expected_v1 == [v1.apply(x) for x in wl.test_items]
+    assert served == [v2.apply(x) for x in wl.test_items]
+    rate = cross_hits / n
+    lines = [f"two versions, shared StandardScaler+RandomFeatures prefix, "
+             f"catalog {n}",
+             f"v2 first-pass cross-version cache hit rate: {rate:.2f} "
+             f"({cross_hits} hits)"]
+    report("serving_cross_version", lines)
+    record_result("serving_cross_version",
+                  {"cross_version_hit_rate": rate})
+    # Every v2 request must resume from at least the shared prefix.
+    assert rate > 0.9, (
+        f"cross-version hit rate {rate:.2f}: content-addressed sharing "
+        "is not answering the new version's requests")
 
 
 def test_serving_closed_loop_latency(benchmark):

@@ -4,7 +4,10 @@ Trains two pipelines (the Figure-2 text classifier and a TIMIT-style
 vector classifier), registers them on one ModelServer, and pushes a mixed
 request stream through the dynamic micro-batcher and the cost-model
 serving cache.  Then demonstrates a warm version swap: v2 is compiled and
-warmed at register time, so deploy() is an atomic pointer move.
+warmed at register time, so deploy() is an atomic pointer move — and
+because both versions were trained through the same featurization prefix,
+the content-addressed serving cache answers v2's featurization from the
+intermediates v1 already computed (cross-version reuse).
 
 Run:  python examples/model_serving.py
 """
@@ -90,9 +93,13 @@ def main():
 
         # Warm swap: v2 (stronger regularization) is compiled and warmed
         # by register(); deploy() atomically moves the default pointer.
+        # v2 shares v1's featurization prefix (LowerCase -> Tokenizer ->
+        # TermFrequency -> fitted CommonSparseFeatures), so its ops get
+        # the same content-addressed keys and both versions share one
+        # serving cache for the registry entry.
         reviews_v2 = train_reviews_model(reviews, l2_reg=1.0)
-        server.register("reviews", reviews_v2, version="v2",
-                        warmup_items=reviews.test_items[:16])
+        v2_model = server.register("reviews", reviews_v2, version="v2",
+                                   warmup_items=reviews.test_items[:16])
         print("\nversions before deploy:", server.versions("reviews"),
               "default:", server.default_version("reviews"))
         server.deploy("reviews", "v2")
@@ -104,6 +111,24 @@ def main():
               f"p95 {stats.p95_ms:.2f} ms")
         assert stats.requests >= len(reviews.test_items)
         assert stats.errors == 0, f"{stats.errors} serving errors"
+
+        # Cross-version reuse: fresh documents (never served) reach the
+        # old version first -- the traffic still draining against v1 --
+        # which writes the shared featurization prefix into the
+        # entry-wide content-addressed cache.  v2 then serves the same
+        # documents for the first time and resumes from v1's entries.
+        fresh = reviews.train_items[:120]
+        server.predict_many("reviews", fresh, version="v1")
+        hits_before = v2_model.cache.hits
+        served_fresh = server.predict_many("reviews", fresh)
+        assert served_fresh == [reviews_v2.apply(x) for x in fresh]
+        cross_hits = v2_model.cache.hits - hits_before
+        cross_rate = cross_hits / len(fresh)
+        print(f"cross-version cache hit rate on v2's first pass over "
+              f"{len(fresh)} fresh documents: {cross_rate:.2f}")
+        assert cross_rate > 0, (
+            "two versions sharing a featurization prefix must share "
+            "cached intermediates")
 
 
 if __name__ == "__main__":

@@ -75,11 +75,14 @@ from repro.core import (
     FusionPass,
     LabelEstimator,
     LocalBackend,
+    LoweringPass,
     MaterializationPass,
     OperatorSelectionPass,
     Optimizer,
+    OpProgram,
     Pass,
     PhysicalPlan,
+    ProgramPass,
     Pipeline,
     PipelinedBackend,
     ProcessPoolBackend,
@@ -107,12 +110,15 @@ __all__ = [
     "InferencePlan",
     "LabelEstimator",
     "LocalBackend",
+    "LoweringPass",
     "MaterializationPass",
     "ModelServer",
     "OperatorSelectionPass",
     "Optimizer",
+    "OpProgram",
     "Pass",
     "PhysicalPlan",
+    "ProgramPass",
     "Pipeline",
     "PipelinedBackend",
     "ProcessPoolBackend",

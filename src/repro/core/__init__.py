@@ -33,9 +33,19 @@ from repro.core.executor import (
     fit_pipeline,
 )
 from repro.core.plan import PassDecision, PhysicalPlan, PlanState
+from repro.core.program import (
+    DeadOpElimination,
+    Op,
+    OpProgram,
+    ProgramPass,
+    lower_inference_program,
+    lower_training_program,
+    structural_fingerprint,
+)
 from repro.core.passes import (
     CSEPass,
     FusionPass,
+    LoweringPass,
     MaterializationPass,
     OperatorSelectionPass,
     Pass,
@@ -76,6 +86,14 @@ __all__ = [
     "LEVEL_FULL",
     "LEVEL_NONE",
     "LEVEL_PIPE",
+    "LoweringPass",
+    "DeadOpElimination",
+    "Op",
+    "OpProgram",
+    "ProgramPass",
+    "lower_inference_program",
+    "lower_training_program",
+    "structural_fingerprint",
     "MaterializationPass",
     "OperatorSelectionPass",
     "Optimizable",

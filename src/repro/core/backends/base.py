@@ -190,8 +190,8 @@ class TrainingSession:
         # Root every source now, while still single-threaded: re-rooting a
         # foreign dataset collects it eagerly, which must not happen under
         # the session lock once backend threads are running.
-        for node in g.ancestors([self.sink]):
-            if node.kind == g.SOURCE and not node.is_pipeline_input:
+        for node in g.reachable([self.sink], g.SOURCE):
+            if not node.is_pipeline_input:
                 self._dataset_of(node)
 
     # ------------------------------------------------------------------
@@ -266,8 +266,7 @@ class TrainingSession:
 
     def estimator_nodes(self) -> list:
         """Estimators reachable from the sink, dependency order first."""
-        return [n for n in g.ancestors([self.sink])
-                if n.kind == g.ESTIMATOR]
+        return g.reachable([self.sink], g.ESTIMATOR)
 
     def run_serial(self) -> None:
         """Reference schedule: fit every estimator depth-first, in order."""
@@ -318,4 +317,5 @@ class TrainingSession:
         inference_sink = inference_node(self.sink, memo)
         new_input = memo.get(state.input_node.id, state.input_node)
         return FittedPipeline(new_input, inference_sink,
-                              training_report=report)
+                              training_report=report,
+                              program_passes=state.program_passes)

@@ -3,12 +3,13 @@
 The sharded backend *prices* shards on a simulated cluster while training
 serially in-process; this backend actually executes them.  The training
 data is partitioned into contiguous shards (one chunk of partitions per
-worker), the training flow feeding each estimator is flattened into a
-picklable *shard program* — the same flat-op idea as
-:mod:`repro.serving.compiler`, aimed at training instead of inference —
-and worker processes run the program over their shard, dodging the GIL
-for the numpy-light featurization operators that dominate the paper's
-pipelines.
+worker), the training flow feeding each estimator is lowered into a
+picklable *shard program* — the same :class:`~repro.core.program.OpProgram`
+IR the serving compiler executes, lowered by the same
+:func:`repro.core.program.lower_training_program` walk, aimed at training
+instead of inference — and worker processes run the program over their
+shard, dodging the GIL for the numpy-light featurization operators that
+dominate the paper's pipelines.
 
 Two merge strategies, chosen per estimator:
 
@@ -50,7 +51,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.core import graph as g
+from repro.core import program as prog
 from repro.core.backends.base import ExecutionBackend, TrainingSession
+from repro.core.program import UnshippableFlow
 from repro.dataset.context import Context
 from repro.dataset.dataset import Dataset, _StoredPartitions
 
@@ -63,107 +66,88 @@ if TYPE_CHECKING:
 _SHIP_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 
-class _UnshippablePlan(Exception):
-    """The flow cannot be executed in worker processes."""
-
-
 # ----------------------------------------------------------------------
 # Shard programs
 # ----------------------------------------------------------------------
 #
-# A program is a topologically ordered list of steps; step i's output
-# lives in slot i.  Step shape: (kind, node_id, op, parent_slots) with
-# kind in {"source", "op", "gather"}.  Sources are fed per-partition from
-# the parent; "op" covers transformer nodes and apply nodes (whose op is
-# the already-fitted model).  Estimator nodes never ship.
+# A shard program is an OpProgram (repro.core.program) lowered from the
+# flow feeding the estimator(s) being fitted: a topologically ordered
+# list of ops, op i's output living in slot i.  Source ops are fed
+# per-partition from the parent; transform ops cover transformer nodes
+# and apply nodes (whose op is the already-fitted model).  Estimator
+# nodes never ship.  Materialized intermediates are re-shipped (instead
+# of recomputed) only when the optimizer's materialization pass chose to
+# cache them — the cache-set decision doubles as the ship-vs-recompute
+# policy.
 
 
-def _build_program(roots: List[g.OpNode], *, session=None,
-                   materialized=None, virtual_sources=None):
-    """Flatten the flow feeding ``roots`` into a picklable program.
+def _lower_shard_program(roots: List[g.OpNode], *, session=None,
+                         materialized=None, virtual_sources=None,
+                         program_passes=None):
+    """Lower the flow feeding ``roots`` through the shared OpProgram IR.
 
-    Returns ``(steps, sources, slots)`` where ``sources`` maps source
-    node id to the parent-side :class:`Dataset` supplying its partitions
-    and ``slots`` maps node id to program slot.  Materialized
-    intermediates are re-shipped (instead of recomputed) only when the
-    optimizer's materialization pass chose to cache them — the cache-set
-    decision doubles as the ship-vs-recompute policy.
+    Returns ``(program, sources)``; any lowering passes registered on
+    the plan (:class:`~repro.core.passes.LoweringPass`) — or passed
+    explicitly via ``program_passes`` for sessionless inference — are
+    applied before the program ships, and ``sources`` is re-filtered to
+    the ops that survived them.
     """
     materialized = materialized or {}
     virtual_sources = virtual_sources or {}
     cache_ids = session.cache_ids if session is not None else set()
-    slots: Dict[int, int] = {}
-    steps: List[Tuple[str, int, Any, Tuple[int, ...]]] = []
-    sources: Dict[int, Dataset] = {}
 
-    def add(kind, node, op, parent_slots):
-        slots[node.id] = len(steps)
-        steps.append((kind, node.id, op, tuple(parent_slots)))
-
-    for node in g.ancestors(roots):
-        if node.kind == g.ESTIMATOR or node.id in slots:
-            continue
+    def source_of(node: g.OpNode) -> Optional[Dataset]:
         if node.id in virtual_sources:
-            add("source", node, None, ())
-            sources[node.id] = virtual_sources[node.id]
-        elif node.is_pipeline_input:
-            raise _UnshippablePlan(
-                "flow reached the unbound pipeline input")
-        elif node.kind == g.SOURCE:
-            add("source", node, None, ())
-            sources[node.id] = session.dataset_of(node)
-        elif node.id in materialized and node.id in cache_ids:
-            add("source", node, None, ())
-            sources[node.id] = materialized[node.id]
-        elif node.kind == g.TRANSFORMER:
-            add("op", node, node.op, (slots[node.parents[0].id],))
-        elif node.kind == g.APPLY:
-            model = session.fitted.get(node.parents[0].id)
-            if model is None:
-                raise RuntimeError(
-                    f"apply node {node.label!r} references an unfitted "
-                    "estimator; estimators must be scheduled in "
-                    "dependency order")
-            add("op", node, model, (slots[node.parents[1].id],))
-        elif node.kind == g.GATHER:
-            add("gather", node, None,
-                [slots[p.id] for p in node.parents])
-        else:
-            raise _UnshippablePlan(f"cannot ship node kind {node.kind}")
-    return steps, sources, slots
+            return virtual_sources[node.id]
+        if (node.kind == g.SOURCE and not node.is_pipeline_input
+                and session is not None):
+            return session.dataset_of(node)
+        if node.id in materialized and node.id in cache_ids:
+            return materialized[node.id]
+        return None
+
+    def model_of(est_node: g.OpNode):
+        return session.fitted.get(est_node.id) if session is not None \
+            else None
+
+    program, sources = prog.lower_training_program(
+        roots, source_of=source_of, model_of=model_of)
+    if program_passes is None and session is not None:
+        program_passes = session.plan.state.program_passes
+    if program_passes:
+        program = prog.run_program_passes(program, program_passes)
+        sources = {nid: ds for nid, ds in sources.items()
+                   if nid in program.node_ids}
+    return program, sources
 
 
 def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
                    num_partitions: int) -> Dict[str, Any]:
     """Worker entry point: run a shard program over one partition chunk.
 
-    Module-level (spawn-safe); ``blob`` is the pickled ``(steps,
-    out_slots, stats_spec)`` triple, shared by every shard of a wave.
-    Returns computed partitions per requested output, per-partition
-    sufficient statistics when a stats spec is present, and per-node
-    compute seconds for the training report.
+    Module-level (spawn-safe); ``blob`` is the pickled ``(ops,
+    out_slots, stats_spec)`` triple — the ops being the lowered
+    :class:`~repro.core.program.Op` list — shared by every shard of a
+    wave.  Returns computed partitions per requested output,
+    per-partition sufficient statistics when a stats spec is present,
+    and per-node compute seconds for the training report.
     """
-    steps, out_slots, stats_spec = pickle.loads(blob)
+    ops, out_slots, stats_spec = pickle.loads(blob)
     rows_out: Dict[str, List[list]] = {name: [] for name, _ in out_slots}
     stats_out: List[Any] = []
     times: Dict[int, float] = {}
     for idx in range(num_partitions):
         env: Dict[int, list] = {}
-        for slot, (kind, node_id, op, parents) in enumerate(steps):
-            if kind == "source":
-                env[slot] = source_parts[node_id][idx]
-            elif kind == "op":
+        for op in ops:
+            if op.kind == prog.SOURCE:
+                env[op.slot] = source_parts[op.node_id][idx]
+            elif op.kind == prog.TRANSFORM:
                 start = time.perf_counter()
-                env[slot] = op.apply_partition(env[parents[0]])
-                times[node_id] = (times.get(node_id, 0.0)
-                                  + time.perf_counter() - start)
+                env[op.slot] = op.op.apply_partition(env[op.parents[0]])
+                times[op.node_id] = (times.get(op.node_id, 0.0)
+                                     + time.perf_counter() - start)
             else:  # gather: element-wise zip into list rows
-                parts = [env[s] for s in parents]
-                if len({len(p) for p in parts}) > 1:
-                    raise ValueError(
-                        "gather partition length mismatch: "
-                        f"{[len(p) for p in parts]}")
-                env[slot] = [list(row) for row in zip(*parts)]
+                env[op.slot] = g.zip_rows([env[s] for s in op.parents])
         for name, slot in out_slots:
             rows_out[name].append(env[slot])
         if stats_spec is not None:
@@ -310,14 +294,14 @@ class ProcessPoolBackend(ExecutionBackend):
         op = node.op
         roots = [p for p in node.parents]
         try:
-            steps, sources, slots = _build_program(
+            program, sources = _lower_shard_program(
                 roots, session=session, materialized=materialized)
-        except _UnshippablePlan as exc:
+        except UnshippableFlow as exc:
             session.fit_estimator(node)
             report.process_fallback.append(f"{node.label}: {exc}")
             return
 
-        if not any(kind == "op" for kind, *_ in steps):
+        if not any(step.kind == prog.TRANSFORM for step in program):
             # Pure-source flow: nothing to parallelize, no IPC to pay.
             session.fit_estimator(node)
             return
@@ -331,8 +315,9 @@ class ProcessPoolBackend(ExecutionBackend):
         fallback = None
         try:
             if stats_ok:
-                spec = (node.id, op, tuple(slots[r.id] for r in roots))
-                result = self._run_wave(session, steps, sources, [],
+                spec = (node.id, op,
+                        tuple(program.slot_of(r.id) for r in roots))
+                result = self._run_wave(session, program, sources, [],
                                         spec, workers)
             else:
                 outputs = [(str(r.id), r) for r in roots
@@ -341,10 +326,11 @@ class ProcessPoolBackend(ExecutionBackend):
                 result = None
                 if outputs:
                     result = self._run_wave(
-                        session, steps, sources,
-                        [(name, slots[r.id]) for name, r in outputs],
+                        session, program, sources,
+                        [(name, program.slot_of(r.id))
+                         for name, r in outputs],
                         None, workers)
-        except (_UnshippablePlan,) + _SHIP_ERRORS as exc:
+        except (UnshippableFlow,) + _SHIP_ERRORS as exc:
             fallback = type(exc).__name__
         except BrokenProcessPool:
             self._drop_pool(workers)
@@ -381,15 +367,16 @@ class ProcessPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Wave execution
     # ------------------------------------------------------------------
-    def _run_wave(self, session: Optional[TrainingSession], steps, sources,
+    def _run_wave(self, session: Optional[TrainingSession],
+                  program: prog.OpProgram, sources,
                   out_slots, stats_spec, workers: int) -> Dict[str, Any]:
         """Run one program over all partitions, sharded across workers."""
         counts = {ds.num_partitions for ds in sources.values()}
         if len(counts) != 1:
-            raise _UnshippablePlan(
+            raise UnshippableFlow(
                 f"sources disagree on partitioning: {sorted(counts)}")
         num_partitions = counts.pop()
-        blob = pickle.dumps((steps, out_slots, stats_spec),
+        blob = pickle.dumps((program.ops, out_slots, stats_spec),
                             protocol=pickle.HIGHEST_PROTOCOL)
         shards = min(workers, num_partitions)
         bounds = [round(j * num_partitions / shards)
@@ -452,20 +439,22 @@ class ProcessPoolBackend(ExecutionBackend):
         if workers <= 1 or data.num_partitions < 2:
             return super().apply_batch(fitted, data)
         try:
-            steps, sources, slots = _build_program(
+            program, sources = _lower_shard_program(
                 [fitted.sink],
-                virtual_sources={fitted.input_node.id: data})
-            if not any(kind == "op" for kind, *_ in steps):
+                virtual_sources={fitted.input_node.id: data},
+                program_passes=getattr(fitted, "program_passes", ()))
+            if not any(step.kind == prog.TRANSFORM for step in program):
                 return super().apply_batch(fitted, data)
-            result = self._run_wave(None, steps, sources,
-                                    [("out", slots[fitted.sink.id])],
-                                    None, workers)
+            result = self._run_wave(
+                None, program, sources,
+                [("out", program.slot_of(fitted.sink.id))],
+                None, workers)
         except BrokenProcessPool:
             self._drop_pool(workers)
             return super().apply_batch(fitted, data)
         except CancelledError:
             return super().apply_batch(fitted, data)
-        except (_UnshippablePlan,) + _SHIP_ERRORS:
+        except (UnshippableFlow,) + _SHIP_ERRORS:
             return super().apply_batch(fitted, data)
         return Dataset(data.ctx, data.num_partitions,
                        _StoredPartitions(result["rows"]["out"]),

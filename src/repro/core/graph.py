@@ -101,6 +101,22 @@ def ancestors(sinks: Iterable[OpNode]) -> List[OpNode]:
     return order
 
 
+def reachable(sinks: Iterable[OpNode],
+              kind: str = None) -> List[OpNode]:
+    """Reachable nodes parents-first, optionally filtered to one kind.
+
+    The single topological walk behind every DAG consumer that used to
+    keep a private copy: program lowering (:mod:`repro.core.program`,
+    feeding both the serving compiler and the process backend's shard
+    programs) iterates the unfiltered order, and the training session's
+    estimator schedule / source rooting use the kind filter.
+    """
+    order = ancestors(sinks)
+    if kind is None:
+        return order
+    return [node for node in order if node.kind == kind]
+
+
 def successors_map(sinks: Iterable[OpNode]) -> Dict[int, List[OpNode]]:
     """Map node id -> list of direct successors within the reachable DAG."""
     succ: Dict[int, List[OpNode]] = {}
@@ -192,3 +208,16 @@ def zip_gather(parents: List[Any]) -> Any:
     for p in parents[1:]:
         acc = acc.zip(p).map(lambda pair: pair[0] + [pair[1]], name="gather")
     return acc
+
+
+def zip_rows(parts: List[list]) -> List[list]:
+    """Element-wise gather of aligned in-memory partitions into list rows.
+
+    The materialized-partition counterpart of :func:`zip_gather`, shared
+    by the serving compiler's micro-batch path and the process backend's
+    shard workers.
+    """
+    if len({len(p) for p in parts}) > 1:
+        raise ValueError(
+            f"gather partition length mismatch: {[len(p) for p in parts]}")
+    return [list(row) for row in zip(*parts)]

@@ -186,6 +186,43 @@ class MaterializationPass(Pass):
                 f"mem_budget_bytes={self.mem_budget_bytes})")
 
 
+class LoweringPass(Pass):
+    """Register :class:`~repro.core.program.ProgramPass` rewrites.
+
+    The optimizer's passes rewrite the *DAG*; lowering passes rewrite the
+    flat :class:`~repro.core.program.OpProgram` the DAG lowers into —
+    after CSE/fusion decisions are already baked in.  This pass only
+    records the list on the :class:`~repro.core.plan.PlanState` (the
+    handoff point); the rewrites run wherever the plan is lowered: the
+    serving compiler (via the fitted pipeline) and the process backend's
+    shard programs.  Defaults to dead-op elimination, the reference
+    program rewrite.
+
+    Rewrites nothing at the DAG level, so it can run anywhere in the
+    pass list.
+    """
+
+    def __init__(self, program_passes: Optional[list] = None):
+        from repro.core.program import DeadOpElimination, ProgramPass
+
+        if program_passes is None:
+            program_passes = [DeadOpElimination()]
+        for p in program_passes:
+            if not isinstance(p, ProgramPass):
+                raise TypeError(
+                    f"expected ProgramPass instances, got {type(p).__name__}")
+        self.program_passes = list(program_passes)
+
+    def run(self, state: PlanState) -> None:
+        state.program_passes = list(self.program_passes)
+        state.annotate(
+            program_passes=[p.name for p in self.program_passes])
+
+    def __repr__(self) -> str:
+        names = [p.name for p in self.program_passes]
+        return f"{self.name}(program_passes={names})"
+
+
 class ShardingPass(Pass):
     """Partition the training flow across N simulated workers.
 

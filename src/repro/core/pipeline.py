@@ -181,10 +181,15 @@ class FittedPipeline(Transformer):
     """
 
     def __init__(self, input_node: g.OpNode, sink: g.OpNode,
-                 training_report: Optional["TrainingReport"] = None):
+                 training_report: Optional["TrainingReport"] = None,
+                 program_passes: Sequence[Any] = ()):
         self.input_node = input_node
         self.sink = sink
         self.training_report = training_report
+        #: OpProgram rewrites (repro.core.program.ProgramPass) the
+        #: optimizer's LoweringPass registered on the plan; applied by
+        #: compile_inference_plan when this pipeline is lowered
+        self.program_passes = list(program_passes)
         self._compiled_plan = None
         self._compile_lock = threading.Lock()
 
@@ -198,9 +203,11 @@ class FittedPipeline(Transformer):
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        # Pickles written before the compiled-plan cache existed carry
-        # neither attribute; default them instead of crashing on apply.
+        # Pickles written before the compiled-plan cache (or the
+        # lowering-pass list) existed carry neither attribute; default
+        # them instead of crashing on apply.
         self.__dict__.setdefault("_compiled_plan", None)
+        self.__dict__.setdefault("program_passes", [])
         self._compile_lock = threading.Lock()
 
     def inference_plan(self):
@@ -217,7 +224,12 @@ class FittedPipeline(Transformer):
 
             with self._compile_lock:
                 if self._compiled_plan is None:
-                    self._compiled_plan = compile_inference_plan(self)
+                    # No content keys: nothing on the plain apply path
+                    # reads them, and hashing every operator's fitted
+                    # state is not free.  ModelServer.register compiles
+                    # its own keyed plan.
+                    self._compiled_plan = compile_inference_plan(
+                        self, compute_keys=False)
                 plan = self._compiled_plan
         return plan
 

@@ -74,6 +74,11 @@ class PlanState:
     #: multi-process shards to pay off, "pipelined" when coordination
     #: dominates, "local" at one worker (None: no recommendation)
     shard_backend: Optional[str] = None
+    #: OpProgram-level rewrites registered by LoweringPass; applied by
+    #: every consumer that lowers this plan's DAG to the flat IR (the
+    #: serving compiler via FittedPipeline, the process backend's shard
+    #: programs) — see repro.core.program.ProgramPass
+    program_passes: List[Any] = field(default_factory=list)
 
     def annotate(self, **details: Any) -> None:
         """Attach decision details to the pass currently running."""

@@ -86,8 +86,11 @@ def save_pipeline(pipeline: FittedPipeline, path: PathLike) -> None:
     if not isinstance(pipeline, FittedPipeline):
         raise TypeError("only fitted pipelines are serializable; call "
                         ".fit() first")
+    # program_passes travel with the pipeline: registered lowering
+    # rewrites must keep applying after a save/load round-trip.
     stripped = FittedPipeline(pipeline.input_node, pipeline.sink,
-                              training_report=None)
+                              training_report=None,
+                              program_passes=pipeline.program_passes)
     with open(path, "wb") as f:
         pickle.dump(stripped, f)
 

@@ -17,26 +17,27 @@ is selected when memoizing it (one execution per distinct input instead of
 one per request) buys more modelled time than its bytes cost under the
 budget.
 
-At runtime :class:`ServingCache` holds the selected nodes' outputs keyed
-by ``(node_id, input fingerprint)`` in a byte-budgeted
+At runtime :class:`ServingCache` holds the selected ops' outputs keyed by
+``(op key, input fingerprint)`` in a byte-budgeted
 :class:`~repro.dataset.cache.CacheManager` with plain LRU eviction — the
-budgeted-eviction machinery the dataset layer already ships.
+budgeted-eviction machinery the dataset layer already ships.  The op key
+is the **content-addressed** structural fingerprint each lowered
+:class:`~repro.core.program.Op` carries (operator state folded with its
+input keys), not a per-DAG node id: two registered versions of a model
+that share a featurization prefix produce equal keys for the prefix ops,
+so one :class:`ServingCache` shared across the versions of a registry
+entry answers version B's requests from intermediates version A computed.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Any, Iterable, Set, Tuple
 
-import numpy as np
-
+from repro.core.program import feed_basic
 from repro.dataset.cache import CacheManager, LRUPolicy
 from repro.dataset.sizing import estimate_size
-
-try:
-    import scipy.sparse as sp
-except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
-    sp = None
 
 
 # ----------------------------------------------------------------------
@@ -60,46 +61,13 @@ def fingerprint(item: Any) -> bytes:
     return h.digest()
 
 
-def _feed(h, item: Any) -> None:
-    if isinstance(item, str):
-        h.update(b"s")
-        h.update(item.encode("utf-8", "surrogatepass"))
-    elif isinstance(item, bytes):
-        h.update(b"b")
-        h.update(item)
-    elif isinstance(item, np.ndarray):
-        h.update(b"a")
-        h.update(str(item.dtype).encode())
-        h.update(repr(item.shape).encode())
-        h.update(np.ascontiguousarray(item).tobytes())
-    elif sp is not None and sp.issparse(item):
-        csr = item.tocsr()
-        h.update(b"p")
-        h.update(repr(csr.shape).encode())
-        h.update(np.ascontiguousarray(csr.indptr).tobytes())
-        h.update(np.ascontiguousarray(csr.indices).tobytes())
-        h.update(np.ascontiguousarray(csr.data).tobytes())
-    elif isinstance(item, (int, float, complex, bool, type(None))):
-        h.update(b"n")
-        h.update(repr(item).encode())
-    elif isinstance(item, (list, tuple)):
-        h.update(b"l" if isinstance(item, list) else b"t")
-        h.update(str(len(item)).encode())
-        for x in item:
-            h.update(b"\x00")
-            _feed(h, x)
-    elif isinstance(item, dict):
-        h.update(b"d")
-        for k in sorted(item, key=repr):
-            h.update(b"\x00")
-            _feed(h, k)
-            h.update(b"\x01")
-            _feed(h, item[k])
-    elif isinstance(item, np.generic):
-        h.update(b"g")
-        h.update(str(item.dtype).encode())
-        h.update(item.tobytes())
-    else:
+def _feed(h, item: Any, memo=None) -> None:
+    # The value grammar is shared with the op-key fingerprints of the
+    # lowered IR (one injective hashing grammar, maintained once); only
+    # the fallback differs — request items must be *refused*, since an
+    # identity-ish hash of an opaque request could alias two different
+    # requests to one cache entry after address reuse.
+    if not feed_basic(h, item, memo, _feed):
         raise TypeError(
             f"cannot fingerprint a {type(item).__name__}: supported "
             "request types are str, bytes, numbers, numpy arrays, scipy "
@@ -113,40 +81,60 @@ def _feed(h, item: Any) -> None:
 # ----------------------------------------------------------------------
 
 class ServingCache:
-    """Cross-request memo of selected inference nodes, LRU under a budget.
+    """Cross-request, cross-version memo of selected ops, LRU-budgeted.
 
-    ``node_ids`` is the selected cache set (which ops to memoize);
-    ``budget_bytes`` bounds the total bytes retained across all entries.
+    ``keys`` is the selected cache set: the content-addressed op keys
+    (see :mod:`repro.core.program`) worth memoizing.  ``budget_bytes``
+    bounds the total bytes retained across all entries.  One instance
+    may back several compiled plans — the model-version sharing story —
+    and each registration extends the selected set via :meth:`add_keys`.
     Values are stored by reference — pipeline outputs are treated as
     immutable, the same contract batch inference already relies on.
-    Thread-safe via the underlying :class:`CacheManager`.
+    Thread-safe via the underlying :class:`CacheManager` (plus a small
+    lock over the mutable key set).
     """
 
-    def __init__(self, budget_bytes: float, node_ids: Iterable[int]):
+    def __init__(self, budget_bytes: float, keys: Iterable[str] = ()):
         if budget_bytes <= 0:
             raise ValueError(
                 f"budget_bytes must be > 0, got {budget_bytes}")
         self.manager = CacheManager(budget_bytes, LRUPolicy())
-        self.node_ids = frozenset(node_ids)
+        self._keys = set(keys)
+        self._keys_lock = threading.Lock()
 
-    def lookup(self, node_id: int, fp: bytes,
+    @property
+    def keys(self) -> frozenset:
+        """The selected op keys (snapshot)."""
+        with self._keys_lock:
+            return frozenset(self._keys)
+
+    def add_keys(self, keys: Iterable[str]) -> None:
+        """Extend the selected set (a later model version's selection).
+
+        Already-attached plans keep their marked slots; re-attach a plan
+        (:meth:`InferencePlan.attach_cache`) to pick up additions.
+        """
+        with self._keys_lock:
+            self._keys.update(keys)
+
+    def lookup(self, key: str, fp: bytes,
                count: bool = True) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``.
+        """Return ``(hit, value)`` for ``(op key, input fingerprint)``.
 
         ``count=False`` performs the lookup without hit/miss accounting
         — for re-probes of a key the caller already counted once for
         this request (e.g. the server's pre-queue sink check followed by
         the batch path's backward pass).
         """
-        key = (node_id, fp)
-        boxed = self.manager.get(key) if count else self.manager.peek(key)
+        entry = (key, fp)
+        boxed = self.manager.get(entry) if count else self.manager.peek(entry)
         if boxed is None:
             return False, None
         return True, boxed[0]
 
-    def put(self, node_id: int, fp: bytes, value: Any) -> bool:
+    def put(self, key: str, fp: bytes, value: Any) -> bool:
         # Boxed so legitimately-falsy outputs round-trip unambiguously.
-        return self.manager.put((node_id, fp), [value],
+        return self.manager.put((key, fp), [value],
                                 estimate_size(value))
 
     @property
@@ -173,7 +161,7 @@ class ServingCache:
         return len(self.manager)
 
     def __repr__(self) -> str:
-        return (f"ServingCache(nodes={len(self.node_ids)}, "
+        return (f"ServingCache(keys={len(self.keys)}, "
                 f"entries={len(self)}, used={self.used_bytes}, "
                 f"hit_rate={self.hit_rate:.2f})")
 
@@ -207,11 +195,17 @@ def choose_serving_cache_set(fitted, plan, budget_bytes: float,
     slot_of = {op.node_id: op.slot for op in plan.ops}
     profile = PipelineProfile()
     for node in g.ancestors([fitted.sink]):
-        slot = slot_of[node.id]
+        # A lowering pass (ProgramPass) may have removed this node's op
+        # from the compiled plan; a zero-cost entry keeps the problem
+        # well-formed and the greedy selection never picks it (caching
+        # nothing buys nothing).
+        slot = slot_of.get(node.id)
         profile.nodes[node.id] = NodeProfile(
             node=node,
-            t_seconds=plan.op_seconds.get(slot, 0.0),
-            size_bytes=plan.op_bytes.get(slot, 0.0),
+            t_seconds=plan.op_seconds.get(slot, 0.0) if slot is not None
+            else 0.0,
+            size_bytes=plan.op_bytes.get(slot, 0.0) if slot is not None
+            else 0.0,
             stats=None,
             weight=1)
     problem = MaterializationProblem([fitted.sink], profile,

@@ -1,4 +1,4 @@
-"""InferencePlan: a FittedPipeline lowered to a flat op program.
+"""InferencePlan: the executable serving view over a lowered OpProgram.
 
 The training-time hot path walks the inference DAG recursively, building a
 fresh closure and memo dict per request
@@ -7,13 +7,16 @@ occasional scoring but wrong for serving: at thousands of requests per
 second the per-request graph walk is pure overhead, and the recursive
 shape hides the batch-vectorization opportunity.
 
-:func:`compile_inference_plan` lowers the fitted DAG once into an
-:class:`InferencePlan` — a topologically-ordered list of
-:class:`InferenceOp` slots, each reading its inputs from earlier slots.
-The lowering preserves every optimizer decision already baked into the
-DAG: stages fused by :class:`~repro.core.passes.FusionPass` arrive as a
-single :class:`~repro.core.fusion.FusedTransformer` node and stay one op,
-and sub-DAGs merged by CSE occupy one slot, so they are evaluated once per
+:func:`compile_inference_plan` lowers the fitted DAG once through
+:func:`repro.core.program.lower_inference_program` — the same
+:class:`~repro.core.program.OpProgram` IR the process backend ships to
+its shard workers — applies any lowering passes the optimizer registered
+(:class:`~repro.core.passes.LoweringPass`), and wraps the result in an
+:class:`InferencePlan`.  The lowering preserves every optimizer decision
+already baked into the DAG: stages fused by
+:class:`~repro.core.passes.FusionPass` arrive as a single
+:class:`~repro.core.fusion.FusedTransformer` node and stay one op, and
+sub-DAGs merged by CSE occupy one slot, so they are evaluated once per
 request without a memo dict.
 
 Two execution modes:
@@ -31,7 +34,10 @@ Two execution modes:
   head.
 
 Both modes consult an attached :class:`~repro.serving.cache.ServingCache`
-(keyed by input fingerprint) when one is configured: ``run_item``
+when one is configured.  Cache entries are addressed by ``(op key, input
+fingerprint)`` — the op key being the content-addressed structural
+fingerprint each :class:`~repro.core.program.Op` carries — so two model
+versions sharing a featurization prefix share entries.  ``run_item``
 short-circuits at the deepest cached node on the path to the sink,
 ``run_batch`` inserts the outputs of cache-marked ops for every item of
 the flush.
@@ -40,43 +46,40 @@ the flush.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import graph as g
+from repro.core.program import (
+    GATHER,
+    INPUT,
+    TRANSFORM,
+    Op,
+    OpProgram,
+    lower_inference_program,
+    run_program_passes,
+)
 from repro.dataset.sizing import estimate_size
 
-#: op kinds of the compiled program
-INPUT = "input"
-TRANSFORM = "transform"
-GATHER = "gather"
-
-
-@dataclass(frozen=True)
-class InferenceOp:
-    """One instruction: compute ``slot`` from earlier ``parents`` slots."""
-
-    slot: int
-    node_id: int
-    kind: str
-    op: Any
-    parents: Tuple[int, ...]
-    label: str
+#: compiled ops are plain program ops; the historical name is kept for
+#: the serving-facing API surface
+InferenceOp = Op
 
 
 class InferencePlan:
     """A compiled, reusable inference program for one fitted pipeline.
 
-    Build with :func:`compile_inference_plan`; plans are immutable except
-    for the optional serving cache attached via :meth:`attach_cache`.
-    Thread-safe: execution state lives on the stack of each call.
+    A thin executable view over an :class:`~repro.core.program.OpProgram`
+    (build with :func:`compile_inference_plan`); plans are immutable
+    except for the optional serving cache attached via
+    :meth:`attach_cache`.  Thread-safe: execution state lives on the
+    stack of each call.
     """
 
-    def __init__(self, ops: List[InferenceOp], input_slot: Optional[int],
-                 sink_slot: int):
-        self.ops = list(ops)
-        self.input_slot = input_slot
-        self.sink_slot = sink_slot
+    def __init__(self, program: OpProgram):
+        self.program = program
+        self.ops = program.ops
+        self.input_slot = program.input_slot
+        self.sink_slot = program.sink_slot
         self.cache = None  # Optional[ServingCache], attached by the server
         self._cached_slots: Tuple[int, ...] = ()
         self._cached_slot_set: frozenset = frozenset()
@@ -90,10 +93,19 @@ class InferencePlan:
     def __len__(self) -> int:
         return len(self.ops)
 
+    def key_of(self, node_id: int) -> str:
+        """Content-addressed key of the op lowered from ``node_id``."""
+        return self.program.key_of(node_id)
+
+    @property
+    def cached_slots(self) -> Tuple[int, ...]:
+        """Slots the attached serving cache memoizes (empty without one)."""
+        return self._cached_slots
+
     def describe(self) -> str:
         lines = [f"InferencePlan({len(self.ops)} ops)"]
         for op in self.ops:
-            mark = " [cached]" if op.slot in self._cached_slots else ""
+            mark = " [cached]" if op.slot in self._cached_slot_set else ""
             parents = ",".join(str(p) for p in op.parents)
             lines.append(f"  %{op.slot} = {op.kind}({op.label})"
                          f" <- [{parents}]{mark}")
@@ -103,11 +115,17 @@ class InferencePlan:
     # Serving cache
     # ------------------------------------------------------------------
     def attach_cache(self, cache) -> None:
-        """Attach a ServingCache; its node ids select the memoized slots."""
+        """Attach a ServingCache; its op keys select the memoized slots."""
+        if any(op.kind != INPUT and not op.key for op in self.ops):
+            raise ValueError(
+                "this plan was compiled without content keys "
+                "(compute_keys=False); recompile with "
+                "compile_inference_plan(fitted) to attach a serving cache")
         self.cache = cache
+        keys = cache.keys
         self._cached_slots = tuple(
             op.slot for op in self.ops
-            if op.kind != INPUT and op.node_id in cache.node_ids)
+            if op.kind != INPUT and op.key in keys)
         self._cached_slot_set = frozenset(self._cached_slots)
 
     def cached_result(self, fp: bytes) -> Tuple[bool, Any]:
@@ -122,7 +140,7 @@ class InferencePlan:
         cache = self.cache
         if cache is None or self.sink_slot not in self._cached_slot_set:
             return False, None
-        return cache.lookup(self.ops[self.sink_slot].node_id, fp)
+        return cache.lookup(self.ops[self.sink_slot].key, fp)
 
     # ------------------------------------------------------------------
     # Execution: single item
@@ -166,7 +184,7 @@ class InferencePlan:
             op = ops[i]
             if i in cached:
                 hit, value = cache.lookup(
-                    op.node_id, fp,
+                    op.key, fp,
                     count=not (sink_probed and i == self.sink_slot))
                 if hit:
                     slots[i] = value
@@ -181,7 +199,7 @@ class InferencePlan:
             value = _compute_item_op(op, slots, item)
             slots[i] = value
             if i in cached:
-                cache.put(op.node_id, fp, value)
+                cache.put(op.key, fp, value)
         return slots[self.sink_slot]
 
     # ------------------------------------------------------------------
@@ -211,9 +229,7 @@ class InferencePlan:
                     value = op.op.apply_partition(
                         list(slots[op.parents[0]]))
                 elif kind == GATHER:
-                    value = [list(row)
-                             for row in zip(*(slots[p]
-                                              for p in op.parents))]
+                    value = g.zip_rows([slots[p] for p in op.parents])
                 else:
                     value = list(items)
                 slots[op.slot] = value
@@ -242,7 +258,7 @@ class InferencePlan:
                 op = ops[s]
                 if s in cached:
                     hit, value = cache.lookup(
-                        op.node_id, fp,
+                        op.key, fp,
                         count=not (sink_probed and s == self.sink_slot))
                     if hit:
                         values[s][i] = value
@@ -268,7 +284,7 @@ class InferencePlan:
                 row[i] = value
             if s in cached:
                 for i, value in zip(idx, sub):
-                    cache.put(op.node_id, fps[i], value)
+                    cache.put(op.key, fps[i], value)
         sink = values[self.sink_slot]
         return list(sink)
 
@@ -300,7 +316,7 @@ class InferencePlan:
         self.op_bytes = {slot: b / n for slot, b in sizes.items()}
 
 
-def _compute_item_op(op: InferenceOp, slots: List[Any], item: Any) -> Any:
+def _compute_item_op(op: Op, slots: List[Any], item: Any) -> Any:
     """Evaluate one op for one item (the per-item dispatch rule)."""
     kind = op.kind
     if kind == TRANSFORM:
@@ -310,39 +326,22 @@ def _compute_item_op(op: InferenceOp, slots: List[Any], item: Any) -> Any:
     return item
 
 
-def compile_inference_plan(fitted) -> InferencePlan:
+def compile_inference_plan(fitted, compute_keys: bool = True) -> InferencePlan:
     """Lower a :class:`~repro.core.pipeline.FittedPipeline` to a flat plan.
 
-    The DAG is traversed once, topologically; every reachable node becomes
-    one op reading parent values from earlier slots.  Only inference-legal
-    node kinds are accepted (transformers, gathers and the pipeline-input
-    placeholder — estimators were consumed at fit time).
+    The DAG is lowered once through the shared
+    :class:`~repro.core.program.OpProgram` IR (every reachable node
+    becomes one content-addressed op reading parent values from earlier
+    slots), any lowering passes the optimizer registered on the pipeline
+    are applied, and the program is wrapped in the serving execution
+    view.  Only inference-legal node kinds are accepted (transformers,
+    gathers and the pipeline-input placeholder — estimators were
+    consumed at fit time).  ``compute_keys=False`` skips hashing
+    operator state into content keys — the plain ``apply`` path uses it
+    (no serving cache will read the keys); ``ModelServer.register``
+    compiles with keys.
     """
-    order = g.ancestors([fitted.sink])
-    slot_of: Dict[int, int] = {}
-    ops: List[InferenceOp] = []
-    input_slot: Optional[int] = None
-    for node in order:
-        slot = len(ops)
-        if node.kind == g.TRANSFORMER:
-            kind = TRANSFORM
-            parents = (slot_of[node.parents[0].id],)
-        elif node.kind == g.GATHER:
-            kind = GATHER
-            parents = tuple(slot_of[p.id] for p in node.parents)
-        elif node.is_pipeline_input:
-            kind = INPUT
-            parents = ()
-            input_slot = slot
-        elif node.kind == g.SOURCE:
-            raise ValueError(
-                "fitted pipeline contains an unbound source; only the "
-                "pipeline-input placeholder may appear at inference time")
-        else:
-            raise ValueError(
-                f"cannot compile node kind {node.kind!r} into an "
-                "inference plan")
-        ops.append(InferenceOp(slot, node.id, kind, node.op, parents,
-                               node.label))
-        slot_of[node.id] = slot
-    return InferencePlan(ops, input_slot, slot_of[fitted.sink.id])
+    program = lower_inference_program(fitted, compute_keys=compute_keys)
+    passes = getattr(fitted, "program_passes", None) or ()
+    program = run_program_passes(program, passes)
+    return InferencePlan(program)

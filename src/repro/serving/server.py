@@ -28,6 +28,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.program import INPUT
 from repro.serving.batcher import MicroBatcher, ServerOverloadedError
 from repro.serving.cache import (
     ServingCache,
@@ -70,8 +71,7 @@ class ServedModel:
             mean_ms=self.latency.mean_seconds * 1000.0,
             p50_ms=p50, p95_ms=p95, p99_ms=p99,
             plan_ops=len(self.plan),
-            cached_nodes=(len(self.cache.node_ids)
-                          if self.cache is not None else 0))
+            cached_nodes=len(self.plan.cached_slots))
         if self.batcher is not None:
             out.queue_depth = self.batcher.queue_depth
             out.batches = self.batcher.batches
@@ -94,10 +94,13 @@ class ModelServer:
     - ``max_batch`` / ``max_delay_ms`` / ``max_queue`` — the dynamic
       micro-batching policy and the bounded-queue backpressure limit.
     - ``cache_budget_bytes`` — per-model serving-cache budget; 0 disables
-      the cache.  With warmup items the cached nodes are selected by the
+      the cache.  With warmup items the cached ops are selected by the
       optimizer's greedy cost model (see :mod:`repro.serving.cache`);
       without warmup every op is cache-marked and the budgeted LRU
-      decides what stays.
+      decides what stays.  All versions registered under one name share
+      one content-addressed cache (created with the first cache-enabled
+      registration's budget), so versions sharing a featurization prefix
+      share the prefix's entries — and the cache hit/miss counters.
     - ``expected_reuse`` — modelled requests per distinct input, the
       serving analogue of the materialization weight.
     - ``micro_batching`` — with ``False``, requests run inline on the
@@ -122,6 +125,9 @@ class ModelServer:
         self._lock = threading.RLock()
         self._versions: Dict[str, Dict[str, ServedModel]] = {}
         self._default_version: Dict[str, str] = {}
+        #: one content-addressed cache per model *name*, shared by all of
+        #: its registered versions (the cross-version prefix reuse)
+        self._caches: Dict[str, ServingCache] = {}
         self._started = False
         self._stopped = False
 
@@ -145,7 +151,7 @@ class ModelServer:
                  else expected_reuse)
         plan = compile_inference_plan(fitted)
 
-        cache = None
+        node_ids = set()
         if budget > 0:
             if warmup_items:
                 plan.profile_ops(warmup_items)
@@ -155,10 +161,7 @@ class ModelServer:
                 # No measurements to rank ops: mark everything and let
                 # the budgeted LRU keep what earns its bytes.
                 node_ids = {op.node_id for op in plan.ops
-                            if op.kind != "input"}
-            if node_ids:
-                cache = ServingCache(budget, node_ids)
-                plan.attach_cache(cache)
+                            if op.kind != INPUT}
 
         batcher = None
         if self.micro_batching:
@@ -174,8 +177,47 @@ class ModelServer:
                 max_delay_ms=self.max_delay_ms, max_queue=self.max_queue,
                 name=f"{name}@{version}")
 
-        model = ServedModel(name, version, fitted, plan, batcher, cache)
+        model = ServedModel(name, version, fitted, plan, batcher, None)
+        # One critical section covers the sibling scan, the cache attach
+        # and the registry insertion: two concurrent register() calls for
+        # one name must see each other, or the shared featurization
+        # prefix would never be cross-marked.
         with self._lock:
+            if budget > 0:
+                # A lowering pass may have rewritten the compiled plan:
+                # only surviving ops have addressable keys.
+                known = plan.program.node_ids
+                keys = {plan.key_of(nid) for nid in node_ids
+                        if nid in known}
+                # Ops whose content keys also appear in a sibling
+                # version's plan are shared work (the featurization
+                # prefix): they have cross-version reuse the
+                # single-version cost model cannot see, so mark them in
+                # the shared cache regardless of the greedy selection.
+                siblings = [m for m in self._versions.get(name, {}).values()
+                            if m.version != version and m.cache is not None]
+                if siblings:
+                    own = {op.key for op in plan.ops
+                           if op.kind != INPUT}
+                    for sibling in siblings:
+                        keys |= own & {op.key for op in sibling.plan.ops}
+                if keys:
+                    # Versions of one name share one content-addressed
+                    # cache: equal op keys answer across versions;
+                    # version-specific ops never collide.
+                    cache = self._caches.get(name)
+                    if cache is None:
+                        cache = ServingCache(budget, keys)
+                        self._caches[name] = cache
+                    else:
+                        cache.add_keys(keys)
+                    # Siblings re-attach so newly shared keys are marked
+                    # on their compiled plans too.
+                    for sibling in siblings:
+                        if sibling.cache is cache:
+                            sibling.plan.attach_cache(cache)
+                    plan.attach_cache(cache)
+                    model.cache = cache
             versions = self._versions.setdefault(name, {})
             displaced = versions.get(version)
             versions[version] = model

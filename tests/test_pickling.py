@@ -13,7 +13,10 @@ must survive ``pickle.dumps``/``loads`` with byte-identical behaviour:
 - datasets pickle by materializing their partitions (lineage is
   process-local by design);
 - small user functions (the paper's ``x => 1`` weighting lambda) pack
-  through :mod:`repro.core.serde`.
+  through :mod:`repro.core.serde`;
+- a lowered :class:`~repro.core.program.OpProgram` — the process
+  backend's wire format — round-trips with content keys, slots and
+  byte-identical replay intact.
 """
 
 import pickle
@@ -94,6 +97,24 @@ class TestPlanStateRoundTrip:
         got = comparable(loaded.execute().apply_dataset(
             wl.test_data(Context())).collect())
         assert got == expected
+
+
+class TestOpProgramRoundTrip:
+    @pytest.mark.parametrize("name", ["amazon", "timit"])
+    def test_lowered_program_roundtrips(self, name):
+        from repro.core.program import lower_inference_program
+        from repro.serving.compiler import InferencePlan
+
+        pipe, items = SCENARIOS[name](Context())
+        fitted = pipe.fit(level="none")
+        program = lower_inference_program(fitted)
+        loaded = roundtrip(program)
+        assert [op.key for op in loaded] == [op.key for op in program]
+        assert [op.slot for op in loaded] == [op.slot for op in program]
+        assert loaded.root_slots == program.root_slots
+        assert loaded.input_slot == program.input_slot
+        got = comparable([InferencePlan(loaded).run_item(x) for x in items])
+        assert got == comparable([fitted.apply(x) for x in items])
 
 
 class TestDatasetPickling:

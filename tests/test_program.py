@@ -1,0 +1,434 @@
+"""Tests for the lowered OpProgram IR (repro.core.program).
+
+The contracts the unified lowering must hold:
+
+- **content-addressed keys** — structurally identical ops from
+  independently built (and independently *trained*) pipelines get equal
+  keys; any parameter change flips the key of that op and of everything
+  downstream; keys ignore DAG node ids and object identity.
+- **one lowering** — the serving compiler and the process backend both
+  consume ``core/program.py``; the compiled inference plan is a view over
+  the program, and a lowered program round-trips through pickle (it is
+  the process backend's wire format).
+- **lowering passes** — ``LoweringPass`` hands ``ProgramPass`` rewrites
+  over via ``PlanState``; dead-op elimination drops unreachable slots
+  without changing root outputs.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import graph as g
+from repro.core.optimizer import Optimizer, passes_for_level
+from repro.core.passes import LoweringPass
+from repro.core.pipeline import Pipeline
+from repro.core.program import (
+    GATHER,
+    INPUT,
+    INPUT_KEY,
+    TRANSFORM,
+    DeadOpElimination,
+    Op,
+    OpProgram,
+    ProgramPass,
+    UnshippableFlow,
+    lower_inference_program,
+    lower_training_program,
+    op_key,
+    structural_fingerprint,
+)
+from repro.dataset import Context
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.numeric import MaxClassifier, Normalizer, StandardScaler
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    TermFrequency,
+    Tokenizer,
+)
+from repro.serving.compiler import InferencePlan, compile_inference_plan
+from repro.workloads import amazon_reviews, timit_frames
+from workload_scenarios import comparable
+
+
+def _fit_text(wl, l2_reg=1e-8, num_features=80):
+    """One training factory so both fits share lambda source locations."""
+    ctx = Context()
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (
+        Pipeline.identity()
+        .and_then(LowerCase())
+        .and_then(Tokenizer())
+        .and_then(TermFrequency(lambda c: 1.0))
+        .and_then(CommonSparseFeatures(num_features), data)
+        .and_then(LinearSolver(l2_reg=l2_reg), data, labels)
+        .and_then(MaxClassifier())
+        .fit(level="none")
+    )
+
+
+class TestStructuralFingerprint:
+    def test_stateless_operators_fingerprint_equal(self):
+        assert structural_fingerprint(LowerCase()) == structural_fingerprint(
+            LowerCase()
+        )
+        assert structural_fingerprint(LowerCase()) != structural_fingerprint(
+            Tokenizer()
+        )
+
+    def test_parameters_and_arrays_discriminate(self):
+        a = StandardScaler()
+        b = StandardScaler()
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+        a.mean = np.arange(4.0)
+        b.mean = np.arange(4.0)
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+        b.mean = np.arange(4.0) + 1e-9
+        assert structural_fingerprint(a) != structural_fingerprint(b)
+
+    def test_lambdas_hash_by_code_not_identity(self):
+        def make(scale):
+            return lambda x: x * scale
+
+        assert structural_fingerprint(make(2.0)) == structural_fingerprint(make(2.0))
+        # A captured value is part of the structure.
+        assert structural_fingerprint(make(2.0)) != structural_fingerprint(make(3.0))
+
+    def test_opaque_leaves_never_alias(self):
+        import threading
+
+        lock = threading.Lock()
+        assert structural_fingerprint(lock) != structural_fingerprint(threading.Lock())
+        # Never-reused tokens: even the same object never matches itself,
+        # so a recycled address after GC cannot alias two operators in a
+        # long-lived shared cache.
+        assert structural_fingerprint(lock) != structural_fingerprint(lock)
+
+    def test_partials_and_bound_methods_hash_by_state(self):
+        import functools
+
+        def f(x, y):
+            return x + y
+
+        # C-backed callables must hash their real state, not collapse to
+        # a type-name-only hash (which would be a false cache hit).
+        assert structural_fingerprint(
+            functools.partial(f, 2)
+        ) == structural_fingerprint(functools.partial(f, 2))
+        assert structural_fingerprint(
+            functools.partial(f, 2)
+        ) != structural_fingerprint(functools.partial(f, 3))
+        a, b = StandardScaler(), StandardScaler()
+        assert structural_fingerprint(a.fit) == structural_fingerprint(b.fit)
+        b.mean = np.arange(3.0)
+        assert structural_fingerprint(a.fit) != structural_fingerprint(b.fit)
+
+    def test_object_arrays_hash_by_elements_not_pointers(self):
+        a = np.array(["xy", "z"], dtype=object)
+        b = np.array(["x", "yz"], dtype=object)
+        # Independently allocated equal-content arrays must agree (raw
+        # tobytes() would hash element addresses) and different content
+        # must differ.
+        assert structural_fingerprint(a) == structural_fingerprint(
+            np.array(["xy", "z"], dtype=object)
+        )
+        assert structural_fingerprint(a) != structural_fingerprint(b)
+
+    def test_referenced_globals_are_part_of_a_functions_structure(self):
+        ns2 = {"SCALE": 2.0}
+        ns3 = {"SCALE": 3.0}
+        f2 = eval("lambda x: x * SCALE", ns2)
+        f2b = eval("lambda x: x * SCALE", dict(ns2))
+        f3 = eval("lambda x: x * SCALE", ns3)
+        assert structural_fingerprint(f2) == structural_fingerprint(f2b)
+        assert structural_fingerprint(f2) != structural_fingerprint(f3)
+
+    def test_hashing_is_injective_across_value_boundaries(self):
+        # Length-prefixed strings: bytes must not shift across element
+        # boundaries and collide (a collision here would be a silent
+        # wrong answer from the cross-version serving cache).
+        assert structural_fingerprint(["a\x00sb", "c"]) != structural_fingerprint(
+            ["a", "b\x00sc"]
+        )
+        assert structural_fingerprint(["ab", "c"]) != structural_fingerprint(
+            ["a", "bc"]
+        )
+        assert structural_fingerprint(b"a\x00b") != structural_fingerprint(
+            ["a", b"b"]
+        )
+
+    def test_op_key_folds_kind_op_and_parents(self):
+        base = op_key(TRANSFORM, LowerCase(), (INPUT_KEY,))
+        assert base == op_key(TRANSFORM, LowerCase(), (INPUT_KEY,))
+        assert base != op_key(GATHER, LowerCase(), (INPUT_KEY,))
+        assert base != op_key(TRANSFORM, Tokenizer(), (INPUT_KEY,))
+        assert base != op_key(TRANSFORM, LowerCase(), (base,))
+
+
+class TestContentAddressedLowering:
+    def test_independent_builds_share_all_keys(self):
+        wl = amazon_reviews(120, 12, vocab_size=200, seed=0)
+        p1 = lower_inference_program(_fit_text(wl))
+        p2 = lower_inference_program(_fit_text(wl))
+        # Node ids differ (fresh DAG per fit); content keys agree.
+        assert [op.node_id for op in p1] != [op.node_id for op in p2]
+        assert [op.key for op in p1] == [op.key for op in p2]
+
+    def test_parameter_change_flips_key_downstream_only(self):
+        wl = amazon_reviews(120, 12, vocab_size=200, seed=0)
+        keys1 = [op.key for op in lower_inference_program(_fit_text(wl))]
+        keys2 = [op.key for op in lower_inference_program(_fit_text(wl, l2_reg=1.0))]
+        # input .. fitted CommonSparseFeatures: identical prefix.
+        assert keys1[:5] == keys2[:5]
+        # solver and everything after it: flipped.
+        assert keys1[5] != keys2[5]
+        assert keys1[6] != keys2[6]
+
+    def test_input_placeholder_key_is_constant(self):
+        wl = timit_frames(60, 8, dim=12, num_classes=3, seed=0)
+        ctx = Context()
+        fitted = (
+            Pipeline.identity()
+            .and_then(Normalizer())
+            .and_then(
+                LinearSolver(),
+                wl.train_data(ctx),
+                wl.train_label_vectors(ctx),
+            )
+            .fit(level="none")
+        )
+        program = lower_inference_program(fitted)
+        assert program.ops[program.input_slot].key == INPUT_KEY
+
+    def test_lowering_is_topological_and_indexed(self):
+        wl = amazon_reviews(100, 8, vocab_size=150, seed=0)
+        fitted = _fit_text(wl)
+        program = lower_inference_program(fitted)
+        assert len(program) == len(g.ancestors([fitted.sink]))
+        for op in program:
+            assert all(p < op.slot for p in op.parents)
+            assert program.slot_of(op.node_id) == op.slot
+            assert program.key_of(op.node_id) == op.key
+        assert program.sink_slot == program.slot_of(fitted.sink.id)
+
+    def test_training_lowering_rejects_unbound_input(self):
+        pipe = Pipeline.identity().and_then(LowerCase())
+        with pytest.raises(UnshippableFlow, match="pipeline input"):
+            lower_training_program([pipe.sink], source_of=lambda node: None)
+
+    def test_training_lowering_skips_keys_unless_asked(self):
+        wl = timit_frames(60, 8, dim=12, num_classes=3, seed=0)
+        ctx = Context()
+        fitted = (
+            Pipeline.identity()
+            .and_then(Normalizer())
+            .and_then(
+                LinearSolver(),
+                wl.train_data(ctx),
+                wl.train_label_vectors(ctx),
+            )
+            .fit(level="none")
+        )
+        data = ctx.parallelize(wl.test_items, 2)
+
+        def source_of(node):
+            return data if node.is_pipeline_input else None
+
+        # Default: the shard path never reads keys, so none are hashed.
+        program, sources = lower_training_program([fitted.sink], source_of=source_of)
+        assert all(op.key == "" for op in program)
+        assert set(sources) == {fitted.input_node.id}
+        # Opt-in: the same walk produces addressable keys.
+        keyed, _ = lower_training_program(
+            [fitted.sink], source_of=source_of, compute_keys=True
+        )
+        assert all(op.key for op in keyed)
+
+
+class TestOpProgramPickle:
+    def test_program_roundtrips_and_replays(self):
+        wl = amazon_reviews(120, 12, vocab_size=200, seed=0)
+        fitted = _fit_text(wl)
+        program = lower_inference_program(fitted)
+        loaded = pickle.loads(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+        assert [op.key for op in loaded] == [op.key for op in program]
+        assert loaded.input_slot == program.input_slot
+        assert loaded.root_slots == program.root_slots
+        assert loaded.slot_of(fitted.sink.id) == program.sink_slot
+        got = [InferencePlan(loaded).run_item(x) for x in wl.test_items]
+        assert comparable(got) == comparable([fitted.apply(x) for x in wl.test_items])
+
+
+def _echo(slot, parents, key, label="t"):
+    class _Plus(object):
+        def __init__(self, delta):
+            self.delta = delta
+
+        def apply(self, item):
+            return item + self.delta
+
+        def apply_partition(self, items):
+            return [item + self.delta for item in items]
+
+    return Op(slot, 100 + slot, TRANSFORM, _Plus(slot), parents, label, key)
+
+
+class TestProgramPasses:
+    def _program_with_dead_op(self):
+        ops = [
+            Op(0, 100, INPUT, None, (), "input", INPUT_KEY),
+            _echo(1, (0,), "k1"),
+            _echo(2, (0,), "k2-dead"),
+            _echo(3, (1,), "k3"),
+        ]
+        return OpProgram(ops, input_slot=0, root_slots=(3,))
+
+    def test_dead_op_elimination_drops_and_renumbers(self):
+        program = self._program_with_dead_op()
+        before = InferencePlan(program).run_item(10)
+        pruned = DeadOpElimination().run(program)
+        assert len(pruned) == 3
+        assert [op.key for op in pruned] == [INPUT_KEY, "k1", "k3"]
+        assert pruned.input_slot == 0
+        assert pruned.sink_slot == 2
+        for op in pruned:
+            assert all(p < op.slot for p in op.parents)
+        assert InferencePlan(pruned).run_item(10) == before
+        assert InferencePlan(pruned).run_batch([10, 20]) == [
+            before,
+            InferencePlan(program).run_item(20),
+        ]
+
+    def test_live_program_is_returned_unchanged(self):
+        wl = amazon_reviews(100, 8, vocab_size=150, seed=0)
+        program = lower_inference_program(_fit_text(wl))
+        assert DeadOpElimination().run(program) is program
+
+    def test_lowering_pass_hands_off_via_plan_state(self):
+        wl = amazon_reviews(120, 12, vocab_size=200, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (
+            Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(80), data)
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier())
+        )
+        passes = passes_for_level("none") + [LoweringPass()]
+        plan = Optimizer(passes).optimize(pipe)
+        assert [p.name for p in plan.state.program_passes] == ["DeadOpElimination"]
+        assert "program_passes=['DeadOpElimination']" in plan.explain()
+        fitted = plan.execute()
+        assert [p.name for p in fitted.program_passes] == ["DeadOpElimination"]
+        # The compiled plan went through the registered rewrites and
+        # still matches the un-lowered reference byte for byte.
+        compiled = compile_inference_plan(fitted)
+        got = [compiled.run_item(x) for x in wl.test_items]
+        assert comparable(got) == comparable([fitted.apply(x) for x in wl.test_items])
+
+    def test_custom_program_pass_applies_at_compile(self):
+        class CountOps(ProgramPass):
+            seen = []
+
+            def run(self, program):
+                CountOps.seen.append(len(program))
+                return program
+
+        wl = amazon_reviews(100, 8, vocab_size=150, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (
+            Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(60), data)
+            .and_then(LinearSolver(), data, labels)
+        )
+        passes = passes_for_level("none") + [
+            LoweringPass(program_passes=[CountOps()])
+        ]
+        fitted = Optimizer(passes).optimize(pipe).execute()
+        fitted.inference_plan()
+        assert CountOps.seen, "pass must run when the plan is lowered"
+
+    def test_lowering_pass_rejects_non_program_passes(self):
+        with pytest.raises(TypeError, match="ProgramPass"):
+            LoweringPass(program_passes=[object()])
+
+    def test_op_removing_pass_keeps_warmup_registration_working(self):
+        """A rewrite that drops ops (fusing the head pair) must not break
+        warmup-based cache selection or serving — the plan may cover
+        fewer node ids than the DAG has ancestors."""
+        from repro.core.backends import recursive_apply_item
+        from repro.core.fusion import FusedTransformer
+        from repro.serving import ModelServer
+
+        class FuseHead(ProgramPass):
+            """Fuse the sink transform into its transform parent."""
+
+            def run(self, program):
+                sink = program.ops[program.sink_slot]
+                parent = program.ops[sink.parents[0]]
+                fusable = (
+                    sink.kind == TRANSFORM
+                    and parent.kind == TRANSFORM
+                    and sink.slot == len(program) - 1
+                )
+                if not fusable:
+                    return program
+                fused = Op(
+                    parent.slot,
+                    parent.node_id,
+                    TRANSFORM,
+                    FusedTransformer([parent.op, sink.op]),
+                    parent.parents,
+                    f"{parent.label}+{sink.label}",
+                    sink.key,
+                )
+                ops = [
+                    fused if op.slot == parent.slot else op
+                    for op in program.ops
+                    if op.slot != sink.slot
+                ]
+                return OpProgram(
+                    ops,
+                    input_slot=program.input_slot,
+                    root_slots=(parent.slot,),
+                )
+
+        wl = amazon_reviews(100, 10, vocab_size=150, seed=0)
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (
+            Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(CommonSparseFeatures(60), data)
+            .and_then(LinearSolver(), data, labels)
+            .and_then(MaxClassifier())
+        )
+        passes = passes_for_level("none") + [
+            LoweringPass(program_passes=[FuseHead()])
+        ]
+        fitted = Optimizer(passes).optimize(pipe).execute()
+        plan = fitted.inference_plan()
+        assert len(plan) == len(g.ancestors([fitted.sink])) - 1
+        expected = [recursive_apply_item(fitted, x) for x in wl.test_items]
+        assert [plan.run_item(x) for x in wl.test_items] == expected
+        server = ModelServer(max_batch=4, cache_budget_bytes=1e7)
+        with server:
+            server.register("m", fitted, warmup_items=wl.test_items[:3])
+            assert server.predict_many("m", wl.test_items) == expected
+            again = server.predict_many("m", wl.test_items)
+            assert again == expected

@@ -336,8 +336,9 @@ class TestServingCacheSelection:
         fitted, items, _ = fitted_scenario("timit")
         server = ModelServer(cache_budget_bytes=1e7, expected_reuse=8.0)
         model = server.register("m", fitted, warmup_items=items[:4])
-        sink_id = fitted.sink.id
-        assert sink_id in model.cache.node_ids
+        # Selection is content-addressed: the sink's op key is in the set.
+        assert model.plan.key_of(fitted.sink.id) in model.cache.keys
+        assert model.plan.sink_slot in model.plan.cached_slots
 
 
 class TestServingCacheRuntime:
@@ -346,19 +347,19 @@ class TestServingCacheRuntime:
         from repro.dataset.sizing import estimate_size
 
         size = estimate_size(value)
-        cache = ServingCache(budget_bytes=2.5 * size, node_ids={1})
-        cache.put(1, b"a", value)
-        cache.put(1, b"b", value)
-        cache.put(1, b"c", value)  # evicts the oldest (a)
+        cache = ServingCache(budget_bytes=2.5 * size, keys={"op1"})
+        cache.put("op1", b"a", value)
+        cache.put("op1", b"b", value)
+        cache.put("op1", b"c", value)  # evicts the oldest (a)
         assert len(cache) == 2
-        assert cache.lookup(1, b"a") == (False, None)
-        assert cache.lookup(1, b"c")[0]
+        assert cache.lookup("op1", b"a") == (False, None)
+        assert cache.lookup("op1", b"c")[0]
         assert cache.manager.evictions == 1
 
     def test_boxed_values_roundtrip_falsy_outputs(self):
-        cache = ServingCache(budget_bytes=1e6, node_ids={1})
-        cache.put(1, b"k", 0)
-        assert cache.lookup(1, b"k") == (True, 0)
+        cache = ServingCache(budget_bytes=1e6, keys={"op1"})
+        cache.put("op1", b"k", 0)
+        assert cache.lookup("op1", b"k") == (True, 0)
 
     def test_fingerprints_discriminate(self):
         a = np.arange(4, dtype=np.float64)
@@ -377,7 +378,7 @@ class TestServingCacheRuntime:
 
     def test_invalid_budget(self):
         with pytest.raises(ValueError, match="budget_bytes"):
-            ServingCache(budget_bytes=0, node_ids={1})
+            ServingCache(budget_bytes=0, keys={"op1"})
 
     def test_opaque_types_are_rejected_not_aliased(self):
         # repr() of a default object embeds its memory address; hashing
@@ -395,9 +396,9 @@ class TestServingCacheRuntime:
         fitted, items, expected = fitted_scenario("timit")
         plan = compile_inference_plan(fitted)
         # Cache only the RandomFeatures output: the expensive prefix.
-        feature_node = [op.node_id for op in plan.ops
-                        if "RandomFeatures" in op.label][0]
-        cache = ServingCache(budget_bytes=1e7, node_ids={feature_node})
+        feature_key = [op.key for op in plan.ops
+                       if "RandomFeatures" in op.label][0]
+        cache = ServingCache(budget_bytes=1e7, keys={feature_key})
         plan.attach_cache(cache)
         fps = [fingerprint(x) for x in items]
         first = plan.run_batch(items, fps)
@@ -564,6 +565,70 @@ class TestModelServer:
             assert not any(t.is_alive() for t in threads), "clients hung"
         assert not failures
         assert server.stats().total_requests == 4 * len(items)
+
+
+class TestCrossVersionCache:
+    """Two versions sharing a featurization prefix share cache entries."""
+
+    def _two_text_versions(self):
+        wl = amazon_reviews(120, 12, vocab_size=200, seed=0)
+
+        def train(l2_reg):
+            ctx = Context()
+            data = wl.train_data(ctx)
+            labels = wl.train_label_vectors(ctx)
+            return (Pipeline.identity()
+                    .and_then(LowerCase())
+                    .and_then(Tokenizer())
+                    .and_then(TermFrequency(lambda c: 1.0))
+                    .and_then(CommonSparseFeatures(80), data)
+                    .and_then(LinearSolver(l2_reg=l2_reg), data, labels)
+                    .and_then(MaxClassifier())
+                    .fit(level="none"))
+
+        return train(1e-8), train(1.0), wl.test_items
+
+    def test_prefix_ops_share_content_keys(self):
+        v1, v2, _ = self._two_text_versions()
+        p1 = compile_inference_plan(v1)
+        p2 = compile_inference_plan(v2)
+        keys1 = [op.key for op in p1.ops]
+        keys2 = [op.key for op in p2.ops]
+        # input + featurization prefix (LowerCase..CommonSparseFeatures)
+        # fingerprint equal; the differently-regularized solver and the
+        # classifier head downstream of it flip.
+        assert keys1[:5] == keys2[:5]
+        assert keys1[5] != keys2[5]
+        assert keys1[6] != keys2[6]
+
+    def test_versions_share_one_cache_and_prefix_entries(self):
+        v1, v2, items = self._two_text_versions()
+        server = ModelServer(max_batch=8, max_delay_ms=2.0,
+                             cache_budget_bytes=1e7)
+        with server:
+            # No warmup: every non-input op is cache-marked, so the
+            # shared featurization prefix is cacheable in both versions.
+            m1 = server.register("m", v1, version="v1")
+            m2 = server.register("m", v2, version="v2")
+            assert m1.cache is m2.cache  # one cache per registry entry
+            expected_v1 = comparable(
+                server.predict_many("m", items, version="v1"))
+            hits_before = m1.cache.hits
+            got_v2 = comparable(
+                server.predict_many("m", items, version="v2"))
+        assert expected_v1 == comparable([v1.apply(x) for x in items])
+        assert got_v2 == comparable([v2.apply(x) for x in items])
+        # v2 never served these items, yet its featurization resumed
+        # from entries v1 wrote: content-addressed cross-version reuse.
+        assert m1.cache.hits > hits_before
+
+    def test_distinct_entries_keep_private_caches(self):
+        v1, v2, items = self._two_text_versions()
+        server = ModelServer(micro_batching=False, cache_budget_bytes=1e7)
+        with server:
+            m1 = server.register("a", v1)
+            m2 = server.register("b", v2)
+            assert m1.cache is not m2.cache
 
 
 class TestShardingAutoWorkers:
