@@ -1,0 +1,140 @@
+"""Incremental training: warm retrains and deduplicated sweeps.
+
+Two headline ratios for the PR 6 incremental engine, both gated by
+``benchmarks/baselines.json``:
+
+- ``warm_retrain.reused_op_fraction`` — after a single solver
+  hyperparameter change, the fraction of the Amazon pipeline's
+  estimators spliced from the FitStore instead of re-fit (deterministic:
+  the featurizer reuses, the solver re-fits -> 0.5).
+- ``sweep_dedup.speedup_vs_independent`` — wall-clock speedup of one
+  union fit over a 6-configuration regularization grid vs fitting every
+  configuration independently, on the featurization-dominated text
+  pipeline.
+
+Byte-identity to independent cold ``LocalBackend`` fits is asserted for
+both paths — the speedups must come from not repeating work, never from
+changing results.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.dataset import Context
+from repro.incremental import FitStore, SweepPlanner
+from repro.pipelines import amazon_pipeline
+from repro.workloads import amazon_reviews
+
+from _common import fmt_row, once, record_result, report
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+NUM_TRAIN = 1200 if FAST else 4000
+NUM_TEST = 100 if FAST else 400
+VOCAB = 1500 if FAST else 4000
+NUM_FEATURES = 400 if FAST else 1200
+L2_GRID = (1e-8, 1e-6, 1e-4, 1e-2, 1e-1, 1.0)
+SWEEP_SPEEDUP_FLOOR = 1.5
+
+
+def _workload():
+    return amazon_reviews(NUM_TRAIN, NUM_TEST, vocab_size=VOCAB, seed=0)
+
+
+def _predictions(fitted, ctx, wl):
+    return np.asarray(fitted.apply_dataset(wl.test_data(ctx)).collect())
+
+
+def test_warm_retrain(benchmark):
+    wl = _workload()
+    ctx = Context()
+
+    def build(l2_reg):
+        return amazon_pipeline(ctx, wl, num_features=NUM_FEATURES,
+                               l2_reg=l2_reg)
+
+    def run():
+        store = FitStore()
+        start = time.perf_counter()
+        build(1e-8).fit(fit_store=store)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = build(1e-2).fit(fit_store=store)
+        warm_s = time.perf_counter() - start
+        return store, warm, cold_s, warm_s
+
+    store, warm, cold_s, warm_s = once(benchmark, run)
+    rep = warm.training_report
+    fraction = rep.reused_op_fraction
+
+    # Byte-identity: the warm retrain must match a cold fit of the
+    # changed pipeline exactly.
+    reference = amazon_pipeline(ctx, wl, num_features=NUM_FEATURES,
+                                l2_reg=1e-2).fit()
+    assert np.array_equal(_predictions(warm, ctx, wl),
+                          _predictions(reference, ctx, wl))
+
+    report("incremental_warm_retrain", [
+        fmt_row(["phase", "fit(s)", "reused", "refit"], [12, 8, 24, 24]),
+        fmt_row(["cold", f"{cold_s:.2f}", "-", "-"], [12, 8, 24, 24]),
+        fmt_row(["warm", f"{warm_s:.2f}", ",".join(rep.reused_ops),
+                 ",".join(rep.refit_ops)], [12, 8, 24, 24]),
+        f"reused_op_fraction: {fraction:.2f}  store entries: {len(store)}",
+    ])
+
+    # One hyperparameter changed: the featurizer splices, the solver
+    # re-fits.
+    assert rep.reused_ops == ["CommonSparseFeatures"]
+    assert rep.refit_ops == ["LinearSolver"]
+    record_result("warm_retrain", {"reused_op_fraction": fraction})
+
+
+def test_sweep_dedup(benchmark):
+    wl = _workload()
+    ctx = Context()
+
+    def build(params):
+        return amazon_pipeline(ctx, wl, num_features=NUM_FEATURES,
+                               l2_reg=params["l2"])
+
+    configs = [{"l2": l2} for l2 in L2_GRID]
+
+    def run():
+        start = time.perf_counter()
+        independents = [build(c).fit() for c in configs]
+        independent_s = time.perf_counter() - start
+        start = time.perf_counter()
+        trials, sweep_rep = SweepPlanner(build, configs).run()
+        union_s = time.perf_counter() - start
+        return independents, independent_s, trials, sweep_rep, union_s
+
+    independents, independent_s, trials, sweep_rep, union_s = once(
+        benchmark, run)
+    speedup = independent_s / union_s
+
+    # Byte-identity per trial: dedup must not change any result.
+    for cold, trial in zip(independents, trials):
+        assert np.array_equal(_predictions(trial, ctx, wl),
+                              _predictions(cold, ctx, wl))
+
+    report("incremental_sweep_dedup", [
+        fmt_row(["configs", "total ops", "union ops", "dedup"],
+                [8, 10, 10, 7]),
+        fmt_row([len(configs), sweep_rep.total_ops, sweep_rep.unique_ops,
+                 f"{sweep_rep.dedup_ratio:.1f}x"], [8, 10, 10, 7]),
+        f"independent fits: {independent_s:.2f}s  union fit: "
+        f"{union_s:.2f}s  speedup: {speedup:.2f}x",
+    ])
+
+    assert speedup >= SWEEP_SPEEDUP_FLOOR, (
+        f"sweep dedup speedup {speedup:.2f}x below floor "
+        f"{SWEEP_SPEEDUP_FLOOR}x")
+    record_result("sweep_dedup", {"speedup_vs_independent": speedup})
+    record_result("incremental", {
+        "sweep_speedup": speedup,
+        "sweep_dedup_ratio": sweep_rep.dedup_ratio,
+    })

@@ -6,8 +6,16 @@ pipeline per configuration and scoring on held-out data.  Each trial
 records which physical solver the optimizer chose, so the search results
 explain themselves.
 
+The second half demonstrates *deduplicated* search
+(``GridSearch(incremental=True)``): the whole grid merges into one union
+program keyed by content, the shared featurization prefix fits once, and
+only the solvers the grid actually distinguishes fit per trial — with
+scores identical to independent fits and a measured speedup.
+
 Run:  python examples/hyperparameter_tuning.py
 """
+
+import time
 
 from repro.core.pipeline import Pipeline
 from repro.core.tuning import GridSearch
@@ -16,7 +24,8 @@ from repro.evaluation import accuracy
 from repro.nodes.learning.linear import LinearSolver
 from repro.nodes.learning.random_features import CosineRandomFeatures
 from repro.nodes.numeric import MaxClassifier
-from repro.workloads import timit_frames
+from repro.pipelines.amazon import amazon_pipeline
+from repro.workloads import amazon_reviews, timit_frames
 
 
 def main():
@@ -61,6 +70,58 @@ def main():
     assert best.score > 1.5 / workload.num_classes, (
         f"best accuracy {best.score:.3f} is not meaningfully above "
         f"chance {1 / workload.num_classes:.3f}")
+
+    incremental_sweep()
+
+
+def incremental_sweep():
+    """Dedupe a solver-hyperparameter sweep into one union fit.
+
+    Uses the Amazon text pipeline, where n-gram featurization dominates
+    each trial — the regime where executing the shared prefix once
+    instead of once per configuration visibly pays.  (A solver-dominated
+    sweep, e.g. regularization over wide random features, shares almost
+    no per-trial cost and dedups without a wall-clock win.)
+    """
+    workload = amazon_reviews(num_train=1200, num_test=150,
+                              vocab_size=1800, seed=0)
+    ctx = Context()
+
+    # amazon_pipeline binds the workload's datasets internally; sharing
+    # happens by *content* hashing, so each configuration's rebuild of
+    # the same training data still keys (and therefore merges) equal.
+    def builder(params):
+        return amazon_pipeline(ctx, workload, num_features=400,
+                               l2_reg=params["l2_reg"])
+
+    def scorer(fitted):
+        scores = fitted.apply_dataset(workload.test_data(ctx)).collect()
+        preds = [MaxClassifier().apply(s) for s in scores]
+        return accuracy(preds, workload.test_labels)
+
+    grid = {"l2_reg": [1e-8, 1e-6, 1e-4, 1e-2, 1e-1, 1.0]}
+
+    start = time.perf_counter()
+    plain = GridSearch(builder, scorer, grid).run()
+    independent_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    inc = GridSearch(builder, scorer, grid, incremental=True).run()
+    incremental_s = time.perf_counter() - start
+
+    report = inc.sweep_report
+    speedup = independent_s / incremental_s
+    print(f"\nincremental sweep over {len(report.configs)} configs: "
+          f"{report.unique_ops} union ops for {report.total_ops} total "
+          f"(dedup {report.dedup_ratio:.1f}x)")
+    print(f"independent fits {independent_s:.2f}s, union fit "
+          f"{incremental_s:.2f}s -> speedup {speedup:.1f}x")
+    # Deduplication must not change results...
+    assert [t.score for t in inc.trials] == [t.score for t in plain.trials]
+    # ...and sharing the featurization prefix must actually pay.
+    assert speedup > 1.0, (
+        f"union fit was not faster than independent fits "
+        f"({incremental_s:.2f}s vs {independent_s:.2f}s)")
 
 
 if __name__ == "__main__":

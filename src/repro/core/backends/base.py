@@ -30,6 +30,7 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.core import graph as g
+from repro.core import program as prog
 from repro.core.executor import ExclusiveTimer, TrainingReport
 from repro.core.operators import Transformer
 from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
@@ -194,6 +195,26 @@ class TrainingSession:
             if not node.is_pipeline_input:
                 self._dataset_of(node)
 
+        # Incremental training (repro.incremental): with a FitStore on the
+        # plan, key the training DAG by content and splice stored fitted
+        # state for every estimator whose key hits — all backends then skip
+        # those fits through the ``self.fitted`` memo.  Key computation
+        # hashes the bound datasets; any failure degrades to a cold fit
+        # (the store must never turn a working fit into a crash).
+        self.fit_store = getattr(state, "fit_store", None)
+        self.training_key: Dict[int, str] = {}
+        if self.fit_store is not None:
+            try:
+                self.training_key = prog.training_keys([self.sink], {})
+            except Exception:
+                self.fit_store = None
+            else:
+                for node in g.reachable([self.sink], g.ESTIMATOR):
+                    model = self.fit_store.get_fit(self.training_key[node.id])
+                    if model is not None:
+                        self.fitted[node.id] = model
+                        report.reused_ops.append(node.label)
+
     # ------------------------------------------------------------------
     # DAG -> datasets
     # ------------------------------------------------------------------
@@ -254,14 +275,86 @@ class TrainingSession:
         # Heavy work outside the lock: op.fit pulls its training flow
         # through the lazy datasets (possibly concurrently with other
         # estimators on other threads).
-        with self.timer.time_block(node.id):
-            if labels is not None:
-                model = node.op.fit(data, labels)
-            else:
-                model = node.op.fit(data)
+        model = self._fit_streaming(node, data, labels)
+        if model is None:
+            with self.timer.time_block(node.id):
+                if labels is not None:
+                    model = node.op.fit(data, labels)
+                else:
+                    model = node.op.fit(data)
         with self._lock:
             self.fitted[node.id] = model
             self.report.estimator_seconds[node.id] = self.timer.times[node.id]
+            self.store_fit(node, model)
+        return model
+
+    def store_fit(self, node: g.OpNode, model: Transformer) -> None:
+        """Record a freshly fitted model in the FitStore (if attached).
+
+        Called under the session lock by every path that fits an
+        estimator this run (``fit_estimator`` and the process backend's
+        stat-merge path); also the single place ``refit_ops`` is
+        recorded.
+        """
+        self.report.refit_ops.append(node.label)
+        if self.fit_store is not None and node.id in self.training_key:
+            self.fit_store.put_fit(self.training_key[node.id], model)
+
+    def _fit_streaming(self, node: g.OpNode, data: Dataset,
+                       labels: Optional[Dataset]):
+        """Fit a shardable estimator through stored per-partition stats.
+
+        Returns the fitted model, or ``None`` to fall through to the
+        plain ``op.fit`` path (no store attached, the estimator is not
+        shardable, or the flow cannot be keyed partition-wise).  Each
+        partition's sufficient statistic is keyed by the partition's
+        content flow (:func:`repro.core.program.partition_flow_keys`):
+        stats hit in the store skip pulling and featurizing that
+        partition entirely — a refit with appended partitions computes
+        only the new ones — and the final merge runs the estimator's own
+        ``fit_from_stats`` (the serial reduction order), so the model is
+        byte-identical to a cold fit by the
+        :class:`~repro.core.operators.ShardableEstimator` contract.
+        """
+        store, op = self.fit_store, node.op
+        if (store is None or not hasattr(op, "partition_stats")
+                or not hasattr(op, "fit_from_stats")):
+            return None
+        if labels is not None and labels.num_partitions != data.num_partitions:
+            return None
+        roots = list(node.parents)
+        pkeys = []
+        try:
+            for i in range(data.num_partitions):
+                flow_keys = prog.partition_flow_keys(
+                    roots, i, model_of=lambda n: self.fitted.get(n.id))
+                pkeys.append(prog.op_key(
+                    "pstats", op, tuple(flow_keys[r.id] for r in roots)))
+        except Exception:
+            # Unkeyable flow (unbound input, partition-count mismatch
+            # between raw sources and the featurized view, unfitted
+            # upstream): cold fit, never a crash.
+            return None
+        reused = computed = 0
+        with self.timer.time_block(node.id):
+            partials = []
+            for i, pkey in enumerate(pkeys):
+                stat = store.get_stats(pkey)
+                if stat is None:
+                    if labels is None:
+                        stat = op.partition_stats(data.partition(i))
+                    else:
+                        stat = op.partition_stats(data.partition(i),
+                                                  labels.partition(i))
+                    store.put_stats(pkey, stat)
+                    computed += 1
+                else:
+                    reused += 1
+                partials.append(stat)
+            model = op.fit_from_stats(partials)
+        with self._lock:
+            self.report.stat_partitions_reused += reused
+            self.report.stat_partitions_computed += computed
         return model
 
     def estimator_nodes(self) -> list:

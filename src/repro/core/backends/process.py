@@ -291,6 +291,10 @@ class ProcessPoolBackend(ExecutionBackend):
                       materialized: Dict[int, Dataset],
                       workers: int) -> None:
         report = session.report
+        if node.id in session.fitted:
+            # Spliced from the session's FitStore by training key (warm
+            # retrain): nothing to ship, no wave to run.
+            return
         op = node.op
         roots = [p for p in node.parents]
         try:
@@ -351,6 +355,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 session.fitted[node.id] = model
                 report.estimator_seconds[node.id] = \
                     session.timer.times[node.id]
+                session.store_fit(node, model)
             report.process_stat_merged.append(node.label)
             return
         if result is not None:

@@ -149,6 +149,21 @@ class TrainingReport:
     process_stat_merged: List[str] = field(default_factory=list)
     process_gathered: List[str] = field(default_factory=list)
     process_fallback: List[str] = field(default_factory=list)
+    #: filled when training ran against a FitStore
+    #: (:mod:`repro.incremental`): estimator labels whose fitted state was
+    #: spliced from the store by training key vs. actually (re)fitted this
+    #: run, plus per-partition sufficient-statistic reuse counts from the
+    #: streaming-refit path of shardable estimators.
+    reused_ops: List[str] = field(default_factory=list)
+    refit_ops: List[str] = field(default_factory=list)
+    stat_partitions_reused: int = 0
+    stat_partitions_computed: int = 0
+
+    @property
+    def reused_op_fraction(self) -> float:
+        """Fraction of this run's estimators spliced from the FitStore."""
+        total = len(self.reused_ops) + len(self.refit_ops)
+        return len(self.reused_ops) / total if total else 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -169,34 +184,21 @@ class TrainingReport:
                 "Solve": solve}
 
 
-def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
-                 level: Optional[str] = None,
-                 mem_budget_bytes: Optional[float] = None,
-                 sample_sizes: Optional[Tuple[int, int]] = None,
-                 cache_strategy: Optional[str] = None,
-                 ctx: Optional[Context] = None,
-                 fuse: Optional[bool] = None,
-                 passes: Optional[Sequence] = None,
-                 backend=None):
-    """Optimize and train a pipeline; returns a FittedPipeline.
+def plan_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
+                  level: Optional[str] = None,
+                  mem_budget_bytes: Optional[float] = None,
+                  sample_sizes: Optional[Tuple[int, int]] = None,
+                  cache_strategy: Optional[str] = None,
+                  fuse: Optional[bool] = None,
+                  passes: Optional[Sequence] = None,
+                  _stacklevel: int = 3):
+    """Optimize a pipeline into a :class:`~repro.core.plan.PhysicalPlan`.
 
-    ``level`` is one of ``"none" | "pipe" | "full"``.  ``cache_strategy``
-    overrides the materialization strategy (default: greedy for optimized
-    levels, none otherwise); see :mod:`repro.core.materialization`.
-    ``fuse`` additionally packs single-consumer transformer chains into
-    one stage (:mod:`repro.core.fusion`) before profiling — it is part of
-    the optimizer, so it is ignored at ``level="none"``.
-
-    ``backend`` selects the execution strategy (an
-    :class:`~repro.core.backends.ExecutionBackend` instance or a name from
-    :data:`repro.core.backends.BACKENDS`); default is serial
-    :class:`~repro.core.backends.LocalBackend` semantics.
-
-    ``passes`` bypasses the level shim entirely: an explicit pass list is
-    handed to the :class:`~repro.core.optimizer.Optimizer` as-is (the
-    other optimization kwargs then only apply if the listed passes carry
-    them, e.g. the budget inside a ``MaterializationPass``), and the plan
-    is labelled ``"custom"`` unless a ``level`` is also named.
+    The planning half of :func:`fit_pipeline` — same kwargs, no
+    execution.  Callers that want to inspect the plan, choose a backend
+    per execution, or train the same plan several times (e.g. the
+    incremental sweep planner) call this and then
+    :meth:`~repro.core.plan.PhysicalPlan.execute`.
     """
     from repro.core.optimizer import Optimizer, passes_for_level
 
@@ -222,10 +224,53 @@ def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
                               else mem_budget_bytes),
             cache_strategy=cache_strategy,
             fuse=bool(fuse),
-            # Warn at the Pipeline.fit caller (user -> fit -> here ->
-            # helper); a direct fit_pipeline caller is attributed one
-            # frame high — the dominant path wins.
-            _stacklevel=4)
-    plan = Optimizer(passes).optimize(pipeline, resources,
+            _stacklevel=_stacklevel)
+    return Optimizer(passes).optimize(pipeline, resources,
                                       level=level or "custom")
-    return plan.execute(ctx, backend=backend)
+
+
+def fit_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
+                 level: Optional[str] = None,
+                 mem_budget_bytes: Optional[float] = None,
+                 sample_sizes: Optional[Tuple[int, int]] = None,
+                 cache_strategy: Optional[str] = None,
+                 ctx: Optional[Context] = None,
+                 fuse: Optional[bool] = None,
+                 passes: Optional[Sequence] = None,
+                 backend=None,
+                 fit_store=None):
+    """Optimize and train a pipeline; returns a FittedPipeline.
+
+    ``level`` is one of ``"none" | "pipe" | "full"``.  ``cache_strategy``
+    overrides the materialization strategy (default: greedy for optimized
+    levels, none otherwise); see :mod:`repro.core.materialization`.
+    ``fuse`` additionally packs single-consumer transformer chains into
+    one stage (:mod:`repro.core.fusion`) before profiling — it is part of
+    the optimizer, so it is ignored at ``level="none"``.
+
+    ``backend`` selects the execution strategy (an
+    :class:`~repro.core.backends.ExecutionBackend` instance or a name from
+    :data:`repro.core.backends.BACKENDS`); default is serial
+    :class:`~repro.core.backends.LocalBackend` semantics.
+
+    ``fit_store`` attaches a :class:`~repro.incremental.FitStore`:
+    estimators whose training keys hit the store are spliced instead of
+    refit (warm retrain), shardable estimators reuse stored per-partition
+    sufficient statistics (streaming refit), and newly fitted state is
+    stored back — see :mod:`repro.incremental`.
+
+    ``passes`` bypasses the level shim entirely: an explicit pass list is
+    handed to the :class:`~repro.core.optimizer.Optimizer` as-is (the
+    other optimization kwargs then only apply if the listed passes carry
+    them, e.g. the budget inside a ``MaterializationPass``), and the plan
+    is labelled ``"custom"`` unless a ``level`` is also named.
+    """
+    plan = plan_pipeline(
+        pipeline, resources, level=level,
+        mem_budget_bytes=mem_budget_bytes, sample_sizes=sample_sizes,
+        cache_strategy=cache_strategy, fuse=fuse, passes=passes,
+        # Warn at the Pipeline.fit caller (user -> fit -> here ->
+        # plan_pipeline -> helper); a direct fit_pipeline caller is
+        # attributed one frame high — the dominant path wins.
+        _stacklevel=5)
+    return plan.execute(ctx, backend=backend, fit_store=fit_store)

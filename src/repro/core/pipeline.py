@@ -157,15 +157,30 @@ class Pipeline:
         level, memory budget, sample sizes, or an explicit ``passes``
         list) and execution (``backend=`` selects an
         :class:`~repro.core.backends.ExecutionBackend` or a name from
-        ``repro.core.backends.BACKENDS``); defaults run the full
-        KeystoneML optimization stack on a local resource descriptor with
-        serial execution.  For an inspectable plan before training, use
+        ``repro.core.backends.BACKENDS``; ``fit_store=`` attaches a
+        :class:`~repro.incremental.FitStore` so fitted estimator state is
+        spliced from / written back to the store — see :meth:`refit`);
+        defaults run the full KeystoneML optimization stack on a local
+        resource descriptor with serial execution.  For an inspectable
+        plan before training, use
         :meth:`repro.core.optimizer.Optimizer.optimize` instead —
         ``fit(level=...)`` is a shim over the same pass pipeline.
         """
         from repro.core.executor import fit_pipeline
 
         return fit_pipeline(self, **kwargs)
+
+    def refit(self, store, **kwargs) -> "FittedPipeline":
+        """Warm retrain against a :class:`~repro.incremental.FitStore`.
+
+        Sugar for :func:`repro.incremental.refit`: estimators whose
+        training keys hit the store are spliced in fitted, everything
+        else fits cold (and is stored for next time).  ``kwargs`` are
+        :meth:`fit` keyword arguments.
+        """
+        from repro.incremental.refit import refit
+
+        return refit(self, store, **kwargs)
 
     def __repr__(self) -> str:
         n = len(g.ancestors([self.sink]))

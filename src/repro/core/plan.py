@@ -79,6 +79,10 @@ class PlanState:
     #: serving compiler via FittedPipeline, the process backend's shard
     #: programs) — see repro.core.program.ProgramPass
     program_passes: List[Any] = field(default_factory=list)
+    #: FitStore (repro.incremental) attached for this execution: the
+    #: training session splices stored fitted state by training key and
+    #: stores new fits back (None: cold fit, no reuse)
+    fit_store: Optional[Any] = None
 
     def annotate(self, **details: Any) -> None:
         """Attach decision details to the pass currently running."""
@@ -232,7 +236,7 @@ class PhysicalPlan:
     # Execution
     # ------------------------------------------------------------------
     def execute(self, ctx: Optional[Context] = None,
-                backend=None) -> "FittedPipeline":
+                backend=None, fit_store=None) -> "FittedPipeline":
         """Train the planned pipeline; returns a FittedPipeline.
 
         ``backend`` selects the execution strategy — ``None`` (serial
@@ -247,9 +251,16 @@ class PhysicalPlan:
         :class:`~repro.core.executor.TrainingReport` combining the
         optimizer's decisions with measured (and, for the sharded
         backend, simulated) execution times.
+
+        ``fit_store`` attaches a :class:`~repro.incremental.FitStore` for
+        this execution (warm retrain / streaming refit; see
+        :mod:`repro.incremental`); it is recorded on the plan state, so
+        re-executing the same plan keeps the store unless overridden.
         """
         from repro.core.backends import resolve_backend
 
+        if fit_store is not None:
+            self.state.fit_store = fit_store
         if backend == "auto":
             backend = self.state.shard_backend or "local"
         return resolve_backend(backend).execute(self, ctx)

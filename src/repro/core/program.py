@@ -350,6 +350,137 @@ def _source_key(node: g.OpNode) -> str:
 
 
 # ----------------------------------------------------------------------
+# Training keys: content-addressed identity for *unfitted* training DAGs
+# ----------------------------------------------------------------------
+#
+# Lowered-program keys address fitted state; the incremental training
+# engine (repro.incremental) needs the dual: a key per node of a
+# *training* DAG — estimators and apply nodes included, bound datasets
+# hashed by content — computable before anything is fitted.  Two nodes
+# with equal training keys fit to byte-identical state (fits are
+# deterministic functions of operator parameters and training bytes), so
+# the keys are what a FitStore splices cached fits by and what a
+# hyperparameter sweep dedupes shared prefixes by.
+
+
+def dataset_fingerprint(ds, memo: Optional[Dict[int, str]] = None) -> str:
+    """Content digest of a dataset: partition boundaries plus row bytes.
+
+    Partition structure is folded in deliberately: reduction trees
+    (``tree_combine``) and blocked solvers are shaped by partitioning, so
+    the same rows split differently may not fit byte-identically.
+    ``memo`` (keyed by ``id(ds)``) skips re-hashing datasets the caller
+    already fingerprinted — valid only while the caller holds references
+    to every memoized dataset.
+    """
+    if memo is not None and id(ds) in memo:
+        return memo[id(ds)]
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"dataset")
+    h.update(str(ds.num_partitions).encode())
+    for part in ds.iter_partitions():
+        h.update(b"\x00")
+        _feed(h, part, set())
+    digest = h.hexdigest()
+    if memo is not None:
+        memo[id(ds)] = digest
+    return digest
+
+
+def partition_fingerprint(rows: Sequence[Any]) -> str:
+    """Content digest of one partition's rows (streaming-refit keying)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"partition")
+    _feed(h, list(rows), set())
+    return h.hexdigest()
+
+
+def training_keys(
+    roots: Sequence[g.OpNode],
+    dataset_memo: Optional[Dict[int, str]] = None,
+) -> Dict[int, str]:
+    """Content-addressed key per node of a (possibly unfitted) training DAG.
+
+    Unlike lowered-program keys, estimator and apply nodes participate:
+    an estimator's key digests its *unfitted* operator structure
+    (type + hyperparameters) with the keys of its training flows, and an
+    apply node's key folds the estimator key with the data-parent key —
+    so a hyperparameter change re-keys exactly the changed estimator and
+    everything downstream of its output.  Bound sources hash by dataset
+    *content* (unlike :func:`_source_key`), so independently built
+    pipelines over equal data produce equal keys — the property warm
+    retrain and sweep deduplication splice by.
+    """
+    keys: Dict[int, str] = {}
+    for node in g.reachable(roots):
+        if node.is_pipeline_input:
+            key = INPUT_KEY
+        elif node.kind == g.SOURCE:
+            key = op_key("source", None, (dataset_fingerprint(node.op, dataset_memo),))
+        elif node.kind == g.TRANSFORMER:
+            key = op_key(TRANSFORM, node.op, (keys[node.parents[0].id],))
+        elif node.kind == g.ESTIMATOR:
+            key = op_key("estimator", node.op, tuple(keys[p.id] for p in node.parents))
+        elif node.kind == g.APPLY:
+            key = op_key("apply", None, tuple(keys[p.id] for p in node.parents))
+        elif node.kind == g.GATHER:
+            key = op_key(GATHER, None, tuple(keys[p.id] for p in node.parents))
+        else:
+            raise ValueError(f"cannot key node kind {node.kind!r}")
+        keys[node.id] = key
+    return keys
+
+
+def partition_flow_keys(
+    roots: Sequence[g.OpNode],
+    index: int,
+    *,
+    model_of: Callable[[g.OpNode], Any],
+) -> Dict[int, str]:
+    """Per-partition content keys of a training flow (streaming refit).
+
+    The partition-``index`` slice of :func:`training_keys`: sources hash
+    one partition's rows instead of the whole dataset, and apply nodes
+    hash the *fitted* upstream model (resolved via ``model_of``) — so a
+    stored per-partition sufficient statistic is reusable iff the
+    partition bytes, the transformation chain, and every upstream fitted
+    model are all unchanged.  Appending partitions to a source leaves the
+    existing partitions' keys intact, which is what lets a refit merge
+    new statistics without replaying old data.  Raises
+    :class:`UnshippableFlow` for flows that cannot be keyed partition-wise
+    (an unbound pipeline input) and ``IndexError`` when a source has no
+    partition ``index``.
+    """
+    keys: Dict[int, str] = {}
+    for node in g.reachable(roots):
+        if node.kind == g.ESTIMATOR:
+            continue  # referenced only through apply nodes
+        if node.is_pipeline_input:
+            raise UnshippableFlow("flow reached the unbound pipeline input")
+        if node.kind == g.SOURCE:
+            key = op_key(
+                "part", None, (partition_fingerprint(node.op.partition(index)),)
+            )
+        elif node.kind == g.TRANSFORMER:
+            key = op_key(TRANSFORM, node.op, (keys[node.parents[0].id],))
+        elif node.kind == g.APPLY:
+            model = model_of(node.parents[0])
+            if model is None:
+                raise RuntimeError(
+                    f"apply node {node.label!r} references an unfitted "
+                    "estimator; estimators must be scheduled in "
+                    "dependency order"
+                )
+            key = op_key(TRANSFORM, model, (keys[node.parents[1].id],))
+        elif node.kind == g.GATHER:
+            key = op_key(GATHER, None, tuple(keys[p.id] for p in node.parents))
+        else:
+            raise UnshippableFlow(f"cannot key node kind {node.kind}")
+        keys[node.id] = key
+    return keys
+
+
+# ----------------------------------------------------------------------
 # The IR
 # ----------------------------------------------------------------------
 

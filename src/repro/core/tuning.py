@@ -33,6 +33,9 @@ class TrialResult:
 @dataclass
 class SearchResult:
     trials: List[TrialResult]
+    #: filled by incremental searches: the SweepPlanner's dedup report
+    #: (op counts shared vs executed); None for trial-by-trial runs
+    sweep_report: Optional[Any] = None
 
     @property
     def best(self) -> TrialResult:
@@ -59,6 +62,22 @@ class GridSearch:
     ``builder(params) -> Pipeline`` constructs an unfitted pipeline;
     ``scorer(fitted) -> float`` evaluates it (higher is better).  Set
     ``max_trials`` to randomly subsample large grids (seeded).
+
+    ``backend`` selects the execution backend every trial trains on (an
+    :class:`~repro.core.backends.ExecutionBackend` instance or registry
+    name) — without it each trial silently trains on the default serial
+    backend even when the caller has a tuned one.  ``fit_store`` attaches
+    a :class:`~repro.incremental.FitStore` so repeated searches warm-start
+    from each other's fitted state.
+
+    ``incremental=True`` routes the whole grid through
+    :class:`~repro.incremental.SweepPlanner`: all configurations merge
+    into one union program deduplicated by training key, each shared op
+    executes once, and the result carries the planner's
+    ``SweepReport`` (``result.sweep_report``).  Scores are byte-identical
+    to the trial-by-trial path; per-trial ``fit_seconds`` is the union
+    fit amortized evenly (individual attribution is meaningless once the
+    work is shared).
     """
 
     def __init__(self, builder: Callable[[Dict[str, Any]], Pipeline],
@@ -66,7 +85,10 @@ class GridSearch:
                  grid: Dict[str, Sequence[Any]],
                  max_trials: Optional[int] = None, seed: int = 0,
                  fit_kwargs: Optional[Dict[str, Any]] = None,
-                 keep_pipelines: bool = False):
+                 keep_pipelines: bool = False,
+                 backend=None,
+                 incremental: bool = False,
+                 fit_store=None):
         self.builder = builder
         self.scorer = scorer
         self.grid = grid
@@ -74,6 +96,9 @@ class GridSearch:
         self.seed = seed
         self.fit_kwargs = fit_kwargs or {}
         self.keep_pipelines = keep_pipelines
+        self.backend = backend
+        self.incremental = incremental
+        self.fit_store = fit_store
 
     def configurations(self) -> List[Dict[str, Any]]:
         configs = expand_grid(self.grid)
@@ -82,12 +107,28 @@ class GridSearch:
             configs = rng.sample(configs, self.max_trials)
         return configs
 
+    def _trial_fit_kwargs(self) -> Dict[str, Any]:
+        """fit() kwargs for one trial, with backend/store threaded in.
+
+        Explicit ``fit_kwargs`` entries win, so callers who already pass
+        ``backend=`` there keep their setting.
+        """
+        kwargs = dict(self.fit_kwargs)
+        if self.backend is not None:
+            kwargs.setdefault("backend", self.backend)
+        if self.fit_store is not None:
+            kwargs.setdefault("fit_store", self.fit_store)
+        return kwargs
+
     def run(self) -> SearchResult:
+        if self.incremental:
+            return self._run_incremental()
         trials: List[TrialResult] = []
+        fit_kwargs = self._trial_fit_kwargs()
         for params in self.configurations():
             pipeline = self.builder(params)
             start = time.perf_counter()
-            fitted = pipeline.fit(**self.fit_kwargs)
+            fitted = pipeline.fit(**fit_kwargs)
             fit_seconds = time.perf_counter() - start
             score = self.scorer(fitted)
             trials.append(TrialResult(
@@ -96,3 +137,24 @@ class GridSearch:
                                 if fitted.training_report else {}),
                 pipeline=fitted if self.keep_pipelines else None))
         return SearchResult(trials)
+
+    def _run_incremental(self) -> SearchResult:
+        """One union fit for the whole grid; see SweepPlanner."""
+        from repro.incremental.sweep import SweepPlanner
+
+        configs = self.configurations()
+        planner = SweepPlanner(self.builder, configs,
+                               fit_kwargs=self.fit_kwargs)
+        start = time.perf_counter()
+        fitted_trials, sweep_report = planner.run(
+            backend=self.backend, fit_store=self.fit_store)
+        per_trial = (time.perf_counter() - start) / max(len(configs), 1)
+        trials: List[TrialResult] = []
+        for params, fitted in zip(configs, fitted_trials):
+            score = self.scorer(fitted)
+            trials.append(TrialResult(
+                params=params, score=score, fit_seconds=per_trial,
+                selections=dict(fitted.training_report.selections
+                                if fitted.training_report else {}),
+                pipeline=fitted if self.keep_pipelines else None))
+        return SearchResult(trials, sweep_report=sweep_report)

@@ -77,11 +77,18 @@ def read_csv_vectors(ctx: Context, path: PathLike,
     return data, ctx.parallelize(labels, parts)
 
 
-def save_pipeline(pipeline: FittedPipeline, path: PathLike) -> None:
+def save_pipeline(pipeline: FittedPipeline, path: PathLike,
+                  fit_store=None) -> None:
     """Persist a fitted pipeline with pickle.
 
     The training report (which may reference profiling state) is dropped;
     what is saved is exactly the inference graph.
+
+    ``fit_store`` additionally persists a
+    :class:`~repro.incremental.FitStore` next to the pipeline (at
+    :func:`fit_store_path`), so a later process can
+    :func:`load_fit_store` and warm-retrain a modified pipeline against
+    the state this one trained — see :mod:`repro.incremental`.
     """
     if not isinstance(pipeline, FittedPipeline):
         raise TypeError("only fitted pipelines are serializable; call "
@@ -93,6 +100,8 @@ def save_pipeline(pipeline: FittedPipeline, path: PathLike) -> None:
                               program_passes=pipeline.program_passes)
     with open(path, "wb") as f:
         pickle.dump(stripped, f)
+    if fit_store is not None:
+        fit_store.save(fit_store_path(path))
 
 
 def load_pipeline(path: PathLike) -> FittedPipeline:
@@ -103,3 +112,23 @@ def load_pipeline(path: PathLike) -> FittedPipeline:
         raise TypeError(f"{path} does not contain a FittedPipeline "
                         f"(got {type(loaded).__name__})")
     return loaded
+
+
+def fit_store_path(path: PathLike) -> Path:
+    """Where :func:`save_pipeline` puts the FitStore for pipeline ``path``."""
+    return Path(f"{path}.fitstore")
+
+
+def load_fit_store(path: PathLike, budget_bytes=None):
+    """Load the FitStore saved next to the pipeline at ``path``.
+
+    ``path`` is the *pipeline* path handed to :func:`save_pipeline`; the
+    store is read from :func:`fit_store_path`.  A missing, truncated or
+    garbage store file yields an **empty** store — refits against it go
+    cold instead of crashing or splicing stale state
+    (:meth:`repro.incremental.FitStore.load`).  ``budget_bytes``
+    overrides the saved byte budget.
+    """
+    from repro.incremental import FitStore
+
+    return FitStore.load(fit_store_path(path), budget_bytes=budget_bytes)

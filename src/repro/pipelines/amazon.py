@@ -27,8 +27,15 @@ from repro.workloads.base import Workload
 
 def amazon_pipeline(ctx: Context, workload: Workload,
                     num_features: int = 2000, ngrams: int = 2,
-                    lbfgs_iters: int = 30, partitions: int = 4) -> Pipeline:
-    """Build the text classification pipeline over a generated workload."""
+                    lbfgs_iters: int = 30, partitions: int = 4,
+                    l2_reg: float = 1e-8) -> Pipeline:
+    """Build the text classification pipeline over a generated workload.
+
+    ``l2_reg`` reaches every physical solver the optimizer may select,
+    which makes it the hyperparameter knob for warm-retrain and sweep
+    experiments (``lbfgs_iters`` only matters when L-BFGS wins the cost
+    model).
+    """
     data = workload.train_data(ctx, partitions)
     labels = workload.train_label_vectors(ctx, partitions)
     return (Pipeline.identity()
@@ -38,4 +45,5 @@ def amazon_pipeline(ctx: Context, workload: Workload,
             .and_then(NGramsFeaturizer(1, ngrams))
             .and_then(TermFrequency(lambda c: 1.0))
             .and_then(CommonSparseFeatures(num_features), data)
-            .and_then(LinearSolver(lbfgs_iters=lbfgs_iters), data, labels))
+            .and_then(LinearSolver(lbfgs_iters=lbfgs_iters, l2_reg=l2_reg),
+                      data, labels))

@@ -167,6 +167,30 @@ class TestStructuralFingerprint:
         assert base != op_key(TRANSFORM, Tokenizer(), (INPUT_KEY,))
         assert base != op_key(TRANSFORM, LowerCase(), (base,))
 
+    def test_serde_packed_lambdas_key_by_source_location(self):
+        # Pins the core/serde.py caveat incremental training leans on:
+        # operators that pack captured lambdas in __getstate__ (e.g.
+        # TermFrequency) marshal them *with* source location, so two
+        # textually identical lambdas from different source lines key
+        # differently.  Warm retrains and deduped sweeps therefore only
+        # share lambda-parameterized ops built through a shared factory.
+        first = TermFrequency(lambda c: 1.0)
+        second = TermFrequency(lambda c: 1.0)
+        assert structural_fingerprint(first) != structural_fingerprint(second)
+
+        def factory():
+            return TermFrequency(lambda c: 1.0)
+
+        # One factory, independent builds: equal keys across processes
+        # of one codebase — the contract GridSearch(incremental=True)
+        # and refit() rely on.
+        assert structural_fingerprint(factory()) == structural_fingerprint(factory())
+        # Bare functions (no serde packing) hash by code object, which
+        # excludes location: identical text on different lines agrees.
+        assert structural_fingerprint(lambda c: 1.0) == structural_fingerprint(
+            lambda c: 1.0
+        )
+
 
 class TestContentAddressedLowering:
     def test_independent_builds_share_all_keys(self):
