@@ -1,0 +1,122 @@
+"""The actor runtime: persistent workers, shard-state reuse, fault recovery.
+
+Trains an iterative k-means text pipeline three ways on one pool of
+long-lived worker processes:
+
+1. a serial reference fit — the byte-identity baseline, which
+   re-featurizes the training documents on every solver pass;
+2. a first actor fit — featurization runs once, sharded across the
+   workers, and lands in each worker's content-addressed shard-state
+   cache; the k-means passes then run *in-worker*, so only the broadcast
+   centroids and per-partition sufficient statistics cross the process
+   boundary;
+3. a refit of the same plan on the same pool — every featurized shard is
+   served from the worker caches (op keys digest dataset content and
+   operator state, not node identity), so the second fit ships almost
+   nothing and recomputes nothing.
+
+Headline claims asserted below (the example exits non-zero if one
+breaks): all three fits predict byte-identically; the solver runs
+in-worker (no gather); and the refit reports shard-state cache hits with
+zero misses while shipping fewer bytes than the first fit.
+
+Run:  python examples/actor_runtime.py
+"""
+
+import numpy as np
+
+from repro import Context, Optimizer, Pipeline
+from repro.core.backends import ActorBackend, LocalBackend
+from repro.core.operators import Transformer
+from repro.core.optimizer import passes_for_level
+from repro.nodes.learning.kmeans import KMeansEstimator
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    NGramsFeaturizer,
+    TermFrequency,
+    Tokenizer,
+    unit_weighting,
+)
+from repro.workloads import amazon_reviews
+
+NUM_TRAIN = 600
+VOCAB = 300
+FEATURES = 150
+CLUSTERS = 5
+PASSES = 5
+WORKERS = 2
+
+
+class Densify(Transformer):
+    """Sparse feature row -> dense vector for the k-means head."""
+
+    def apply(self, row):
+        return np.asarray(row.todense()).ravel()
+
+
+def build_plan(wl):
+    ctx = Context()
+    data = wl.train_data(ctx)
+    pipe = (
+        Pipeline.identity()
+        .and_then(LowerCase())
+        .and_then(Tokenizer())
+        .and_then(NGramsFeaturizer(1, 2))
+        .and_then(TermFrequency(unit_weighting()))
+        .and_then(CommonSparseFeatures(FEATURES), data)
+        .and_then(Densify())
+        .and_then(KMeansEstimator(CLUSTERS, max_iter=PASSES, seed=7), data)
+    )
+    return Optimizer(passes_for_level("none")).optimize(pipe)
+
+
+def main():
+    wl = amazon_reviews(num_train=NUM_TRAIN, num_test=40, vocab_size=VOCAB, seed=0)
+    test_docs = wl.test_data(Context()).collect()
+
+    print(f"== serial reference ({NUM_TRAIN} docs, {PASSES}-pass k-means) ==")
+    reference = build_plan(wl).execute(backend=LocalBackend())
+    expected = [int(reference.apply(d)) for d in test_docs]
+    print(f"assignments for {len(expected)} test docs computed serially")
+
+    backend = ActorBackend(workers=WORKERS, task_timeout=300.0, reuse_pool=False)
+    with backend:
+        print(f"\n== first actor fit (workers={WORKERS}) ==")
+        first = build_plan(wl).execute(backend=backend)
+        cold = first.training_report
+        print(f"in-worker iterative solvers: {cold.actor_iterative}")
+        print(
+            f"shard-state cache: {cold.shard_state_hits} hits, "
+            f"{cold.shard_state_misses} misses (cold)"
+        )
+        print(f"bytes shipped to workers: {cold.bytes_shipped}")
+
+        print("\n== refit: same plan, same pool ==")
+        second = build_plan(wl).execute(backend=backend)
+        warm = second.training_report
+        print(
+            f"shard-state cache: {warm.shard_state_hits} hits, "
+            f"{warm.shard_state_misses} misses (warm)"
+        )
+        print(
+            f"bytes shipped to workers: {warm.bytes_shipped} "
+            f"(vs {cold.bytes_shipped} cold)"
+        )
+
+    # The headline claims, asserted.
+    assert [int(first.apply(d)) for d in test_docs] == expected, "actor fit diverged"
+    assert [int(second.apply(d)) for d in test_docs] == expected, "refit diverged"
+    assert "KMeansEstimator" in cold.actor_iterative, "k-means did not run in-worker"
+    assert not cold.process_gathered and not cold.process_fallback
+    assert warm.shard_state_hits > 0, "refit reported no cache hits"
+    assert warm.shard_state_misses == 0, "refit recomputed shard state"
+    assert warm.bytes_shipped < cold.bytes_shipped, "refit did not ship fewer bytes"
+    print(
+        "\nall claims verified: byte-identical predictions, in-worker "
+        "iteration, and a hit-only refit"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,15 +16,21 @@ ship:
   worker processes (spawn-safe, GIL-free), merging per-shard sufficient
   statistics where estimators support it and gathering featurized shards
   otherwise.
+- :class:`ActorBackend` — the persistent-worker runtime
+  (:mod:`repro.runtime`): long-lived actors cache content-addressed
+  shard state across estimators and fits, run iterative solvers
+  in-worker, and recover from worker deaths with bounded respawn.
 
 Selection threads through the public API: ``plan.execute(backend=...)``,
 ``Pipeline.fit(backend=...)`` and ``FittedPipeline.apply`` /
 ``apply_dataset`` all accept an instance, a registry name from
-:data:`BACKENDS` (``"local" | "pipelined" | "sharded" | "process"``), or
-``None`` for the default.  ``plan.execute(backend="auto")`` additionally
-honours the backend a ``ShardingPass(workers="auto")`` recommended.
+:data:`BACKENDS` (``"local" | "pipelined" | "sharded" | "process" |
+"actors"``), or ``None`` for the default.
+``plan.execute(backend="auto")`` additionally honours the backend a
+``ShardingPass(workers="auto")`` recommended.
 """
 
+from repro.core.backends.actors import ActorBackend
 from repro.core.backends.base import (
     ExecutionBackend,
     TrainingSession,
@@ -37,6 +43,7 @@ from repro.core.backends.process import (
     shutdown_worker_pools,
 )
 from repro.core.backends.sharded import ShardedBackend, plan_scaling_sweep
+from repro.runtime.pool import shutdown_actor_pools
 
 #: registry of backend names accepted wherever ``backend=`` is
 BACKENDS = {
@@ -44,6 +51,7 @@ BACKENDS = {
     PipelinedBackend.name: PipelinedBackend,
     ShardedBackend.name: ShardedBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
+    ActorBackend.name: ActorBackend,
 }
 
 
@@ -72,6 +80,7 @@ def resolve_backend(backend=None) -> ExecutionBackend:
 
 
 __all__ = [
+    "ActorBackend",
     "BACKENDS",
     "ExecutionBackend",
     "LocalBackend",
@@ -82,5 +91,6 @@ __all__ = [
     "plan_scaling_sweep",
     "recursive_apply_item",
     "resolve_backend",
+    "shutdown_actor_pools",
     "shutdown_worker_pools",
 ]

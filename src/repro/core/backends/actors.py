@@ -1,0 +1,491 @@
+"""ActorBackend: training on the persistent actor runtime.
+
+The process backend re-ships every shard for every estimator and
+degrades iterative solvers to gather-and-fit in the parent — "parallel
+featurization", not a cluster runtime.  This backend executes the same
+lowered shard programs on :class:`~repro.runtime.pool.ActorPool`
+workers that *keep* what they compute:
+
+- programs are lowered with content-addressed keys (sources keyed by
+  dataset content), so a featurized shard cached in a worker is reused
+  by every later estimator and every later fit sharing the flow prefix
+  — the parent's mirror of each worker's cache lets it skip shipping
+  data the worker already holds;
+- estimators implementing
+  :class:`~repro.core.operators.IterativeShardableEstimator` (k-means,
+  GMM, L-BFGS logistic) run their per-pass sufficient-stat reductions
+  *in-worker*: the featurized shard stays staged in the pool, and only
+  the broadcast payload and the per-partition statistics cross the
+  process boundary — never the data;
+- one-shot :class:`~repro.core.operators.ShardableEstimator` fits merge
+  worker statistics exactly like the process backend; everything else
+  gathers featurized rows and fits in the parent;
+- partitions ship zero-copy (:mod:`repro.runtime.transport`); worker
+  deaths respawn bounded, and restarts / cache hit rates / bytes
+  shipped vs. mapped land in the :class:`~repro.core.executor.TrainingReport`.
+
+Byte-identity holds by the same construction as every other backend:
+workers run the identical ``apply_partition`` chains over the identical
+partition boundaries, one-shot merges replay the estimator's serial
+reduction, and iterative fits drive the exact
+:meth:`~repro.core.operators.IterativeShardableEstimator.fit_via_passes`
+state machine with per-partition statistics computed on identical rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import graph as g
+from repro.core import program as prog
+from repro.core.backends.base import ExecutionBackend, TrainingSession
+from repro.core.backends.process import _SHIP_ERRORS, _lower_shard_program
+from repro.core.operators import IterativeShardableEstimator
+from repro.core.program import UnshippableFlow
+from repro.dataset.context import Context
+from repro.dataset.dataset import Dataset, _StoredPartitions
+from repro.runtime import transport
+from repro.runtime.pool import ActorPool, _Msg, shared_actor_pool
+from repro.runtime.worker import DEFAULT_STATE_BUDGET, live_slots
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import FittedPipeline
+    from repro.core.plan import PhysicalPlan
+
+#: unique task ids across every backend instance sharing a pool
+_TASK_IDS = itertools.count(1)
+
+
+def _make_run_builder(
+    task_id: int,
+    blob: bytes,
+    ops,
+    targets: Sequence[int],
+    sources: Dict[int, Dataset],
+    chunk: Tuple[int, int],
+    mode: str,
+    shm_threshold: int,
+):
+    """Builder for a "run" message; evaluated against the actor's mirror.
+
+    Ships only the source partitions the worker will actually read:
+    the same backward liveness walk the worker runs
+    (:func:`~repro.runtime.worker.live_slots`), with the parent-side
+    mirror standing in for the cache — a source whose downstream
+    transform is already held ships nothing at all.
+    """
+    start, stop = chunk
+    source_ops = [op for op in ops if op.kind == prog.SOURCE]
+
+    def builder(actor) -> _Msg:
+        needed, compute = live_slots(
+            ops, targets, lambda k: (k, start, stop) in actor.holds
+        )
+        ship = {}
+        for op in source_ops:
+            if op.slot in compute:
+                ship[op.node_id] = [
+                    sources[op.node_id].partition(i) for i in range(start, stop)
+                ]
+        packed = transport.pack(ship, shm_threshold=shm_threshold)
+        produced = [
+            (op.key, start, stop)
+            for op in ops
+            if op.slot in needed and op.key and op.kind != prog.GATHER
+        ]
+        return _Msg(
+            ("run", task_id, blob, chunk, packed.payload, mode),
+            ships=[packed],
+            produced=produced,
+            shipped_bytes=len(blob) + packed.shipped_bytes,
+            mapped_bytes=packed.mapped_bytes,
+        )
+
+    return builder
+
+
+def _make_pass_builder(task_id: int, payload):
+    def builder(actor) -> _Msg:
+        return _Msg(("pass", task_id, payload))
+
+    return builder
+
+
+class ActorBackend(ExecutionBackend):
+    """Execute training on a pool of persistent stateful workers.
+
+    ``workers`` resolves like the process backend's (explicit, then the
+    plan's :class:`~repro.core.passes.ShardingPass` decision, then the
+    CPU count); ``workers=1`` degenerates to the serial reference
+    execution.  ``task_timeout`` bounds each message round-trip;
+    ``max_restarts`` bounds respawns per worker; ``state_budget_bytes``
+    caps each worker's shard-state cache.  ``reuse_pool=True`` (the
+    default) shares pools per configuration across instances — the
+    cross-fit cache requires the same workers to serve both fits.
+    """
+
+    name = "actors"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        start_method: str = "spawn",
+        max_restarts: int = 2,
+        state_budget_bytes: int = DEFAULT_STATE_BUDGET,
+        merge_stats: bool = True,
+        reuse_pool: bool = True,
+        shm_threshold: int = transport.SHM_THRESHOLD,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.start_method = start_method
+        self.max_restarts = max_restarts
+        self.state_budget_bytes = state_budget_bytes
+        self.merge_stats = merge_stats
+        self.reuse_pool = reuse_pool
+        self.shm_threshold = shm_threshold
+        self._private_pool: Optional[ActorPool] = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _pool(self, workers: int) -> ActorPool:
+        if self.reuse_pool:
+            return shared_actor_pool(
+                workers,
+                start_method=self.start_method,
+                task_timeout=self.task_timeout,
+                max_restarts=self.max_restarts,
+                state_budget_bytes=self.state_budget_bytes,
+            )
+        if self._private_pool is None:
+            self._private_pool = ActorPool(
+                workers,
+                start_method=self.start_method,
+                task_timeout=self.task_timeout,
+                max_restarts=self.max_restarts,
+                state_budget_bytes=self.state_budget_bytes,
+            )
+        return self._private_pool
+
+    def close(self) -> None:
+        """Shut down the private pool (shared pools stay warm)."""
+        if self._private_pool is not None:
+            self._private_pool.shutdown()
+            self._private_pool = None
+
+    def __enter__(self) -> "ActorBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _resolve_workers(self, plan: "PhysicalPlan") -> int:
+        if self.workers is not None:
+            return self.workers
+        if plan.state.shard_workers is not None:
+            return plan.state.shard_workers
+        import os
+
+        return os.cpu_count() or 1
+
+    def execute(
+        self, plan: "PhysicalPlan", ctx: Optional[Context] = None
+    ) -> "FittedPipeline":
+        workers = self._resolve_workers(plan)
+        session = TrainingSession(
+            plan, ctx, backend_name=f"{self.name}[workers={workers}]"
+        )
+        session.report.process_workers = workers
+        if workers <= 1:
+            session.run_serial()
+            return session.finish()
+        pool = self._pool(workers)
+        snapshot = dict(pool.counters)
+        materialized: Dict[int, Dataset] = {}
+        dataset_memo: Dict[int, str] = {}
+        try:
+            for node in session.estimator_nodes():
+                self._fit_parallel(
+                    session, pool, node, materialized, dataset_memo, workers
+                )
+        finally:
+            report = session.report
+            deltas = {k: v - snapshot[k] for k, v in pool.counters.items()}
+            report.worker_restarts += deltas["restarts"]
+            report.shard_state_hits += deltas["hits"]
+            report.shard_state_misses += deltas["misses"]
+            report.bytes_shipped += deltas["shipped_bytes"]
+            report.bytes_mapped += deltas["mapped_bytes"]
+        return session.finish()
+
+    def _fit_parallel(
+        self,
+        session: TrainingSession,
+        pool: ActorPool,
+        node: g.OpNode,
+        materialized: Dict[int, Dataset],
+        dataset_memo: Dict[int, str],
+        workers: int,
+    ) -> None:
+        report = session.report
+        if node.id in session.fitted:
+            # Spliced from the session's FitStore by training key (warm
+            # retrain): nothing to ship, no wave to run.
+            return
+        op = node.op
+        roots = list(node.parents)
+        try:
+            program, sources = _lower_shard_program(
+                roots,
+                session=session,
+                materialized=materialized,
+                compute_keys=True,
+                dataset_memo=dataset_memo,
+            )
+        except UnshippableFlow as exc:
+            session.fit_estimator(node)
+            report.process_fallback.append(f"{node.label}: {exc}")
+            return
+
+        if not any(step.kind == prog.TRANSFORM for step in program):
+            # Pure-source flow: nothing to parallelize, no IPC to pay.
+            session.fit_estimator(node)
+            return
+
+        iterative_ok = isinstance(op, IterativeShardableEstimator)
+        stats_ok = (
+            self.merge_stats
+            and hasattr(op, "partition_stats")
+            and hasattr(op, "fit_from_stats")
+        )
+        # Only shipping work may fall back: an error raised by the
+        # estimator's own math must surface as-is (ship-shaped errors
+        # from in-worker fits re-raise identically from the serial
+        # fallback, mirroring the process backend's semantics).
+        model = None
+        fallback = None
+        try:
+            if iterative_ok:
+                model = self._fit_iterative(
+                    session, pool, node, program, sources, roots, workers
+                )
+            elif stats_ok:
+                spec = (node.id, op, tuple(program.slot_of(r.id) for r in roots))
+                result = self._run_wave(
+                    session, pool, program, sources, [], spec, workers, "stats"
+                )
+            else:
+                outputs = [
+                    (str(r.id), r)
+                    for r in roots
+                    if r.kind != g.SOURCE and r.id not in materialized
+                ]
+                result = None
+                if outputs:
+                    out_slots = [(name, program.slot_of(r.id)) for name, r in outputs]
+                    result = self._run_wave(
+                        session,
+                        pool,
+                        program,
+                        sources,
+                        out_slots,
+                        None,
+                        workers,
+                        "collect",
+                    )
+        except (UnshippableFlow,) + _SHIP_ERRORS as exc:
+            fallback = type(exc).__name__
+        if fallback is not None:
+            session.fit_estimator(node)
+            report.process_fallback.append(f"{node.label}: {fallback}")
+            return
+
+        if model is not None:
+            with session._lock:
+                session.fitted[node.id] = model
+                report.estimator_seconds[node.id] = session.timer.times[node.id]
+                session.store_fit(node, model)
+            report.actor_iterative.append(node.label)
+            return
+        if stats_ok:
+            with session.timer.time_block(node.id):
+                model = op.fit_from_stats(result["stats"])
+            with session._lock:
+                session.fitted[node.id] = model
+                report.estimator_seconds[node.id] = session.timer.times[node.id]
+                session.store_fit(node, model)
+            report.process_stat_merged.append(node.label)
+            return
+        if result is not None:
+            for name, root in outputs:
+                rows = result["rows"][name]
+                ds = Dataset(
+                    session.ctx,
+                    len(rows),
+                    _StoredPartitions(rows),
+                    name=f"actors({root.label})",
+                )
+                with session._lock:
+                    session.env[root.id] = ds
+                materialized[root.id] = ds
+        session.fit_estimator(node)
+        report.process_gathered.append(node.label)
+
+    # ------------------------------------------------------------------
+    # Iterative fits: passes in-worker, state in the driver
+    # ------------------------------------------------------------------
+    def _fit_iterative(
+        self,
+        session: TrainingSession,
+        pool: ActorPool,
+        node: g.OpNode,
+        program: prog.OpProgram,
+        sources,
+        roots: List[g.OpNode],
+        workers: int,
+    ):
+        """Drive ``fit_via_passes``'s state machine over staged workers.
+
+        The featurized shard is staged in-worker by the "init" wave and
+        never moves again: every pass broadcasts
+        ``pass_payload(state)`` and reduces the per-partition
+        statistics, flattened in chunk order — which *is* partition
+        order, chunks being contiguous and ascending — through
+        ``update_from_stats`` exactly as the serial driver does.
+        """
+        op = node.op
+        chunks, _ = _plan_chunks(sources, workers)
+        stat_slots = tuple(program.slot_of(r.id) for r in roots)
+        blob = pickle.dumps(
+            (program.ops, [], (node.id, op, stat_slots)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        task_id = next(_TASK_IDS)
+        indices = list(range(len(chunks)))
+
+        def init_builder(chunk):
+            return _make_run_builder(
+                task_id,
+                blob,
+                program.ops,
+                stat_slots,
+                sources,
+                chunk,
+                "init",
+                self.shm_threshold,
+            )
+
+        builders = [(i, init_builder(chunk)) for i, chunk in enumerate(chunks)]
+        state = None
+        timer = session.timer
+        try:
+            replies = pool.wave(builders, setup=True)
+            self._absorb_times(session, replies)
+            partials = [s for result, _meta in replies for s in result["stats"]]
+            with timer.time_block(node.id):
+                state = op.init_state(partials)
+                done = op.converged(state)
+                payload = None if done else op.pass_payload(state)
+            while not done:
+                pass_builders = [
+                    (i, _make_pass_builder(task_id, payload)) for i in indices
+                ]
+                replies = pool.wave(pass_builders)
+                self._absorb_times(session, replies)
+                partials = [s for result, _meta in replies for s in result]
+                with timer.time_block(node.id):
+                    state = op.update_from_stats(state, partials)
+                    done = op.converged(state)
+                    payload = None if done else op.pass_payload(state)
+            with timer.time_block(node.id):
+                model = op.finalize(state)
+            state = None
+            return model
+        except BaseException:
+            if state is not None:
+                try:
+                    op.abort_state(state)
+                except Exception:
+                    pass
+            raise
+        finally:
+            pool.end_task(task_id, indices)
+
+    # ------------------------------------------------------------------
+    # One-shot waves (stats / collect)
+    # ------------------------------------------------------------------
+    def _run_wave(
+        self,
+        session: TrainingSession,
+        pool: ActorPool,
+        program: prog.OpProgram,
+        sources,
+        out_slots,
+        stats_spec,
+        workers: int,
+        mode: str,
+    ):
+        chunks, _ = _plan_chunks(sources, workers)
+        blob = pickle.dumps(
+            (program.ops, out_slots, stats_spec),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        task_id = next(_TASK_IDS)
+        targets = [slot for _name, slot in out_slots]
+        if stats_spec is not None:
+            targets.extend(stats_spec[2])
+
+        def run_builder(chunk):
+            return _make_run_builder(
+                task_id,
+                blob,
+                program.ops,
+                targets,
+                sources,
+                chunk,
+                mode,
+                self.shm_threshold,
+            )
+
+        builders = [(i, run_builder(chunk)) for i, chunk in enumerate(chunks)]
+        replies = pool.wave(builders)
+        self._absorb_times(session, replies)
+        merged = {"rows": {name: [] for name, _ in out_slots}, "stats": []}
+        for result, _meta in replies:
+            for name, parts in result.get("rows", {}).items():
+                merged["rows"][name].extend(parts)
+            merged["stats"].extend(result.get("stats", []))
+        return merged
+
+    def _absorb_times(self, session: TrainingSession, replies) -> None:
+        for _result, meta in replies:
+            for node_id, seconds in meta.get("times", {}).items():
+                session.timer.add(node_id, seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(workers={self.workers}, "
+            f"task_timeout={self.task_timeout}, "
+            f"max_restarts={self.max_restarts})"
+        )
+
+
+def _plan_chunks(sources, workers: int):
+    """Contiguous partition chunks (the process backend's shard shapes)."""
+    counts = {ds.num_partitions for ds in sources.values()}
+    if len(counts) != 1:
+        raise UnshippableFlow(f"sources disagree on partitioning: {sorted(counts)}")
+    num_partitions = counts.pop()
+    shards = min(workers, num_partitions)
+    bounds = [round(j * num_partitions / shards) for j in range(shards + 1)]
+    chunks = [(lo, hi) for lo, hi in zip(bounds, bounds[1:]) if lo < hi]
+    return chunks, num_partitions

@@ -83,14 +83,19 @@ _SHIP_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 def _lower_shard_program(roots: List[g.OpNode], *, session=None,
                          materialized=None, virtual_sources=None,
-                         program_passes=None):
+                         program_passes=None, compute_keys=False,
+                         dataset_memo=None):
     """Lower the flow feeding ``roots`` through the shared OpProgram IR.
 
     Returns ``(program, sources)``; any lowering passes registered on
     the plan (:class:`~repro.core.passes.LoweringPass`) — or passed
     explicitly via ``program_passes`` for sessionless inference — are
     applied before the program ships, and ``sources`` is re-filtered to
-    the ops that survived them.
+    the ops that survived them.  With ``compute_keys=True`` ops carry
+    content-addressed keys; passing a ``dataset_memo`` dict additionally
+    keys claimed sources by dataset *content* (the fingerprint memo is
+    shared across estimators of one run), which is what lets the actor
+    runtime re-address cached shard state from a later fit.
     """
     materialized = materialized or {}
     virtual_sources = virtual_sources or {}
@@ -110,8 +115,16 @@ def _lower_shard_program(roots: List[g.OpNode], *, session=None,
         return session.fitted.get(est_node.id) if session is not None \
             else None
 
+    source_key_of = None
+    if dataset_memo is not None:
+        def source_key_of(node: g.OpNode) -> str:
+            return prog.op_key(
+                "source", None,
+                (prog.dataset_fingerprint(source_of(node), dataset_memo),))
+
     program, sources = prog.lower_training_program(
-        roots, source_of=source_of, model_of=model_of)
+        roots, source_of=source_of, model_of=model_of,
+        compute_keys=compute_keys, source_key_of=source_key_of)
     if program_passes is None and session is not None:
         program_passes = session.plan.state.program_passes
     if program_passes:

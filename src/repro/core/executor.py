@@ -149,6 +149,18 @@ class TrainingReport:
     process_stat_merged: List[str] = field(default_factory=list)
     process_gathered: List[str] = field(default_factory=list)
     process_fallback: List[str] = field(default_factory=list)
+    #: filled by ActorBackend (:mod:`repro.runtime`): estimator labels
+    #: fitted by in-worker iterative passes, pool fault-tolerance and
+    #: shard-state cache accounting for this run (workers that died and
+    #: were respawned; content-addressed shard states served from worker
+    #: caches vs computed; partition bytes pickled over pipes vs mapped
+    #: through shared memory).
+    actor_iterative: List[str] = field(default_factory=list)
+    worker_restarts: int = 0
+    shard_state_hits: int = 0
+    shard_state_misses: int = 0
+    bytes_shipped: int = 0
+    bytes_mapped: int = 0
     #: filled when training ran against a FitStore
     #: (:mod:`repro.incremental`): estimator labels whose fitted state was
     #: spliced from the store by training key vs. actually (re)fitted this

@@ -154,6 +154,106 @@ class ShardableEstimator:
         raise NotImplementedError
 
 
+class IterativeShardableEstimator:
+    """Protocol: an iterative fit decomposes into per-pass partition stats.
+
+    The iterative analogue of :class:`ShardableEstimator`.  One-shot
+    shardable estimators reduce each partition once; iterative solvers
+    (k-means, EM, gradient methods) make many passes, each reducing a
+    small sufficient statistic against the current solver state.  The
+    actor runtime (:mod:`repro.runtime`) keeps the featurized shard
+    resident in long-lived workers and runs
+    :meth:`partition_pass_stats` in-worker every pass, so only the
+    broadcast payload and the per-partition statistics cross the process
+    boundary — never the data.
+
+    The driver-side state machine:
+
+    - ``init_stats(rows[, label_rows])`` — per-partition statistic for
+      initialization (``None`` for partitions initialization ignores).
+      Must be picklable.
+    - ``init_state(partials)`` — initial solver state from the init
+      statistics, in partition order.  The state may hold unpicklable
+      driver-side machinery; it never crosses a process boundary.
+    - ``pass_payload(state)`` — the small picklable broadcast one pass
+      needs (current centroids / mixture parameters / weight vector).
+    - ``partition_pass_stats(payload, rows[, label_rows])`` — one
+      pass's statistic for one partition (``None`` for partitions the
+      serial pass would skip).  Must be picklable and a deterministic
+      function of ``(payload, rows)`` alone.
+    - ``update_from_stats(state, partials)`` — fold one pass's
+      statistics (partition order, left-to-right) into the next state.
+    - ``converged(state)`` — whether to stop iterating.
+    - ``finalize(state)`` — extract the fitted :class:`Transformer`.
+    - ``abort_state(state)`` — release driver-side resources when a fit
+      dies between passes (default: nothing).
+
+    Byte-identity contract: ``fit`` must itself route through
+    :meth:`fit_via_passes`, so every backend — serial, process, actor —
+    replays the identical per-partition statistics and the identical
+    left-to-right merge, making the fitted state bit-for-bit equal by
+    construction.
+    """
+
+    def init_stats(self, rows, label_rows=None):
+        raise NotImplementedError
+
+    def init_state(self, partials: List[Any]):
+        raise NotImplementedError
+
+    def pass_payload(self, state) -> Any:
+        return state
+
+    def partition_pass_stats(self, payload, rows, label_rows=None):
+        raise NotImplementedError
+
+    def update_from_stats(self, state, partials: List[Any]):
+        raise NotImplementedError
+
+    def converged(self, state) -> bool:
+        raise NotImplementedError
+
+    def finalize(self, state) -> Transformer:
+        raise NotImplementedError
+
+    def abort_state(self, state) -> None:
+        """Release driver-side state after a failed fit (best effort)."""
+
+    def fit_via_passes(self, data: "Dataset",
+                       labels: Optional["Dataset"] = None) -> Transformer:
+        """The serial reference driver every ``fit`` routes through."""
+        if labels is not None and labels.num_partitions != data.num_partitions:
+            raise ValueError(
+                "features and labels must be identically partitioned: "
+                f"{data.num_partitions} vs {labels.num_partitions}")
+
+        def partition(i: int):
+            rows = data.partition(i)
+            if labels is None:
+                return (rows,)
+            label_rows = labels.partition(i)
+            if len(rows) != len(label_rows):
+                raise ValueError(
+                    f"partition {i}: {len(rows)} feature rows vs "
+                    f"{len(label_rows)} label rows")
+            return (rows, label_rows)
+
+        indices = range(data.num_partitions)
+        state = self.init_state(
+            [self.init_stats(*partition(i)) for i in indices])
+        try:
+            while not self.converged(state):
+                payload = self.pass_payload(state)
+                state = self.update_from_stats(
+                    state,
+                    [self.partition_pass_stats(payload, *partition(i))
+                     for i in indices])
+        except BaseException:
+            self.abort_state(state)
+            raise
+        return self.finalize(state)
+
+
 class IdentityTransformer(Transformer):
     """Passes items through unchanged; useful as a pipeline seed."""
 

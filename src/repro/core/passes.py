@@ -296,13 +296,15 @@ class ShardingPass(Pass):
         if self.workers == self.AUTO:
             workers, simulated, network_fraction = \
                 self._choose_workers(state, roles)
+            iterative_passes = self._iterative_passes(state)
             state.shard_backend = self._recommend_backend(
-                workers, network_fraction)
+                workers, network_fraction, iterative_passes)
             state.annotate(auto=True,
                            budget=self.max_workers
                            or state.resources.num_nodes,
                            simulated_seconds=round(simulated, 4),
                            network_fraction=round(network_fraction, 4),
+                           iterative_passes=iterative_passes,
                            recommended_backend=state.shard_backend)
         else:
             workers = self.workers or state.resources.num_nodes
@@ -314,20 +316,51 @@ class ShardingPass(Pass):
                               if r == self.DATA_PARALLEL),
             coordinated=sorted(set(coordinated)))
 
-    def _recommend_backend(self, workers: int,
-                           network_fraction: float) -> str:
+    def _recommend_backend(self, workers: int, network_fraction: float,
+                           iterative_passes: int = 1) -> str:
         """Map the auto decision onto a *real* execution backend.
 
-        One worker: serial.  Cheap coordination: worker processes win
-        (featurization dominates and shards are independent).  Expensive
-        coordination: stay in-process and overlap with threads — process
-        shards would pay the simulated network cost as real IPC.
+        One worker: serial.  Iterative workload: persistent actors pay
+        the shard movement once, not once per pass, so the network share
+        is judged *amortized* over the passes
+        (:func:`~repro.cluster.simulator.amortized_profile`) — a plan too
+        coordination-heavy for stateless process shards can still be a
+        clear actor win.  Otherwise: cheap coordination means worker
+        processes (featurization dominates, shards independent);
+        expensive coordination stays in-process with thread overlap.
         """
+        from repro.cluster.simulator import amortized_profile
+        from repro.cost.profile import CostProfile
+
         if workers <= 1:
             return "local"
+        if iterative_passes > 1:
+            amortized = amortized_profile(
+                CostProfile(network=network_fraction),
+                iterative_passes).network
+            if amortized <= self.PROCESS_NETWORK_FRACTION:
+                return "actors"
         if network_fraction <= self.PROCESS_NETWORK_FRACTION:
             return "process"
         return "pipelined"
+
+    @staticmethod
+    def _iterative_passes(state: PlanState) -> int:
+        """Most passes any pass-based solver makes over its input.
+
+        Counts only :class:`~repro.core.operators.
+        IterativeShardableEstimator` heads — the solvers the actor
+        runtime actually iterates in-worker; other iterative operators
+        re-featurize regardless of runtime, so they do not amortize.
+        """
+        from repro.core.operators import IterativeShardableEstimator
+
+        passes = 1
+        for node in g.ancestors([state.sink]):
+            if (not node.is_pipeline_input
+                    and isinstance(node.op, IterativeShardableEstimator)):
+                passes = max(passes, int(getattr(node.op, "weight", 1)))
+        return passes
 
     def _choose_workers(self, state: PlanState, roles: Dict[int, str]
                         ) -> Tuple[int, float, float]:

@@ -621,6 +621,7 @@ def _lower(
     model_of: Optional[Callable[[g.OpNode], Any]] = None,
     inference: bool = False,
     compute_keys: bool = True,
+    source_key_of: Optional[Callable[[g.OpNode], str]] = None,
 ) -> Tuple[OpProgram, Dict[int, Any]]:
     """The one topological lowering walk behind both program flavours.
 
@@ -633,6 +634,9 @@ def _lower(
     ``compute_keys=False`` skips key hashing (training programs: nothing
     in the shard path reads keys, and hashing every fitted model's full
     state per wave is not free) — ops then carry empty keys.
+    ``source_key_of`` overrides the per-node-identity :func:`_source_key`
+    for claimed sources — the actor runtime passes dataset-content keys
+    here so a shard cached for one fit is addressable from the next.
     """
     ops: List[Op] = []
     slots: Dict[int, int] = {}
@@ -655,7 +659,10 @@ def _lower(
             continue  # pipeline breakers: consumed at fit time, never flow
         ds = source_of(node) if source_of is not None else None
         if ds is not None:
-            emit(node, SOURCE, None, (), _source_key(node))
+            if source_key_of is not None:
+                emit(node, SOURCE, None, (), lambda n=node: source_key_of(n))
+            else:
+                emit(node, SOURCE, None, (), _source_key(node))
             sources[node.id] = ds
         elif node.is_pipeline_input:
             if not inference:
@@ -743,6 +750,7 @@ def lower_training_program(
     source_of: Callable[[g.OpNode], Any],
     model_of: Optional[Callable[[g.OpNode], Any]] = None,
     compute_keys: bool = False,
+    source_key_of: Optional[Callable[[g.OpNode], str]] = None,
 ) -> Tuple[OpProgram, Dict[int, Any]]:
     """Lower a training flow into a shippable ``(program, sources)`` pair.
 
@@ -751,13 +759,16 @@ def lower_training_program(
     when the flow cannot run inside a worker process.  Content keys are
     skipped by default — the shard path never reads them, and hashing
     every fitted model's state per wave is wasted work; pass
-    ``compute_keys=True`` to get addressable training programs.
+    ``compute_keys=True`` to get addressable training programs (and
+    optionally ``source_key_of`` to key claimed sources by dataset
+    content rather than node identity).
     """
     return _lower(
         list(roots),
         source_of=source_of,
         model_of=model_of,
         compute_keys=compute_keys,
+        source_key_of=source_key_of,
     )
 
 

@@ -7,13 +7,19 @@ Each EM iteration streams the dataset once (``Iterative``).
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.operators import Estimator, Iterative, Transformer
+from repro.core.operators import (
+    Estimator,
+    Iterative,
+    IterativeShardableEstimator,
+    Transformer,
+)
 from repro.dataset.dataset import Dataset
-from repro.nodes.learning._util import iter_blocks
+from repro.nodes.learning._util import rows_to_block
 from repro.nodes.learning.kmeans import kmeans_fit_array
 
 
@@ -71,12 +77,25 @@ class GaussianMixtureModel(Transformer):
         return float(np.sum(np.logaddexp.reduce(log_prob, axis=1)))
 
 
-class GMMEstimator(Estimator, Iterative):
+@dataclass
+class _GMMState:
+    """Driver-side EM state between passes."""
+
+    model: GaussianMixtureModel
+    iteration: int
+
+
+class GMMEstimator(Estimator, Iterative, IterativeShardableEstimator):
     """Fit a diagonal GMM with EM; K-Means initialization.
 
     Rows may be vectors or per-item descriptor matrices.  ``min_variance``
     floors the variances for numerical robustness (standard practice for
     Fisher-vector GMMs).
+
+    Implements :class:`~repro.core.operators.IterativeShardableEstimator`:
+    each EM pass reduces per-partition responsibility moments against
+    the broadcast mixture parameters; ``fit`` drives the same state
+    machine serially, so distributed passes are byte-identical.
     """
 
     def __init__(self, num_components: int, max_iter: int = 15,
@@ -92,44 +111,83 @@ class GMMEstimator(Estimator, Iterative):
         self.init_sample = init_sample
         self.weight = max_iter + 1
 
-    def _init(self, data: Dataset) -> GaussianMixtureModel:
-        rows: List[np.ndarray] = []
+    # -- IterativeShardableEstimator protocol ---------------------------
+    def init_stats(self, rows: List, label_rows=None):
+        """K-Means initialization consumes whole blocks in partition
+        order until ``init_sample`` rows are seen, then truncates; the
+        per-partition prefix below reconstructs the identical sample
+        (a block past ``init_sample`` rows is alone big enough that the
+        final ``[:init_sample]`` never reads across it)."""
+        if not rows:
+            return None
+        block = _dense(rows_to_block(rows))
+        return (block.shape[0], block[:self.init_sample])
+
+    def init_state(self, partials: List) -> _GMMState:
+        blocks: List[np.ndarray] = []
         seen = 0
-        for block in iter_blocks(data):
-            block = _dense(block)
-            rows.append(block)
-            seen += block.shape[0]
+        for partial in partials:
+            if partial is None:
+                continue
+            count, block = partial
+            blocks.append(np.asarray(block))
+            seen += count
             if seen >= self.init_sample:
                 break
-        sample = np.vstack(rows)[:self.init_sample]
+        if not blocks:
+            raise ValueError("GMM input is empty")
+        sample = np.vstack(blocks)[:self.init_sample]
         k = self.num_components
         means = kmeans_fit_array(sample, k, max_iter=5, seed=self.seed)
         var = np.maximum(sample.var(axis=0), self.min_variance)
         variances = np.tile(var, (k, 1))
         weights = np.full(k, 1.0 / k)
-        return GaussianMixtureModel(weights, means, variances)
+        return _GMMState(GaussianMixtureModel(weights, means, variances), 0)
+
+    def pass_payload(self, state: _GMMState
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        model = state.model
+        return (model.weights, model.means, model.variances)
+
+    def partition_pass_stats(self, payload, rows: List, label_rows=None
+                             ) -> Optional[Tuple]:
+        if not rows:
+            return None
+        model = GaussianMixtureModel(*payload)
+        block = _dense(rows_to_block(rows))
+        resp = model.responsibilities(block)               # (n, K)
+        return (resp.sum(axis=0), resp.T @ block,
+                resp.T @ (block * block), block.shape[0])
+
+    def update_from_stats(self, state: _GMMState,
+                          partials: List) -> _GMMState:
+        k, d = self.num_components, state.model.dim
+        resp_sum = np.zeros(k)
+        mean_sum = np.zeros((k, d))
+        sq_sum = np.zeros((k, d))
+        total = 0
+        for partial in partials:
+            if partial is None:
+                continue
+            resp_sum += partial[0]
+            mean_sum += partial[1]
+            sq_sum += partial[2]
+            total += partial[3]
+        if total == 0:
+            raise ValueError("GMM input is empty")
+        nk = np.maximum(resp_sum, 1e-10)
+        means = mean_sum / nk[:, None]
+        variances = np.maximum(sq_sum / nk[:, None] - means * means,
+                               self.min_variance)
+        weights = nk / total
+        return _GMMState(GaussianMixtureModel(weights, means, variances),
+                         state.iteration + 1)
+
+    def converged(self, state: _GMMState) -> bool:
+        return state.iteration >= self.max_iter
+
+    def finalize(self, state: _GMMState) -> GaussianMixtureModel:
+        return state.model
 
     def fit(self, data: Dataset) -> GaussianMixtureModel:
-        model = self._init(data)
-        k, d = self.num_components, model.dim
-        for _ in range(self.max_iter):
-            resp_sum = np.zeros(k)
-            mean_sum = np.zeros((k, d))
-            sq_sum = np.zeros((k, d))
-            total = 0
-            for block in iter_blocks(data):
-                block = _dense(block)
-                resp = model.responsibilities(block)       # (n, K)
-                resp_sum += resp.sum(axis=0)
-                mean_sum += resp.T @ block
-                sq_sum += resp.T @ (block * block)
-                total += block.shape[0]
-            if total == 0:
-                raise ValueError("GMM input is empty")
-            nk = np.maximum(resp_sum, 1e-10)
-            means = mean_sum / nk[:, None]
-            variances = np.maximum(sq_sum / nk[:, None] - means * means,
-                                   self.min_variance)
-            weights = nk / total
-            model = GaussianMixtureModel(weights, means, variances)
-        return model
+        return self.fit_via_passes(data)

@@ -25,6 +25,25 @@ def _update_counter(a: Counter, b: Counter) -> Counter:
     return a
 
 
+def _unit_weight(count: int) -> float:
+    return 1.0
+
+
+def unit_weighting() -> Callable[[int], float]:
+    """The paper's binary-presence weighting (``x => 1``), by name.
+
+    An inline ``lambda c: 1.0`` works, but serde marshals a captured
+    lambda *with* its source location, so textually identical lambdas on
+    different lines content-address differently — fits built at
+    different call sites never share TermFrequency op keys.  This
+    module-level function pickles by reference, giving every caller the
+    one canonical weighting and therefore one key (warm retrains, sweep
+    dedup, and the actor runtime's cross-fit shard cache all rely on op
+    keys agreeing across builds).
+    """
+    return _unit_weight
+
+
 class Trim(Transformer):
     """Strip leading/trailing whitespace from a document."""
 

@@ -21,6 +21,7 @@ from repro.nodes.text import (
     TermFrequency,
     Tokenizer,
     Trim,
+    unit_weighting,
 )
 from repro.workloads.base import Workload
 
@@ -43,7 +44,7 @@ def amazon_pipeline(ctx: Context, workload: Workload,
             .and_then(LowerCase())
             .and_then(Tokenizer())
             .and_then(NGramsFeaturizer(1, ngrams))
-            .and_then(TermFrequency(lambda c: 1.0))
+            .and_then(TermFrequency(unit_weighting()))
             .and_then(CommonSparseFeatures(num_features), data)
             .and_then(LinearSolver(lbfgs_iters=lbfgs_iters, l2_reg=l2_reg),
                       data, labels))

@@ -19,6 +19,7 @@ from repro.cluster.resources import r3_4xlarge
 from repro.core import graph as g
 from repro.core.backends import (
     BACKENDS,
+    ActorBackend,
     ExecutionBackend,
     LocalBackend,
     PipelinedBackend,
@@ -33,7 +34,9 @@ from repro.core.optimizer import Optimizer, passes_for_level
 from repro.core.passes import ShardingPass
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context
+from repro.nodes.learning.kmeans import KMeansEstimator
 from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.numeric import StandardScaler
 from repro.nodes.text import (
     CommonSparseFeatures,
     LowerCase,
@@ -105,6 +108,9 @@ ALL_BACKENDS = [
     pytest.param(lambda: ProcessPoolBackend(workers=2,
                                             task_timeout=PROCESS_TIMEOUT),
                  id="process"),
+    pytest.param(lambda: ActorBackend(workers=2,
+                                      task_timeout=PROCESS_TIMEOUT),
+                 id="actors"),
 ]
 
 
@@ -485,12 +491,169 @@ class TestProcessPoolBackend:
         assert all(t >= 0.0 for t in report.node_seconds.values())
 
 
+class TestActorBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ActorBackend(workers=0)
+
+    def test_workers_1_degenerates_to_serial(self):
+        fitted = optimize(text_pipeline).execute(
+            backend=ActorBackend(workers=1))
+        report = fitted.training_report
+        assert report.backend == "actors[workers=1]"
+        assert report.process_workers == 1
+        assert not report.process_stat_merged
+        assert not report.actor_iterative
+        reference = optimize(text_pipeline).execute()
+        got = comparable(fitted.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        want = comparable(reference.apply_dataset(
+            WORKLOAD.test_data(Context())).collect())
+        assert got == want
+
+    def test_workers_default_to_sharding_pass(self):
+        plan = optimize(text_pipeline, [ShardingPass(workers=2)])
+        backend = ActorBackend(task_timeout=PROCESS_TIMEOUT)
+        fitted = plan.execute(backend=backend)
+        assert fitted.training_report.process_workers == 2
+        assert fitted.training_report.backend == "actors[workers=2]"
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_registry_workload_parity(self, name):
+        """Every registry workload — including the iterative-solver
+        heads — trains byte-identically on the actor runtime."""
+        pipe, items = SCENARIOS[name](Context())
+        reference = pipe.fit(level="none")
+        expected = comparable([reference.apply(x) for x in items])
+
+        backend = ActorBackend(workers=2, task_timeout=PROCESS_TIMEOUT)
+        pipe2, _ = SCENARIOS[name](Context())
+        fitted = pipe2.fit(level="none", backend=backend)
+        report = fitted.training_report
+        assert report.process_workers == 2
+        assert not report.process_fallback, report.process_fallback
+        assert comparable([fitted.apply(x) for x in items]) == expected
+        batch = fitted.apply_dataset(
+            Context().parallelize(items, 4), backend=backend)
+        assert comparable(batch.collect()) == expected
+
+    @pytest.mark.parametrize("name", ["timit_kmeans", "timit_gmm",
+                                      "timit_logistic"])
+    def test_iterative_solvers_run_in_worker(self, name):
+        """Pass-based estimators never gather: the featurized shard
+        stays staged in the workers and only statistics cross."""
+        pipe, _items = SCENARIOS[name](Context())
+        backend = ActorBackend(workers=2, task_timeout=PROCESS_TIMEOUT)
+        fitted = pipe.fit(level="none", backend=backend)
+        report = fitted.training_report
+        assert report.actor_iterative, "solver did not run in-worker"
+        assert not report.process_gathered
+        assert not report.process_fallback
+
+    def test_second_fit_hits_shard_state_cache(self):
+        """Cross-fit reuse: the same pool serving a second fit over the
+        same data serves featurized shards from worker caches instead of
+        recomputing (content-addressed op keys, not node identity)."""
+        with ActorBackend(workers=2, task_timeout=PROCESS_TIMEOUT,
+                          reuse_pool=False) as backend:
+            first = optimize(text_pipeline).execute(backend=backend)
+            second = optimize(text_pipeline).execute(backend=backend)
+        cold, warm = (first.training_report, second.training_report)
+        assert cold.shard_state_misses > 0
+        assert warm.shard_state_hits > 0
+        assert warm.shard_state_misses == 0
+        assert warm.bytes_shipped < cold.bytes_shipped
+        test_data = WORKLOAD.test_data(Context())
+        assert (comparable(second.apply_dataset(test_data).collect())
+                == comparable(first.apply_dataset(test_data).collect()))
+
+    def test_unpicklable_flow_falls_back_to_serial(self):
+        ctx = Context()
+        data = ctx.parallelize([f"doc {i}" for i in range(16)], 4)
+        pipe = (Pipeline.identity()
+                .and_then(UnpicklableTransformer())
+                .and_then(CommonSparseFeatures(4), data))
+        plan = Optimizer(passes_for_level("none")).optimize(pipe)
+        backend = ActorBackend(workers=2, task_timeout=PROCESS_TIMEOUT)
+        fitted = plan.execute(backend=backend)
+        report = fitted.training_report
+        assert report.process_fallback
+        assert "CommonSparseFeatures" in report.process_fallback[0]
+        assert fitted.apply("doc 3") is not None
+
+    def test_wave_timeout_raises_instead_of_hanging(self):
+        ctx = Context()
+        data = ctx.parallelize(list(range(8)), 4)
+        pipe = (Pipeline.identity()
+                .and_then(SleepyTransformer(seconds=8.0))
+                .and_then(CommonSparseFeatures(2), data))
+        plan = Optimizer(passes_for_level("none")).optimize(pipe)
+        backend = ActorBackend(workers=2, task_timeout=0.5,
+                               max_restarts=0, reuse_pool=False)
+        result = {}
+
+        def run():
+            try:
+                plan.execute(backend=backend)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                result["error"] = exc
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=120)
+        backend.close()
+        assert not worker.is_alive(), "timed-out wave hung the fit"
+        assert isinstance(result.get("error"), RuntimeError)
+        assert "max_restarts" in str(result["error"])
+
+
 class TestAutoBackendRecommendation:
     def test_hint_mapping(self):
         sharding = ShardingPass(workers="auto")
         assert sharding._recommend_backend(1, 0.0) == "local"
         assert sharding._recommend_backend(4, 0.01) == "process"
         assert sharding._recommend_backend(4, 0.5) == "pipelined"
+
+    def test_hint_mapping_amortizes_iterative_passes(self):
+        """Persistent workers pay shard movement once per fit, not once
+        per pass: the network share is judged amortized, so iterative
+        workloads flip to the actor runtime."""
+        sharding = ShardingPass(workers="auto")
+        # 0.5 network share over 10 passes amortizes to 0.05 <= 0.15.
+        assert sharding._recommend_backend(4, 0.5, 10) == "actors"
+        assert sharding._recommend_backend(4, 0.01, 20) == "actors"
+        # Two passes are not enough to amortize 0.5 below the threshold.
+        assert sharding._recommend_backend(4, 0.5, 2) == "pipelined"
+        # One worker stays serial no matter how iterative the solver is.
+        assert sharding._recommend_backend(1, 0.01, 50) == "local"
+        # Non-iterative plans keep the stateless recommendation.
+        assert sharding._recommend_backend(4, 0.01, 1) == "process"
+
+    def test_auto_recommends_actors_for_iterative_workload(self):
+        """A k-means-headed plan profiles as iterative (weight > 1), so
+        workers="auto" recommends the actor runtime and ``backend="auto"``
+        executes on it."""
+        rng = np.random.default_rng(3)
+        pts = [rng.normal(size=16) for _ in range(120)]
+
+        def builder(ctx):
+            data = ctx.parallelize(pts, 4)
+            return (Pipeline.identity()
+                    .and_then(StandardScaler(), data)
+                    .and_then(KMeansEstimator(3, max_iter=10, seed=0),
+                              data))
+
+        passes = passes_for_level("full", sample_sizes=(20, 40))
+        passes.append(ShardingPass(workers="auto", max_workers=4))
+        plan = Optimizer(passes).optimize(builder(Context()),
+                                          resources=r3_4xlarge(4))
+        assert plan.state.shard_workers >= 2
+        assert plan.state.shard_backend == "actors"
+        assert "recommended backend: actors" in plan.explain()
+        fitted = plan.execute(backend="auto")
+        report = fitted.training_report
+        assert report.backend.startswith("actors")
+        assert "KMeansEstimator" in report.actor_iterative
 
     def test_auto_recommends_process_when_network_is_cheap(self):
         """Featurization-dominated text plan, tiny coordination bytes:

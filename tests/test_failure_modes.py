@@ -1,12 +1,20 @@
 """Failure injection: errors surface clearly, never silently corrupt."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
+from repro.core.backends import ActorBackend
 from repro.core.operators import Estimator, Transformer
+from repro.core.optimizer import Optimizer, passes_for_level
 from repro.core.pipeline import Pipeline
 from repro.dataset import Context
+from repro.nodes.learning.kmeans import KMeansEstimator
 from repro.nodes.learning.linear import LBFGSSolver, LocalQRSolver
+from repro.nodes.text import CommonSparseFeatures
+from workload_scenarios import comparable
 
 
 class ExplodingTransformer(Transformer):
@@ -117,6 +125,113 @@ class TestDegenerateInputs:
                                             ctx.parallelize(ys, 2))
         # The solver terminates; result may be NaN but must not hang.
         assert model.weights.shape == (2, 1)
+
+
+def _die_once(sentinel: str) -> None:
+    """Hard-kill the current *actor* process, exactly once per sentinel.
+
+    Runs everywhere (the same operator code executes in the parent for
+    the serial reference fit) but only fires inside an actor worker;
+    ``O_EXCL`` makes the kill once-per-test even across racing workers.
+    ``os._exit`` skips all cleanup — the pipe just goes dead, exactly
+    like an OOM-killed or segfaulted worker.
+    """
+    if not multiprocessing.current_process().name.startswith("repro-actor"):
+        return
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(1)
+
+
+class KillOnceTransformer(Transformer):
+    """Module-level (spawn-picklable); kills its worker mid-featurize."""
+
+    def __init__(self, sentinel: str):
+        self.sentinel = sentinel
+
+    def apply(self, item):
+        _die_once(self.sentinel)
+        return {str(item): 1.0}
+
+
+class KillOncePassKMeans(KMeansEstimator):
+    """K-means whose first in-worker pass kills the worker."""
+
+    def __init__(self, sentinel: str, k: int, **kwargs):
+        super().__init__(k, **kwargs)
+        self.sentinel = sentinel
+
+    def partition_pass_stats(self, payload, rows):
+        _die_once(self.sentinel)
+        return super().partition_pass_stats(payload, rows)
+
+
+class TestActorFaultTolerance:
+    """Worker death is survivable: bounded respawn + retry, identical
+    results, and the restart recorded in the TrainingReport."""
+
+    TIMEOUT = 120.0
+
+    def test_worker_killed_mid_fit_recovers_byte_identically(
+            self, tmp_path):
+        docs = [f"doc {i % 7}" for i in range(24)]
+
+        def build(ctx, sentinel):
+            data = ctx.parallelize(docs, 4)
+            pipe = (Pipeline.identity()
+                    .and_then(KillOnceTransformer(sentinel))
+                    .and_then(CommonSparseFeatures(5), data))
+            return Optimizer(passes_for_level("none")).optimize(pipe)
+
+        sentinel = str(tmp_path / "mid_fit.kill")
+        reference = build(Context(), sentinel).execute()
+        with ActorBackend(workers=2, task_timeout=self.TIMEOUT,
+                          reuse_pool=False) as backend:
+            fitted = build(Context(), sentinel).execute(backend=backend)
+        report = fitted.training_report
+        assert os.path.exists(sentinel), "kill never fired in a worker"
+        assert report.worker_restarts > 0
+        assert not report.process_fallback, report.process_fallback
+        got = comparable([fitted.apply(d).toarray() for d in docs])
+        want = comparable([reference.apply(d).toarray() for d in docs])
+        assert got == want
+
+    def test_worker_killed_mid_iteration_recovers_byte_identically(
+            self, tmp_path):
+        rng = np.random.default_rng(7)
+        pts = [rng.normal(size=6) + (i % 3) * 4.0 for i in range(96)]
+
+        def build_kmeans(ctx, sentinel):
+            data = ctx.parallelize(pts, 4)
+            head = KillOncePassKMeans(sentinel, 3, max_iter=4, seed=2)
+            pipe = (Pipeline.identity()
+                    .and_then(DoubleVector())
+                    .and_then(head, data))
+            return Optimizer(passes_for_level("none")).optimize(pipe)
+
+        sentinel = str(tmp_path / "mid_iter.kill")
+        reference = build_kmeans(Context(), sentinel).execute()
+        with ActorBackend(workers=2, task_timeout=self.TIMEOUT,
+                          reuse_pool=False) as backend:
+            fitted = build_kmeans(Context(), sentinel).execute(
+                backend=backend)
+        report = fitted.training_report
+        assert os.path.exists(sentinel), "kill never fired in a worker"
+        assert report.worker_restarts > 0
+        assert "KillOncePassKMeans" in report.actor_iterative
+        got = comparable([fitted.apply(p) for p in pts[:12]])
+        want = comparable([reference.apply(p) for p in pts[:12]])
+        assert got == want
+
+
+class DoubleVector(Transformer):
+    """Module-level deterministic featurizer for the k-means flows."""
+
+    def apply(self, item):
+        return np.asarray(item, dtype=np.float64) * 2.0
 
 
 class TestPipelineMisuse:

@@ -47,6 +47,7 @@ from repro.nodes.text import (
     LowerCase,
     TermFrequency,
     Tokenizer,
+    unit_weighting,
 )
 from repro.serving.compiler import InferencePlan, compile_inference_plan
 from repro.workloads import amazon_reviews, timit_frames
@@ -190,6 +191,22 @@ class TestStructuralFingerprint:
         assert structural_fingerprint(lambda c: 1.0) == structural_fingerprint(
             lambda c: 1.0
         )
+
+    def test_unit_weighting_keys_stably_across_call_sites(self):
+        # The named factory sidesteps the lambda-location caveat above:
+        # unit_weighting() hands every caller the same module-level
+        # function, which pickles by reference, so TermFrequency ops
+        # built at different source locations (different modules, even)
+        # share one fingerprint — the cross-build key agreement the
+        # actor runtime's cross-fit shard cache depends on.
+        first = TermFrequency(unit_weighting())
+        second = TermFrequency(unit_weighting())
+        assert structural_fingerprint(first) == structural_fingerprint(second)
+        # And the round-trip is exact: re-unpacking yields the canonical
+        # function itself, not a marshalled clone.
+        restored = pickle.loads(pickle.dumps(first))
+        assert restored.weighting is unit_weighting()
+        assert restored.apply(["a", "a", "b"]) == {"a": 1.0, "b": 1.0}
 
 
 class TestContentAddressedLowering:

@@ -1,0 +1,171 @@
+"""Unit tests for the actor runtime internals.
+
+End-to-end actor coverage lives in tests/test_backends.py
+(TestActorBackend) and tests/test_failure_modes.py
+(TestActorFaultTolerance).  These tests pin the in-process pieces — the
+shard-state cache, the shared liveness walk, the zero-copy transport,
+and chunk planning — without spawning worker processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import program as prog
+from repro.core.backends.actors import _plan_chunks
+from repro.core.program import UnshippableFlow
+from repro.runtime import transport
+from repro.runtime.worker import ShardStateCache, live_slots
+
+
+def _op(slot, kind, parents=(), key=""):
+    return prog.Op(slot, slot, kind, None, tuple(parents), f"op{slot}", key)
+
+
+def _chain(keys):
+    """source -> transform -> ... with the given per-slot content keys."""
+    ops = [_op(0, prog.SOURCE, key=keys[0])]
+    for slot in range(1, len(keys)):
+        ops.append(_op(slot, prog.TRANSFORM, (slot - 1,), key=keys[slot]))
+    return ops
+
+
+class TestShardStateCache:
+    def test_miss_then_hit_counts(self):
+        cache = ShardStateCache()
+        key = ("k", 0, 2)
+        assert key not in cache
+        cache.put(key, [[1], [2]])
+        assert key in cache
+        assert cache.get(key) == [[1], [2]]
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_budget_evicts_least_recently_used(self):
+        row = np.zeros(128)  # 1 KiB per row
+        cache = ShardStateCache(budget_bytes=3 * row.nbytes)
+        for name in ("a", "b", "c"):
+            cache.put((name, 0, 1), [[row]])
+        cache.get(("a", 0, 1))  # refresh "a": "b" is now the LRU entry
+        cache.put(("d", 0, 1), [[row]])
+        assert ("b", 0, 1) not in cache
+        assert ("a", 0, 1) in cache
+        assert cache.drain_evicted() == [("b", 0, 1)]
+        assert cache.drain_evicted() == []
+
+    def test_replacing_an_entry_does_not_double_charge(self):
+        row = np.zeros(128)
+        cache = ShardStateCache(budget_bytes=2 * row.nbytes)
+        cache.put(("a", 0, 1), [[row]])
+        cache.put(("a", 0, 1), [[row]])
+        cache.put(("b", 0, 1), [[row]])
+        assert ("a", 0, 1) in cache
+        assert ("b", 0, 1) in cache
+        assert cache.drain_evicted() == []
+
+    def test_an_oversized_entry_still_resides(self):
+        cache = ShardStateCache(budget_bytes=8)
+        cache.put(("big", 0, 1), [[np.zeros(64)]])
+        assert ("big", 0, 1) in cache  # never evicts the sole entry
+
+
+class TestLiveSlots:
+    def test_cold_cache_computes_everything(self):
+        ops = _chain(["s", "t1", "t2"])
+        needed, compute = live_slots(ops, [2], lambda key: False)
+        assert needed == {0, 1, 2}
+        assert compute == {0, 1, 2}
+
+    def test_cached_prefix_prunes_its_parents(self):
+        ops = _chain(["s", "t1", "t2"])
+        needed, compute = live_slots(ops, [2], lambda key: key == "t1")
+        assert compute == {2}
+        assert needed == {1, 2}  # the source behind the cached op drops out
+
+    def test_gather_is_never_served_from_cache(self):
+        ops = _chain(["s", "t1"])
+        ops.append(_op(2, prog.GATHER, (1,), key="gkey"))
+        needed, compute = live_slots(ops, [2], lambda key: True)
+        assert 2 in compute
+
+    def test_unkeyed_ops_are_never_cache_candidates(self):
+        ops = _chain(["", ""])
+        needed, compute = live_slots(ops, [1], lambda key: True)
+        assert compute == {0, 1}
+
+    def test_unreachable_slots_are_skipped(self):
+        ops = _chain(["s", "t1", "t2"])
+        needed, compute = live_slots(ops, [1], lambda key: False)
+        assert 2 not in needed
+        assert compute == {0, 1}
+
+
+class TestTransport:
+    def test_small_payloads_ride_the_pipe_inline(self):
+        obj = {"rows": [np.arange(4), "text"]}
+        res = transport.pack(obj)
+        assert res.payload[0] == "inline"
+        assert res.mapped_bytes == 0
+        assert res.shipped_bytes > 0
+        out, segments = transport.unpack(res.payload)
+        assert segments == []
+        np.testing.assert_array_equal(out["rows"][0], np.arange(4))
+        res.release()  # no segment: must be a no-op
+
+    def test_large_arrays_go_through_shared_memory(self):
+        if transport.shared_memory is None:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        arrays = [np.arange(32768, dtype=np.float64), np.ones(16384)]
+        res = transport.pack(arrays, shm_threshold=1024)
+        if res.payload[0] != "shm":  # no usable /dev/shm on this host
+            pytest.skip("shared memory segment creation unavailable")
+        assert res.mapped_bytes == sum(a.nbytes for a in arrays)
+        out, segments = transport.unpack(res.payload)
+        assert len(segments) == 1
+        np.testing.assert_array_equal(out[0], arrays[0])
+        np.testing.assert_array_equal(out[1], arrays[1])
+        # This test is sender and receiver in one process: unpack() just
+        # unregistered the segment (the receiver half), so restore the
+        # sender's registration before release() unlinks it — otherwise
+        # the resource tracker reports a spurious KeyError at exit.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(res.segment._name, "shared_memory")
+        res.release()
+        res.release()  # idempotent
+        del out
+        for segment in segments:
+            segment.close()
+
+    def test_threshold_keeps_large_payloads_inline(self):
+        arrays = [np.arange(32768, dtype=np.float64)]
+        res = transport.pack(arrays, shm_threshold=1 << 30)
+        assert res.payload[0] == "inline"
+        assert res.shipped_bytes >= arrays[0].nbytes
+        out, segments = transport.unpack(res.payload)
+        np.testing.assert_array_equal(out[0], arrays[0])
+        assert segments == []
+
+
+class _FakeDataset:
+    def __init__(self, num_partitions):
+        self.num_partitions = num_partitions
+
+
+class TestPlanChunks:
+    def test_chunks_cover_partitions_contiguously(self):
+        sources = {1: _FakeDataset(10), 2: _FakeDataset(10)}
+        chunks, num_partitions = _plan_chunks(sources, 4)
+        assert num_partitions == 10
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == 10
+        for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+            assert stop == start
+
+    def test_more_workers_than_partitions_collapses(self):
+        chunks, _ = _plan_chunks({1: _FakeDataset(2)}, 8)
+        assert chunks == [(0, 1), (1, 2)]
+
+    def test_disagreeing_partition_counts_are_unshippable(self):
+        sources = {1: _FakeDataset(4), 2: _FakeDataset(5)}
+        with pytest.raises(UnshippableFlow):
+            _plan_chunks(sources, 2)

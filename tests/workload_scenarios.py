@@ -13,7 +13,10 @@ import numpy as np
 
 from repro.core.pipeline import Pipeline
 from repro.nodes.images import GrayScaler
+from repro.nodes.learning.gmm import GMMEstimator
+from repro.nodes.learning.kmeans import KMeansEstimator
 from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.logistic import LogisticRegressionEstimator
 from repro.nodes.learning.random_features import CosineRandomFeatures
 from repro.nodes.numeric import (
     Flatten,
@@ -82,6 +85,29 @@ def _text_pipeline(ctx, wl):
             .and_then(MaxClassifier()))
 
 
+def _kmeans_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    return (Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(KMeansEstimator(3, max_iter=4, seed=1), data))
+
+
+def _gmm_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    return (Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(GMMEstimator(2, max_iter=3, seed=1), data))
+
+
+def _logistic_pipeline(ctx, wl):
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(LogisticRegressionEstimator(max_iter=8), data, labels)
+            .and_then(MaxClassifier()))
+
+
 #: scenario name -> ctx -> (unfitted pipeline, test items)
 SCENARIOS = {
     "amazon": lambda ctx: (_text_pipeline(
@@ -102,4 +128,16 @@ SCENARIOS = {
     "youtube8m": lambda ctx: (_vector_pipeline(
         ctx, youtube8m(100, 16, dim=32, num_classes=5, seed=0), 24),
         youtube8m(100, 16, dim=32, num_classes=5, seed=0).test_items),
+    # Iterative-solver heads: the pass-based estimators every backend
+    # must drive through the identical fit_via_passes state machine
+    # (the actor backend runs the passes in-worker).
+    "timit_kmeans": lambda ctx: (_kmeans_pipeline(
+        ctx, timit_frames(100, 16, dim=24, num_classes=4, seed=0)),
+        timit_frames(100, 16, dim=24, num_classes=4, seed=0).test_items),
+    "timit_gmm": lambda ctx: (_gmm_pipeline(
+        ctx, timit_frames(100, 16, dim=24, num_classes=4, seed=0)),
+        timit_frames(100, 16, dim=24, num_classes=4, seed=0).test_items),
+    "timit_logistic": lambda ctx: (_logistic_pipeline(
+        ctx, timit_frames(100, 16, dim=24, num_classes=4, seed=0)),
+        timit_frames(100, 16, dim=24, num_classes=4, seed=0).test_items),
 }
