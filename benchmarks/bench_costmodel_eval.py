@@ -6,10 +6,22 @@ that mistakes happen only when two operators run nearly equally fast.  We
 sweep the same two grids at laptop scale, compare the optimizer's choice
 against measured winners, and report the hit rate plus the slowdown
 incurred by wrong choices (should stay small).
+
+``test_calibration_and_overhead`` additionally gates the observability
+loop (PR 8): a traced actor fit must let ``CostModelCalibrator`` reduce
+the simulator's RMS log error (``prediction_error_ratio`` >= 1), and the
+no-op tracer fast path must fit the fit-time overhead budget with room
+to spare (``tracing_overhead_ratio``: the multiple by which a 5%-of-fit
+budget exceeds the measured cost of the disabled instrumentation calls
+actually hit — >= 1 means tracing-off overhead stays under 5%).
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the workloads for CI smoke runs.
 """
 
+import os
 import time
 
+import numpy as np
 
 from repro.cluster.microbench import microbenchmark
 from repro.core.stats import DataStats, stats_from_rows
@@ -18,7 +30,9 @@ from repro.nodes.learning.linear import LinearSolver
 from repro.nodes.learning.pca import PCAEstimator
 from repro.workloads import dense_vectors, sparse_vectors
 
-from _common import fmt_row, once, report
+from _common import fmt_row, once, record_result, report, timed
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 
 def _measure_solver_choices():
@@ -118,3 +132,121 @@ def test_costmodel_accuracy(benchmark):
     assert p_hits / p_total >= 0.25
     assert s_pen < 6.0
     assert p_pen < 6.0
+
+
+# ----------------------------------------------------------------------
+# PR 8: calibration quality + tracing overhead budget
+# ----------------------------------------------------------------------
+
+NUM_DOCS = 160 if FAST else 600
+KMEANS_PASSES = 3 if FAST else 5
+
+
+def _build_traced_plan():
+    from repro.core.operators import Transformer
+    from repro.core.optimizer import Optimizer, passes_for_level
+    from repro.core.pipeline import Pipeline
+    from repro.nodes.learning.kmeans import KMeansEstimator
+    from repro.nodes.text import (
+        CommonSparseFeatures,
+        TermFrequency,
+        Tokenizer,
+        unit_weighting,
+    )
+    from repro.workloads import amazon_reviews
+
+    class Densify(Transformer):
+        def apply(self, row):
+            return np.asarray(row.todense()).ravel()
+
+    wl = amazon_reviews(num_train=NUM_DOCS, num_test=1,
+                        vocab_size=200, seed=0)
+    ctx = Context()
+    data = wl.train_data(ctx)
+    pipe = (Pipeline.identity()
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(unit_weighting()))
+            .and_then(CommonSparseFeatures(80), data)
+            .and_then(Densify())
+            .and_then(KMeansEstimator(4, max_iter=KMEANS_PASSES, seed=7),
+                      data))
+    return Optimizer(
+        passes_for_level("full", sample_sizes=(20, 40))).optimize(pipe)
+
+
+def _noop_call_seconds(calls: int = 100_000) -> float:
+    """Measured per-call cost of the *disabled* instrumentation path."""
+    from repro.obs import trace as obs_trace
+
+    assert not obs_trace.enabled()
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs_trace.span("noop"):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def test_calibration_and_overhead(benchmark):
+    from repro.core.backends import ActorBackend
+    from repro.obs import CostModelCalibrator
+    from repro.obs import trace as obs_trace
+
+    def run():
+        # Spawn-based fits run as subprocess-heavy sections; the kill
+        # switch here is pure wall clock, so pipelined timing noise is
+        # acceptable — every *gated* number below is a ratio.
+        obs_trace.disable()
+        with ActorBackend(workers=2, task_timeout=300.0,
+                          reuse_pool=False) as backend:
+            with timed() as t_off:
+                _build_traced_plan().execute(backend=backend)
+        noop_seconds = _noop_call_seconds()
+
+        plan = _build_traced_plan()
+        tracer = obs_trace.enable()
+        try:
+            with ActorBackend(workers=2, task_timeout=300.0,
+                              reuse_pool=False) as backend:
+                fitted = plan.execute(backend=backend)
+        finally:
+            obs_trace.disable()
+        return plan, fitted, tracer, t_off[0], noop_seconds
+
+    plan, fitted, tracer, fit_seconds, noop_seconds = once(benchmark, run)
+
+    calibrator = CostModelCalibrator()
+    stages = calibrator.observe_plan(plan, spans=tracer.spans,
+                                     report=fitted.training_report)
+    result = calibrator.calibrate()
+
+    span_count = len(tracer)
+    budget_seconds = 0.05 * fit_seconds
+    overhead_ratio = budget_seconds / max(noop_seconds * span_count, 1e-12)
+
+    lines = [
+        f"traced actor fit: {fit_seconds:.2f}s untraced, "
+        f"{span_count} spans recorded when traced",
+        f"disabled-path cost: {noop_seconds * 1e9:.0f} ns/call -> "
+        f"{noop_seconds * span_count * 1e6:.1f} us if every span site "
+        "were hit with tracing off",
+        f"5% overhead budget: {budget_seconds * 1e3:.1f} ms "
+        f"(headroom {overhead_ratio:.0f}x)",
+        "",
+        f"calibration over {stages} stages:",
+    ]
+    lines += [f"  {line}" for line in calibrator.table()]
+    lines.append(result.describe())
+    report("costmodel_calibration", lines)
+
+    record_result("costmodel_eval", {
+        "prediction_error_ratio": result.error_ratio,
+        "tracing_overhead_ratio": overhead_ratio,
+    })
+
+    assert stages > 0, "calibrator joined no stages"
+    # Geometric-mean fitting can only shrink the RMS log error.
+    assert result.error_ratio >= 1.0
+    # The 5% overhead budget, enforced here and gated in baselines.json.
+    assert overhead_ratio >= 1.0, (
+        f"no-op tracing overhead exceeds 5% of fit time "
+        f"({overhead_ratio:.2f}x headroom)")

@@ -104,6 +104,9 @@ def main():
             f"(vs {cold.bytes_shipped} cold)"
         )
 
+        print("\n== warm fit, summarized (TrainingReport.summary()) ==")
+        print(warm.summary())
+
     # The headline claims, asserted.
     assert [int(first.apply(d)) for d in test_docs] == expected, "actor fit diverged"
     assert [int(second.apply(d)) for d in test_docs] == expected, "refit diverged"

@@ -117,6 +117,10 @@ def main():
     assert not process_report.process_fallback, \
         process_report.process_fallback
 
+    print("\nThe process fit, summarized (TrainingReport.summary()):")
+    for line in process_report.summary().splitlines():
+        print(f"  {line}")
+
     report = sharded_fitted.training_report
     print(f"\nSharded pricing at {report.simulated_workers} workers: "
           f"{report.simulated_seconds:.3f}s simulated "

@@ -46,6 +46,7 @@ from repro.core.operators import IterativeShardableEstimator
 from repro.core.program import UnshippableFlow
 from repro.dataset.context import Context
 from repro.dataset.dataset import Dataset, _StoredPartitions
+from repro.obs import trace as obs_trace
 from repro.runtime import transport
 from repro.runtime.pool import ActorPool, _Msg, shared_actor_pool
 from repro.runtime.worker import DEFAULT_STATE_BUDGET, live_slots
@@ -95,8 +96,15 @@ def _make_run_builder(
             for op in ops
             if op.slot in needed and op.key and op.kind != prog.GATHER
         ]
+        # The trailing trace flag is appended only while tracing is
+        # active (builders re-evaluate at send time, so a retry after a
+        # respawn stays consistent); untraced runs keep the original
+        # wire format.
+        payload = ("run", task_id, blob, chunk, packed.payload, mode)
+        if obs_trace.enabled():
+            payload += (True,)
         return _Msg(
-            ("run", task_id, blob, chunk, packed.payload, mode),
+            payload,
             ships=[packed],
             produced=produced,
             shipped_bytes=len(blob) + packed.shipped_bytes,
@@ -108,7 +116,10 @@ def _make_run_builder(
 
 def _make_pass_builder(task_id: int, payload):
     def builder(actor) -> _Msg:
-        return _Msg(("pass", task_id, payload))
+        msg = ("pass", task_id, payload)
+        if obs_trace.enabled():
+            msg += (True,)
+        return _Msg(msg)
 
     return builder
 
@@ -275,9 +286,14 @@ class ActorBackend(ExecutionBackend):
         fallback = None
         try:
             if iterative_ok:
-                model = self._fit_iterative(
-                    session, pool, node, program, sources, roots, workers
-                )
+                with obs_trace.span(
+                    f"fit:{node.label}",
+                    cat="fit",
+                    args={"node_id": node.id},
+                ):
+                    model = self._fit_iterative(
+                        session, pool, node, program, sources, roots, workers
+                    )
             elif stats_ok:
                 spec = (node.id, op, tuple(program.slot_of(r.id) for r in roots))
                 result = self._run_wave(
@@ -317,8 +333,11 @@ class ActorBackend(ExecutionBackend):
             report.actor_iterative.append(node.label)
             return
         if stats_ok:
-            with session.timer.time_block(node.id):
-                model = op.fit_from_stats(result["stats"])
+            with obs_trace.span(
+                f"fit:{node.label}", cat="fit", args={"node_id": node.id}
+            ):
+                with session.timer.time_block(node.id):
+                    model = op.fit_from_stats(result["stats"])
             with session._lock:
                 session.fitted[node.id] = model
                 report.estimator_seconds[node.id] = session.timer.times[node.id]
@@ -387,19 +406,34 @@ class ActorBackend(ExecutionBackend):
         builders = [(i, init_builder(chunk)) for i, chunk in enumerate(chunks)]
         state = None
         timer = session.timer
+        wave_key = program.ops[stat_slots[-1]].key if stat_slots else None
         try:
-            replies = pool.wave(builders, setup=True)
+            with obs_trace.span(
+                "actors.wave[init]",
+                cat="wave",
+                key=wave_key or None,
+                args={"shards": len(chunks), "node_id": node.id},
+            ):
+                replies = pool.wave(builders, setup=True)
             self._absorb_times(session, replies)
             partials = [s for result, _meta in replies for s in result["stats"]]
             with timer.time_block(node.id):
                 state = op.init_state(partials)
                 done = op.converged(state)
                 payload = None if done else op.pass_payload(state)
+            pass_no = 0
             while not done:
+                pass_no += 1
                 pass_builders = [
                     (i, _make_pass_builder(task_id, payload)) for i in indices
                 ]
-                replies = pool.wave(pass_builders)
+                with obs_trace.span(
+                    "actors.wave[pass]",
+                    cat="wave",
+                    key=wave_key or None,
+                    args={"node_id": node.id, "pass": pass_no},
+                ):
+                    replies = pool.wave(pass_builders)
                 self._absorb_times(session, replies)
                 partials = [s for result, _meta in replies for s in result]
                 with timer.time_block(node.id):
@@ -457,7 +491,14 @@ class ActorBackend(ExecutionBackend):
             )
 
         builders = [(i, run_builder(chunk)) for i, chunk in enumerate(chunks)]
-        replies = pool.wave(builders)
+        wave_key = program.ops[targets[-1]].key if targets else None
+        with obs_trace.span(
+            f"actors.wave[{mode}]",
+            cat="wave",
+            key=wave_key or None,
+            args={"shards": len(chunks)},
+        ):
+            replies = pool.wave(builders)
         self._absorb_times(session, replies)
         merged = {"rows": {name: [] for name, _ in out_slots}, "stats": []}
         for result, _meta in replies:
@@ -470,6 +511,9 @@ class ActorBackend(ExecutionBackend):
         for _result, meta in replies:
             for node_id, seconds in meta.get("times", {}).items():
                 session.timer.add(node_id, seconds)
+            # Worker span buffers piggyback on reply meta; the recording
+            # process name ("repro-actor-N") is the worker attribution.
+            obs_trace.absorb(meta.get("spans"))
 
     def __repr__(self) -> str:
         return (

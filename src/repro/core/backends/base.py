@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 from repro.core import graph as g
 from repro.core import program as prog
 from repro.core.executor import ExclusiveTimer, TrainingReport
+from repro.obs import trace as obs_trace
 from repro.core.operators import Transformer
 from repro.dataset.cache import AdmissionControlledLRUPolicy, PinnedPolicy
 from repro.dataset.context import Context
@@ -241,14 +242,20 @@ class TrainingSession:
         elif node.kind == g.TRANSFORMER:
             parent = self._dataset_of(node.parents[0])
             ds = parent.map_partitions(
-                timer.wrap(node.id, node.op.apply_partition),
+                obs_trace.instrument(
+                    node.label,
+                    timer.wrap(node.id, node.op.apply_partition),
+                    node_id=node.id),
                 name=node.label)
         elif node.kind == g.APPLY:
             est_node, data_node = node.parents
             model = self.fit_estimator(est_node)
             parent = self._dataset_of(data_node)
             ds = parent.map_partitions(
-                timer.wrap(node.id, model.apply_partition),
+                obs_trace.instrument(
+                    node.label,
+                    timer.wrap(node.id, model.apply_partition),
+                    node_id=node.id),
                 name=node.label)
         elif node.kind == g.GATHER:
             ds = g.zip_gather([self._dataset_of(p) for p in node.parents])
@@ -275,13 +282,16 @@ class TrainingSession:
         # Heavy work outside the lock: op.fit pulls its training flow
         # through the lazy datasets (possibly concurrently with other
         # estimators on other threads).
-        model = self._fit_streaming(node, data, labels)
-        if model is None:
-            with self.timer.time_block(node.id):
-                if labels is not None:
-                    model = node.op.fit(data, labels)
-                else:
-                    model = node.op.fit(data)
+        with obs_trace.span(f"fit:{node.label}", cat="fit",
+                            key=self.training_key.get(node.id),
+                            args={"node_id": node.id}):
+            model = self._fit_streaming(node, data, labels)
+            if model is None:
+                with self.timer.time_block(node.id):
+                    if labels is not None:
+                        model = node.op.fit(data, labels)
+                    else:
+                        model = node.op.fit(data)
         with self._lock:
             self.fitted[node.id] = model
             self.report.estimator_seconds[node.id] = self.timer.times[node.id]

@@ -55,6 +55,7 @@ from repro.core import program as prog
 from repro.core.backends.base import ExecutionBackend, TrainingSession
 from repro.core.program import UnshippableFlow
 from repro.dataset.context import Context
+from repro.obs import trace as obs_trace
 from repro.dataset.dataset import Dataset, _StoredPartitions
 
 if TYPE_CHECKING:
@@ -135,7 +136,8 @@ def _lower_shard_program(roots: List[g.OpNode], *, session=None,
 
 
 def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
-                   num_partitions: int) -> Dict[str, Any]:
+                   num_partitions: int,
+                   traced: bool = False) -> Dict[str, Any]:
     """Worker entry point: run a shard program over one partition chunk.
 
     Module-level (spawn-safe); ``blob`` is the pickled ``(ops,
@@ -143,9 +145,13 @@ def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
     :class:`~repro.core.program.Op` list — shared by every shard of a
     wave.  Returns computed partitions per requested output,
     per-partition sufficient statistics when a stats spec is present,
-    and per-node compute seconds for the training report.
+    and per-node compute seconds for the training report.  With
+    ``traced`` a local span buffer rides back on the result
+    (``"spans"``), keyed by op content key where the program carries
+    keys.
     """
     ops, out_slots, stats_spec = pickle.loads(blob)
+    tracer = obs_trace.Tracer() if traced else None
     rows_out: Dict[str, List[list]] = {name: [] for name, _ in out_slots}
     stats_out: List[Any] = []
     times: Dict[int, float] = {}
@@ -157,8 +163,12 @@ def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
             elif op.kind == prog.TRANSFORM:
                 start = time.perf_counter()
                 env[op.slot] = op.op.apply_partition(env[op.parents[0]])
-                times[op.node_id] = (times.get(op.node_id, 0.0)
-                                     + time.perf_counter() - start)
+                elapsed = time.perf_counter() - start
+                times[op.node_id] = times.get(op.node_id, 0.0) + elapsed
+                if tracer is not None:
+                    tracer.record(op.label, seconds=elapsed,
+                                  key=op.key or None,
+                                  args={"node_id": op.node_id})
             else:  # gather: element-wise zip into list rows
                 env[op.slot] = g.zip_rows([env[s] for s in op.parents])
         for name, slot in out_slots:
@@ -168,9 +178,15 @@ def _execute_shard(blob: bytes, source_parts: Dict[int, List[list]],
             start = time.perf_counter()
             stats_out.append(
                 est_op.partition_stats(*(env[s] for s in stat_slots)))
-            times[est_id] = (times.get(est_id, 0.0)
-                            + time.perf_counter() - start)
-    return {"rows": rows_out, "stats": stats_out, "times": times}
+            elapsed = time.perf_counter() - start
+            times[est_id] = times.get(est_id, 0.0) + elapsed
+            if tracer is not None:
+                tracer.record(f"stats:{type(est_op).__name__}",
+                              seconds=elapsed, args={"node_id": est_id})
+    out = {"rows": rows_out, "stats": stats_out, "times": times}
+    if tracer is not None:
+        out["spans"] = tracer.drain()
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -311,8 +327,12 @@ class ProcessPoolBackend(ExecutionBackend):
         op = node.op
         roots = [p for p in node.parents]
         try:
+            # Content keys are only computed when tracing is active:
+            # spans then correlate by op key across backends, and the
+            # hashing cost stays off the default path.
             program, sources = _lower_shard_program(
-                roots, session=session, materialized=materialized)
+                roots, session=session, materialized=materialized,
+                compute_keys=obs_trace.enabled())
         except UnshippableFlow as exc:
             session.fit_estimator(node)
             report.process_fallback.append(f"{node.label}: {exc}")
@@ -362,8 +382,10 @@ class ProcessPoolBackend(ExecutionBackend):
             return
 
         if stats_ok:
-            with session.timer.time_block(node.id):
-                model = op.fit_from_stats(result["stats"])
+            with obs_trace.span(f"fit:{node.label}", cat="fit",
+                                args={"node_id": node.id}):
+                with session.timer.time_block(node.id):
+                    model = op.fit_from_stats(result["stats"])
             with session._lock:
                 session.fitted[node.id] = model
                 report.estimator_seconds[node.id] = \
@@ -402,44 +424,53 @@ class ProcessPoolBackend(ExecutionBackend):
         chunks = [range(bounds[j], bounds[j + 1]) for j in range(shards)
                   if bounds[j] < bounds[j + 1]]
         pool = self._pool(workers)
-        futures = []
-        for chunk in chunks:
-            src = {nid: [ds.partition(i) for i in chunk]
-                   for nid, ds in sources.items()}
-            futures.append(pool.submit(_execute_shard, blob, src,
-                                       len(chunk)))
-        deadline = (None if self.task_timeout is None
-                    else time.monotonic() + self.task_timeout)
-        results = []
-        for future in futures:
-            remaining = (None if deadline is None
-                         else max(0.0, deadline - time.monotonic()))
-            try:
-                results.append(future.result(timeout=remaining))
-            except FutureTimeoutError:
-                for f in futures:
-                    f.cancel()
-                # A shared pool may be serving other backends: leave it
-                # alive (the wedged worker frees itself eventually);
-                # only a private pool is torn down.
-                if not self.reuse_pool:
-                    self._drop_pool(workers)
-                raise RuntimeError(
-                    f"process backend wave timed out after "
-                    f"{self.task_timeout}s ({len(results)}/{len(futures)} "
-                    "shards finished); raise task_timeout or check for a "
-                    "wedged operator") from None
-        merged: Dict[str, Any] = {
-            "rows": {name: [] for name, _ in out_slots},
-            "stats": [],
-        }
-        for result in results:
-            for name, parts in result["rows"].items():
-                merged["rows"][name].extend(parts)
-            merged["stats"].extend(result["stats"])
-            if session is not None:
-                for node_id, seconds in result["times"].items():
-                    session.timer.add(node_id, seconds)
+        traced = obs_trace.enabled()
+        wave_span = obs_trace.span(
+            "process.wave", cat="wave",
+            key=(program.ops[-1].key or None) if program.ops else None,
+            args={"shards": len(chunks), "partitions": num_partitions})
+        with wave_span:
+            futures = []
+            for chunk in chunks:
+                src = {nid: [ds.partition(i) for i in chunk]
+                       for nid, ds in sources.items()}
+                futures.append(pool.submit(_execute_shard, blob, src,
+                                           len(chunk), traced))
+            deadline = (None if self.task_timeout is None
+                        else time.monotonic() + self.task_timeout)
+            results = []
+            for future in futures:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                try:
+                    results.append(future.result(timeout=remaining))
+                except FutureTimeoutError:
+                    for f in futures:
+                        f.cancel()
+                    # A shared pool may be serving other backends: leave
+                    # it alive (the wedged worker frees itself
+                    # eventually); only a private pool is torn down.
+                    if not self.reuse_pool:
+                        self._drop_pool(workers)
+                    raise RuntimeError(
+                        f"process backend wave timed out after "
+                        f"{self.task_timeout}s "
+                        f"({len(results)}/{len(futures)} "
+                        "shards finished); raise task_timeout or check "
+                        "for a wedged operator") from None
+            merged: Dict[str, Any] = {
+                "rows": {name: [] for name, _ in out_slots},
+                "stats": [],
+            }
+            for shard_idx, result in enumerate(results):
+                for name, parts in result["rows"].items():
+                    merged["rows"][name].extend(parts)
+                merged["stats"].extend(result["stats"])
+                if session is not None:
+                    for node_id, seconds in result["times"].items():
+                        session.timer.add(node_id, seconds)
+                obs_trace.absorb(result.get("spans"),
+                                 worker=f"shard{shard_idx}")
         return merged
 
     # ------------------------------------------------------------------

@@ -195,6 +195,95 @@ class TrainingReport:
                 "Featurize": featurize,
                 "Solve": solve}
 
+    def fill_registry(self, registry=None, prefix: str = "training"):
+        """Render every counter into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (created if needed).
+
+        The single structured view over the counter fields accumulated
+        across the backends: one flat namespace instead of ad-hoc
+        attribute spelunking.  Returns the registry.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        p = f"{prefix}." if prefix else ""
+        stages = self.stage_seconds()
+        registry.set(f"{p}optimize_seconds", self.optimize_seconds)
+        registry.set(f"{p}execute_seconds", self.execute_seconds)
+        registry.set(f"{p}featurize_seconds", stages["Featurize"])
+        registry.set(f"{p}solve_seconds", stages["Solve"])
+        registry.inc(f"{p}cse_nodes_removed", self.cse_nodes_removed)
+        registry.inc(f"{p}fused_nodes_removed", self.fused_nodes_removed)
+        registry.inc(f"{p}cache_set_size", len(self.cache_set))
+        registry.inc(f"{p}recomputations", self.recomputations)
+        if self.process_workers is not None:
+            registry.set(f"{p}process_workers", self.process_workers)
+        registry.inc(f"{p}process_stat_merged",
+                     len(self.process_stat_merged))
+        registry.inc(f"{p}process_gathered", len(self.process_gathered))
+        registry.inc(f"{p}process_fallback", len(self.process_fallback))
+        registry.inc(f"{p}actor_iterative", len(self.actor_iterative))
+        registry.inc(f"{p}worker_restarts", self.worker_restarts)
+        registry.inc(f"{p}shard_state_hits", self.shard_state_hits)
+        registry.inc(f"{p}shard_state_misses", self.shard_state_misses)
+        registry.inc(f"{p}bytes_shipped", self.bytes_shipped)
+        registry.inc(f"{p}bytes_mapped", self.bytes_mapped)
+        registry.inc(f"{p}reused_ops", len(self.reused_ops))
+        registry.inc(f"{p}refit_ops", len(self.refit_ops))
+        registry.set(f"{p}reused_op_fraction", self.reused_op_fraction)
+        registry.inc(f"{p}stat_partitions_reused",
+                     self.stat_partitions_reused)
+        registry.inc(f"{p}stat_partitions_computed",
+                     self.stat_partitions_computed)
+        return registry
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict of the report's counters (registry-backed)."""
+        out: Dict[str, Any] = {"backend": self.backend,
+                               "level": self.level}
+        out.update(self.fill_registry(prefix="").to_dict())
+        return out
+
+    def summary(self) -> str:
+        """A compact human-readable rendering of the counter fields."""
+        stages = self.stage_seconds()
+        lines = [
+            f"TrainingReport(backend={self.backend}, level={self.level})",
+            f"  times: optimize {self.optimize_seconds:.3f}s, execute "
+            f"{self.execute_seconds:.3f}s (featurize "
+            f"{stages['Featurize']:.3f}s, solve {stages['Solve']:.3f}s)",
+            f"  graph: cse removed {self.cse_nodes_removed}, fused "
+            f"{self.fused_nodes_removed}, cache set "
+            f"{len(self.cache_set)}, recomputations "
+            f"{self.recomputations}",
+        ]
+        if (self.process_workers is not None or self.process_stat_merged
+                or self.process_gathered or self.process_fallback):
+            lines.append(
+                f"  process: workers {self.process_workers}, stat-merged "
+                f"{len(self.process_stat_merged)}, gathered "
+                f"{len(self.process_gathered)}, fallback "
+                f"{len(self.process_fallback)}")
+        if (self.actor_iterative or self.worker_restarts
+                or self.shard_state_hits or self.shard_state_misses
+                or self.bytes_shipped or self.bytes_mapped):
+            lines.append(
+                f"  actors: iterative {len(self.actor_iterative)}, "
+                f"restarts {self.worker_restarts}, shard-state "
+                f"{self.shard_state_hits} hits / "
+                f"{self.shard_state_misses} misses, shipped "
+                f"{self.bytes_shipped} B, mapped {self.bytes_mapped} B")
+        if (self.reused_ops or self.refit_ops
+                or self.stat_partitions_reused
+                or self.stat_partitions_computed):
+            lines.append(
+                f"  incremental: reused {len(self.reused_ops)}/"
+                f"{len(self.reused_ops) + len(self.refit_ops)} ops, "
+                f"stat partitions {self.stat_partitions_reused} reused / "
+                f"{self.stat_partitions_computed} computed")
+        return "\n".join(lines)
+
 
 def plan_pipeline(pipeline, resources: Optional[ResourceDescriptor] = None,
                   level: Optional[str] = None,

@@ -223,6 +223,71 @@ class LoweringPass(Pass):
         return f"{self.name}(program_passes={names})"
 
 
+def simulated_node_stages(state: PlanState,
+                          roles: Optional[Dict[int, str]] = None,
+                          resources=None,
+                          compute_scale: float = 1.0,
+                          network_scale: float = 1.0):
+    """Price every profiled plan node as one simulated cluster stage.
+
+    The shared stage-construction rule behind
+    ``ShardingPass(workers="auto")`` and the observability layer's
+    :class:`~repro.obs.calibrate.CostModelCalibrator`: each node's
+    extrapolated serial seconds calibrate the stage's flops against the
+    descriptor's per-node compute rate (so the simulator prices it back
+    to those seconds at ``w=1``), and coordinated nodes additionally move
+    their profiled output bytes through a ``log2 w`` aggregation tree.
+
+    ``compute_scale``/``network_scale`` are measured correction factors
+    (observed / predicted, from :mod:`repro.obs.calibrate`) multiplying
+    the profiled compute seconds and coordination bytes respectively.
+    Returns ``[(node, SimulatedStage), ...]`` in dependency order;
+    raises if the plan is unprofiled or the profile is stale.
+    """
+    import math
+
+    from repro.cluster.simulator import SimulatedStage
+    from repro.cost.profile import CostProfile
+
+    if state.profile is None:
+        raise ValueError(
+            "pricing simulated stages needs a profiled plan: run "
+            "ProfilingPass or OperatorSelectionPass first")
+    if state.unprofiled_nodes():
+        raise ValueError(
+            "profile is stale: the DAG was rewritten after profiling; "
+            "order rewrite passes before pricing stages")
+    if resources is None:
+        resources = state.resources
+    profile = state.profile
+
+    def make_stage(node, seconds, coord_bytes):
+        flops_total = seconds * compute_scale * resources.cpu_flops
+        moved_bytes = coord_bytes * network_scale
+
+        def profile_fn(w: int) -> CostProfile:
+            network = 0.0
+            if moved_bytes > 0.0 and w > 1:
+                network = moved_bytes * math.log2(w)
+            return CostProfile(flops=flops_total / w, network=network)
+
+        return SimulatedStage(node.label, profile_fn)
+
+    stages = []
+    for node in g.ancestors([state.sink]):
+        if node.is_pipeline_input or node.id not in profile.nodes:
+            continue
+        role = (roles.get(node.id) if roles is not None
+                else ShardingPass.role_for(node))
+        seconds = profile.t(node.id)
+        coord_bytes = (profile.size(node.id)
+                       if role == ShardingPass.COORDINATED else 0.0)
+        if seconds <= 0.0 and coord_bytes <= 0.0:
+            continue
+        stages.append((node, make_stage(node, seconds, coord_bytes)))
+    return stages
+
+
 class ShardingPass(Pass):
     """Partition the training flow across N simulated workers.
 
@@ -260,7 +325,8 @@ class ShardingPass(Pass):
 
     def __init__(self, workers: Optional[Union[int, str]] = None,
                  max_workers: Optional[int] = None,
-                 overhead_per_stage: float = 0.0):
+                 overhead_per_stage: float = 0.0,
+                 calibration=None):
         if isinstance(workers, str):
             if workers != self.AUTO:
                 raise ValueError(
@@ -274,6 +340,12 @@ class ShardingPass(Pass):
         self.workers = workers
         self.max_workers = max_workers
         self.overhead_per_stage = overhead_per_stage
+        #: optional :class:`~repro.obs.calibrate.CalibrationResult` (or
+        #: any object with ``compute_scale``/``network_scale``): measured
+        #: correction factors applied to the simulated stages in auto
+        #: mode, closing the loop from observed spans back into the cost
+        #: model.
+        self.calibration = calibration
 
     @classmethod
     def role_for(cls, node) -> str:
@@ -374,45 +446,17 @@ class ShardingPass(Pass):
         the optimum).  Also returns the network share of the optimum's
         simulated time, which drives the backend recommendation.
         """
-        import math
+        from repro.cluster.simulator import ClusterSimulator
 
-        from repro.cluster.simulator import ClusterSimulator, SimulatedStage
-        from repro.cost.profile import CostProfile
-
-        if state.profile is None:
-            raise ValueError(
-                "ShardingPass(workers='auto') needs a profiled plan: run "
-                "ProfilingPass or OperatorSelectionPass before ShardingPass")
-        if state.unprofiled_nodes():
-            raise ValueError(
-                "profile is stale: the DAG was rewritten after profiling; "
-                "order rewrite passes before ShardingPass(workers='auto')")
         resources = state.resources
         budget = self.max_workers or resources.num_nodes
-        profile = state.profile
-
-        def make_stage(node, seconds, coord_bytes):
-            flops_total = seconds * resources.cpu_flops
-
-            def profile_fn(w: int) -> CostProfile:
-                network = 0.0
-                if coord_bytes > 0.0 and w > 1:
-                    network = coord_bytes * math.log2(w)
-                return CostProfile(flops=flops_total / w, network=network)
-
-            return SimulatedStage(node.label, profile_fn)
-
-        stages = []
-        for node in g.ancestors([state.sink]):
-            if node.is_pipeline_input or node.id not in profile.nodes:
-                continue
-            seconds = profile.t(node.id)
-            coord_bytes = (profile.size(node.id)
-                           if roles.get(node.id) == self.COORDINATED
-                           else 0.0)
-            if seconds <= 0.0 and coord_bytes <= 0.0:
-                continue
-            stages.append(make_stage(node, seconds, coord_bytes))
+        compute_scale = network_scale = 1.0
+        if self.calibration is not None:
+            compute_scale = getattr(self.calibration, "compute_scale", 1.0)
+            network_scale = getattr(self.calibration, "network_scale", 1.0)
+        stages = [stage for _, stage in simulated_node_stages(
+            state, roles, resources,
+            compute_scale=compute_scale, network_scale=network_scale)]
 
         best_w, best_seconds = 1, float("inf")
         for w in range(1, budget + 1):

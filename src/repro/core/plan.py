@@ -190,8 +190,15 @@ class PhysicalPlan:
         return sum(self.state.profile.size(i)
                    for i in self.state.cache_ids)
 
-    def explain(self) -> str:
-        """Human-readable account of every pass applied and its decisions."""
+    def explain(self, observed: bool = False, tracer=None) -> str:
+        """Human-readable account of every pass applied and its decisions.
+
+        With ``observed=True``, appends an aggregated per-op table of
+        what actually ran — grouped by op content key, summed across
+        every process and worker that executed it — from ``tracer`` (or
+        the active :func:`repro.obs.trace.active` tracer).  The table is
+        empty-annotated when no spans were recorded (tracing off).
+        """
         lines = [f"PhysicalPlan(level={self.level})",
                  f"  sink: {self.sink.label!r} ({self.num_nodes()} nodes)",
                  f"  resources: {self.state.resources.name} "
@@ -220,6 +227,20 @@ class PhysicalPlan:
             cache_bytes = self.estimated_cache_bytes()
             lines.append(f"  estimated execution: {runtime:.3f}s, "
                          f"cached bytes: {cache_bytes:.0f}")
+        if observed:
+            from repro.obs import trace as obs_trace
+
+            if tracer is None:
+                tracer = obs_trace.active()
+            spans = tracer.spans if tracer is not None else []
+            lines.append("  observed ops (by content key, all "
+                         "processes/workers):")
+            if spans:
+                for row in obs_trace.aggregate_table(spans):
+                    lines.append(f"    {row}")
+            else:
+                lines.append("    (no spans recorded; enable tracing "
+                             "via repro.obs.trace.enable())")
         return "\n".join(lines)
 
     def to_dot(self) -> str:

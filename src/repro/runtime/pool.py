@@ -34,6 +34,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import trace as obs_trace
 from repro.runtime.worker import (
     DEFAULT_STATE_BUDGET,
     MissingShardState,
@@ -284,6 +285,11 @@ class ActorPool:
         """
         self.counters["restarts"] += 1
         actor.restarts += 1
+        obs_trace.event(
+            "worker_restart",
+            cat="fault",
+            args={"worker": actor.index, "restarts": actor.restarts},
+        )
         if actor.restarts > self.max_restarts:
             actor.kill()
             raise RuntimeError(

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Sequence, Set, Tuple
 
 from repro.core import graph as g
 from repro.core import program as prog
+from repro.obs import trace as obs_trace
 from repro.runtime import transport
 
 #: default worker-side budget for cached shard state
@@ -142,12 +143,14 @@ def _execute_program(
     targets: Sequence[int],
     cache: ShardStateCache,
     times: Dict[int, float],
+    tracer: "obs_trace.Tracer | None" = None,
 ) -> Dict[int, List[list]]:
     """Run a shard program over one chunk, through the shard cache.
 
     ``sources`` maps source node ids to their shipped partitions (only
     the ones the parent believed were not already cached).  Returns the
-    slot environment: slot -> list of computed partitions.
+    slot environment: slot -> list of computed partitions.  With a
+    ``tracer``, each computed transform records one content-keyed span.
     """
     start, stop = chunk
     needed, compute = live_slots(ops, targets, lambda k: (k, start, stop) in cache)
@@ -158,6 +161,13 @@ def _execute_program(
         cacheable = bool(op.key) and op.kind != prog.GATHER
         if op.slot not in compute:
             env[op.slot] = cache.get((op.key, start, stop))
+            if tracer is not None:
+                tracer.event(
+                    "shard_cache_hit",
+                    cat="cache",
+                    key=op.key or None,
+                    args={"node_id": op.node_id},
+                )
             continue
         if op.kind == prog.SOURCE:
             if op.node_id not in sources:
@@ -168,7 +178,15 @@ def _execute_program(
         elif op.kind == prog.TRANSFORM:
             t0 = time.perf_counter()
             parts = [op.op.apply_partition(p) for p in env[op.parents[0]]]
-            times[op.node_id] = times.get(op.node_id, 0.0) + time.perf_counter() - t0
+            elapsed = time.perf_counter() - t0
+            times[op.node_id] = times.get(op.node_id, 0.0) + elapsed
+            if tracer is not None:
+                tracer.record(
+                    op.label,
+                    seconds=elapsed,
+                    key=op.key or None,
+                    args={"node_id": op.node_id, "chunk": [start, stop]},
+                )
         else:  # gather: element-wise zip into list rows
             groups = [[env[s][i] for s in op.parents] for i in range(stop - start)]
             parts = [g.zip_rows(rows) for rows in groups]
@@ -186,6 +204,7 @@ def _run_task(
     cache: ShardStateCache,
     staging: Dict[int, Tuple[Any, int, List[tuple]]],
     task_id: int,
+    tracer: "obs_trace.Tracer | None" = None,
 ) -> Tuple[Dict[str, Any], Dict[int, float]]:
     """Execute one "run" message; returns ``(result, times)``."""
     ops, out_slots, est_spec = pickle.loads(blob)
@@ -195,7 +214,7 @@ def _run_task(
     if est_spec is not None:
         targets.extend(est_spec[2])
     times: Dict[int, float] = {}
-    env = _execute_program(ops, chunk, sources, targets, cache, times)
+    env = _execute_program(ops, chunk, sources, targets, cache, times, tracer)
     result: Dict[str, Any] = {}
     if out_slots:
         result["rows"] = {name: env[slot] for name, slot in out_slots}
@@ -218,7 +237,14 @@ def _run_task(
             result["stats"] = [est_op.init_stats(*args) for args in parts]
         else:
             result["stats"] = [est_op.partition_stats(*args) for args in parts]
-        times[est_id] = times.get(est_id, 0.0) + time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        times[est_id] = times.get(est_id, 0.0) + elapsed
+        if tracer is not None:
+            tracer.record(
+                f"{mode}:{type(est_op).__name__}",
+                seconds=elapsed,
+                args={"node_id": est_id},
+            )
     return result, times
 
 
@@ -244,11 +270,15 @@ def actor_main(conn, state_budget_bytes: int = DEFAULT_STATE_BUDGET) -> None:
         task_id = msg[1]
         try:
             if msg[0] == "run":
-                _, task_id, blob, chunk, packed_sources, mode = msg
+                blob, chunk, packed_sources, mode = msg[2:6]
+                # Optional trailing trace flag: parents only append it
+                # when tracing is active, so the wire format is
+                # unchanged for untraced runs.
+                tracer = obs_trace.Tracer() if len(msg) > 6 and msg[6] else None
                 sources, segs = transport.unpack(packed_sources)
                 segments.extend(segs)
                 result, times = _run_task(
-                    blob, tuple(chunk), sources, mode, cache, staging, task_id
+                    blob, tuple(chunk), sources, mode, cache, staging, task_id, tracer
                 )
                 meta = {
                     "times": times,
@@ -256,19 +286,30 @@ def actor_main(conn, state_budget_bytes: int = DEFAULT_STATE_BUDGET) -> None:
                     "misses": cache.misses,
                     "evicted": cache.drain_evicted(),
                 }
+                if tracer is not None:
+                    meta["spans"] = tracer.drain()
                 cache.hits = cache.misses = 0
                 conn.send(("ok", task_id, result, meta))
             elif msg[0] == "pass":
-                _, task_id, payload = msg
+                payload = msg[2]
+                tracer = obs_trace.Tracer() if len(msg) > 3 and msg[3] else None
                 est_op, est_id, parts = staging[task_id]
                 t0 = time.perf_counter()
                 stats = [est_op.partition_pass_stats(payload, *args) for args in parts]
+                elapsed = time.perf_counter() - t0
                 meta = {
-                    "times": {est_id: time.perf_counter() - t0},
+                    "times": {est_id: elapsed},
                     "hits": 0,
                     "misses": 0,
                     "evicted": cache.drain_evicted(),
                 }
+                if tracer is not None:
+                    tracer.record(
+                        f"pass:{type(est_op).__name__}",
+                        seconds=elapsed,
+                        args={"node_id": est_id},
+                    )
+                    meta["spans"] = tracer.drain()
                 conn.send(("ok", task_id, stats, meta))
             elif msg[0] == "end":
                 staging.pop(task_id, None)

@@ -20,6 +20,8 @@ import threading
 from concurrent.futures import Future
 from typing import Any, Callable, List, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
+
 
 class ServerOverloadedError(RuntimeError):
     """The bounded request queue is full; the caller should shed load."""
@@ -179,7 +181,10 @@ class MicroBatcher:
             self.max_batch_seen = max(self.max_batch_seen, len(batch))
         payloads = [payload for payload, _ in batch]
         try:
-            results = self.runner(payloads)
+            with obs_trace.span("serve.batch", cat="serving",
+                                args={"name": self.name,
+                                      "batch": len(payloads)}):
+                results = self.runner(payloads)
             if len(results) != len(payloads):
                 raise RuntimeError(
                     f"batch runner returned {len(results)} results for "

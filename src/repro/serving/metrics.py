@@ -2,41 +2,46 @@
 
 Every served request is timed from submission to completion; the recorder
 keeps a bounded reservoir of recent latencies (enough for stable tail
-percentiles) plus exact counts and totals.  :class:`ModelStats` is the
-per-model snapshot assembled by :meth:`ModelServer.stats`;
-:class:`ServerStats` aggregates the fleet and renders the report.
+percentiles) plus exact counts and totals — backed by the shared
+:class:`repro.obs.metrics.Histogram` ring buffer, so a long-lived server
+holds constant memory per model version no matter how many requests it
+serves.  :class:`ModelStats` is the per-model snapshot assembled by
+:meth:`ModelServer.stats`; :class:`ServerStats` aggregates the fleet,
+renders the report, and fills a
+:class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 class LatencyRecorder:
-    """Thread-safe latency accumulator with reservoir percentiles."""
+    """Thread-safe latency accumulator with bounded-reservoir percentiles.
+
+    The distribution lives in an :class:`repro.obs.metrics.Histogram`
+    (fixed-size ring buffer of recent samples; exact count and total kept
+    separately), exposed as :attr:`histogram` for registry export.
+    """
 
     def __init__(self, window: int = 8192):
         self._lock = threading.Lock()
-        self._window: deque = deque(maxlen=window)
-        self.count = 0
+        self.histogram = Histogram("latency_seconds", window=window)
         self.errors = 0
-        self.total_seconds = 0.0
         self.first_at: Optional[float] = None
         self.last_at: Optional[float] = None
 
     def record(self, seconds: float, error: bool = False) -> None:
         now = time.perf_counter()
+        self.histogram.observe(seconds)
         with self._lock:
-            self.count += 1
             if error:
                 self.errors += 1
-            self.total_seconds += seconds
-            self._window.append(seconds)
             if self.first_at is None:
                 self.first_at = now - seconds
             self.last_at = now
@@ -44,17 +49,19 @@ class LatencyRecorder:
     def percentile(self, q: float) -> float:
         """Latency at quantile ``q`` in [0, 1] over the recent window
         (nearest-rank: the smallest value covering a ``q`` fraction)."""
-        with self._lock:
-            window = sorted(self._window)
-        if not window:
-            return 0.0
-        idx = min(max(math.ceil(q * len(window)) - 1, 0),
-                  len(window) - 1)
-        return window[idx]
+        return self.histogram.percentile(q)
+
+    @property
+    def count(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_seconds(self) -> float:
+        return self.histogram.total
 
     @property
     def mean_seconds(self) -> float:
-        return self.total_seconds / self.count if self.count else 0.0
+        return self.histogram.mean
 
     @property
     def throughput_rps(self) -> float:
@@ -109,6 +116,22 @@ class ModelStats:
                 f"{self.cache_used_bytes} bytes")
         return "\n".join(lines)
 
+    def fill_registry(self, registry: Optional[MetricsRegistry] = None,
+                      prefix: str = "serving") -> MetricsRegistry:
+        """Export every numeric field as a ``<prefix>.<name>.<version>.*``
+        gauge in ``registry`` (created when omitted)."""
+        if registry is None:
+            registry = MetricsRegistry()
+        base = f"{self.name}.{self.version}"
+        if prefix:
+            base = f"{prefix}.{base}"
+        for spec in fields(self):
+            if spec.name in ("name", "version"):
+                continue
+            registry.set(f"{base}.{spec.name}",
+                         float(getattr(self, spec.name)))
+        return registry
+
 
 @dataclass
 class ServerStats:
@@ -131,6 +154,19 @@ class ServerStats:
         for key in sorted(self.models):
             lines.append(self.models[key].describe())
         return "\n".join(lines)
+
+    def fill_registry(self, registry: Optional[MetricsRegistry] = None,
+                      prefix: str = "serving") -> MetricsRegistry:
+        """Export fleet totals plus every model's fields into ``registry``."""
+        if registry is None:
+            registry = MetricsRegistry()
+        head = f"{prefix}." if prefix else ""
+        registry.set(f"{head}models", float(len(self.models)))
+        registry.set(f"{head}total_requests", float(self.total_requests))
+        registry.set(f"{head}total_errors", float(self.total_errors))
+        for key in sorted(self.models):
+            self.models[key].fill_registry(registry, prefix=prefix)
+        return registry
 
 
 def percentiles_ms(recorder: LatencyRecorder) -> List[float]:

@@ -29,6 +29,7 @@ from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.program import INPUT
+from repro.obs import trace as obs_trace
 from repro.serving.batcher import MicroBatcher, ServerOverloadedError
 from repro.serving.cache import (
     ServingCache,
@@ -327,14 +328,20 @@ class ModelServer:
                 fut: Future = Future()
                 fut.set_result(value)
                 model.latency.record(time.perf_counter() - start)
+                obs_trace.event(
+                    "serve.cache_hit", cat="cache",
+                    key=model.plan.ops[model.plan.sink_slot].key or None,
+                    args={"model": model.key})
                 return fut
         if model.batcher is None:
             fut = Future()
-            try:
-                fut.set_result(model.plan.run_item(
-                    item, fp=fp, sink_probed=fp is not None))
-            except BaseException as exc:  # noqa: BLE001 - surfaced below
-                fut.set_exception(exc)
+            with obs_trace.span("serve.request", cat="serving",
+                                args={"model": model.key}):
+                try:
+                    fut.set_result(model.plan.run_item(
+                        item, fp=fp, sink_probed=fp is not None))
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    fut.set_exception(exc)
             model.latency.record(time.perf_counter() - start,
                                  error=fut.exception() is not None)
             return fut

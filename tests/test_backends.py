@@ -158,6 +158,47 @@ class TestBackendEquivalence:
         assert fitted.training_report.backend == "sharded[workers=4]"
 
 
+class TestTracingTransparency:
+    """Tracing is a pure observer: zero spans recorded when disabled,
+    byte-identical predictions on every backend when enabled."""
+
+    @pytest.fixture(scope="class")
+    def untraced_reference(self):
+        fitted = optimize(text_pipeline).execute(backend=LocalBackend())
+        rows = fitted.apply_dataset(WORKLOAD.test_data(Context())).collect()
+        return comparable(rows)
+
+    @pytest.mark.parametrize("make_backend", ALL_BACKENDS)
+    def test_disabled_records_zero_spans(self, make_backend):
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer()
+        obs_trace.enable(tracer)
+        obs_trace.disable()
+        assert not obs_trace.enabled()
+        fitted = optimize(text_pipeline).execute(backend=make_backend())
+        assert fitted.apply("fine product") is not None
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    @pytest.mark.parametrize("make_backend", ALL_BACKENDS)
+    def test_byte_identical_with_tracing_on(self, make_backend,
+                                            untraced_reference):
+        from repro.obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer()
+        obs_trace.enable(tracer)
+        try:
+            backend = make_backend()
+            fitted = optimize(text_pipeline).execute(backend=backend)
+            rows = fitted.apply_dataset(WORKLOAD.test_data(Context()),
+                                        backend=backend).collect()
+        finally:
+            obs_trace.disable()
+        assert comparable(rows) == untraced_reference
+        assert len(tracer) > 0, "tracing was on but recorded nothing"
+
+
 class TestResolveBackend:
     def test_none_is_local(self):
         assert isinstance(resolve_backend(None), LocalBackend)

@@ -199,6 +199,70 @@ class TestActorFaultTolerance:
         want = comparable([reference.apply(d).toarray() for d in docs])
         assert got == want
 
+    def test_trace_survives_worker_death(self, tmp_path):
+        """A kill mid-featurization leaves a complete, well-nested trace
+        with a ``worker_restart`` event — and byte-identical results."""
+        from repro.obs import trace as obs_trace
+
+        docs = [f"doc {i % 7}" for i in range(24)]
+
+        def build(ctx, sentinel):
+            data = ctx.parallelize(docs, 4)
+            pipe = (Pipeline.identity()
+                    .and_then(KillOnceTransformer(sentinel))
+                    .and_then(CommonSparseFeatures(5), data))
+            return Optimizer(passes_for_level("none")).optimize(pipe)
+
+        sentinel = str(tmp_path / "traced.kill")
+        reference = build(Context(), sentinel).execute()
+        tracer = obs_trace.Tracer()
+        obs_trace.enable(tracer)
+        try:
+            with ActorBackend(workers=2, task_timeout=self.TIMEOUT,
+                              reuse_pool=False) as backend:
+                fitted = build(Context(), sentinel).execute(backend=backend)
+        finally:
+            obs_trace.disable()
+        report = fitted.training_report
+        assert os.path.exists(sentinel), "kill never fired in a worker"
+        assert report.worker_restarts > 0
+
+        spans = tracer.spans
+        restarts = [s for s in spans if s["name"] == "worker_restart"]
+        assert restarts, "worker_restart event missing from the trace"
+        assert all(s["kind"] == "event" for s in restarts)
+
+        # Both sides of the pipe made it into one buffer: parent-side
+        # fit/wave spans, and spans recorded inside surviving workers
+        # (the killed worker's in-flight buffer is lost with it).
+        parent_pid = os.getpid()
+        assert any(s["pid"] == parent_pid and s["kind"] == "span"
+                   for s in spans)
+        worker_spans = [s for s in spans if s["pid"] != parent_pid]
+        assert worker_spans, "no in-worker spans in the merged trace"
+        assert all(s["proc"].startswith("repro-actor")
+                   for s in worker_spans)
+
+        # Well-nested: every parent link resolves, and each child's
+        # interval sits inside its parent's (5 ms slack for mixing the
+        # wall-clock ts with perf_counter durations).
+        by_id = {s["id"]: s for s in spans}
+        linked = 0
+        for s in spans:
+            if s["parent"] is None:
+                continue
+            assert s["parent"] in by_id, f"dangling parent on {s['name']}"
+            par = by_id[s["parent"]]
+            slack = 5e3
+            assert s["ts"] >= par["ts"] - slack
+            assert s["ts"] + s["dur"] <= par["ts"] + par["dur"] + slack
+            linked += 1
+        assert linked > 0, "no parent-linked spans at all"
+
+        got = comparable([fitted.apply(d).toarray() for d in docs])
+        want = comparable([reference.apply(d).toarray() for d in docs])
+        assert got == want
+
     def test_worker_killed_mid_iteration_recovers_byte_identically(
             self, tmp_path):
         rng = np.random.default_rng(7)
