@@ -25,12 +25,27 @@ send time (and re-evaluated on retry) so they can consult the actor's
 current mirror.  Pools are shared per configuration across backend
 instances — persistent workers are the whole point — and torn down via
 :func:`shutdown_actor_pools`.
+
+Two driving styles share one fault-recovery path:
+
+- :meth:`ActorPool.wave` — lockstep: one message per actor, collect all
+  replies before returning.  The training backends use it (a shard wave
+  is a barrier by nature).
+- :meth:`ActorPool.call` — one request/reply against one actor, locked
+  per actor so calls against *different* actors proceed concurrently.
+  The serving replica tier uses it (batches overlap across replicas).
+
+The worker entry point is pluggable (``main=``): the training backends
+run :func:`repro.runtime.worker.actor_main`, the serving tier runs
+:func:`repro.serving.replicas.replica_main` — same pool, same respawn
+and setup-replay machinery, different message vocabulary.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -67,10 +82,21 @@ class _Msg:
 class _Actor:
     """One worker process plus the parent's mirror of its state."""
 
-    def __init__(self, index: int, ctx, state_budget_bytes: int):
+    def __init__(
+        self,
+        index: int,
+        ctx,
+        state_budget_bytes: int,
+        main: Callable = actor_main,
+        name: str = "repro-actor",
+    ):
         self.index = index
         self._ctx = ctx
         self._budget = state_budget_bytes
+        self._main = main
+        self._name = name
+        #: serializes per-actor request/reply cycles issued via call()
+        self.lock = threading.Lock()
         #: effective keys ((op key, start, stop)) the parent believes cached
         self.holds: Set[Tuple] = set()
         #: builders replayed after a respawn to rebuild staged state
@@ -84,9 +110,9 @@ class _Actor:
     def spawn(self) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
         self.proc = self._ctx.Process(
-            target=actor_main,
+            target=self._main,
             args=(child_conn, self._budget),
-            name=f"repro-actor-{self.index}",
+            name=f"{self._name}-{self.index}",
             daemon=True,
         )
         self.proc.start()
@@ -119,6 +145,8 @@ class ActorPool:
         task_timeout: Optional[float] = None,
         max_restarts: int = 2,
         state_budget_bytes: int = DEFAULT_STATE_BUDGET,
+        main: Callable = actor_main,
+        name: str = "repro-actor",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -133,8 +161,14 @@ class ActorPool:
             "mapped_bytes": 0,
         }
         ctx = multiprocessing.get_context(start_method)
-        self.actors = [_Actor(i, ctx, state_budget_bytes) for i in range(workers)]
+        self.actors = [
+            _Actor(i, ctx, state_budget_bytes, main=main, name=name)
+            for i in range(workers)
+        ]
         self._lock = threading.Lock()
+        # call() runs concurrently across actors; counter increments in
+        # _finish must not race (dict += is not atomic).
+        self._counters_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Waves
@@ -153,8 +187,15 @@ class ActorPool:
         errors re-raise in the parent; worker death and timeouts recover
         through bounded respawn, surfacing ``RuntimeError`` only once an
         actor exhausts ``max_restarts``.
+
+        Holds the pool lock (one wave at a time) plus each involved
+        actor's lock in index order, so a wave never interleaves with
+        concurrent :meth:`call` traffic against the same actors.
         """
-        with self._lock:
+        with ExitStack() as stack:
+            stack.enter_context(self._lock)
+            for index in sorted({index for index, _ in tasks}):
+                stack.enter_context(self.actors[index].lock)
             dispatched = []
             try:
                 for index, builder in tasks:
@@ -208,12 +249,43 @@ class ActorPool:
         with self._lock:
             for index in indices:
                 actor = self.actors[index]
-                actor.setup = []
-                try:
-                    self._send(actor, end_builder)
-                    self._finish(actor, self._recv(actor))
-                except Exception:
-                    pass
+                with actor.lock:
+                    actor.setup = []
+                    try:
+                        self._send(actor, end_builder)
+                        self._finish(actor, self._recv(actor))
+                    except Exception:
+                        pass
+
+    # ------------------------------------------------------------------
+    # Single-actor calls
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        index: int,
+        builder: Callable[[_Actor], _Msg],
+        setup: bool = False,
+    ) -> Tuple[Any, Dict]:
+        """One request/reply against actor ``index``; concurrency-safe.
+
+        Unlike :meth:`wave`, only the *target actor's* lock is held, so
+        calls against different actors from different threads overlap —
+        the dispatch model of the serving replica tier, where batch N
+        runs on replica A while batch N+1 runs on replica B.  The
+        fault story is wave's: death/wedge recovers through bounded
+        respawn with setup replay (``setup=True`` messages — e.g. a
+        replica's model loads — are re-sent to a respawned worker before
+        the failed message retries once).
+        """
+        actor = self.actors[index]
+        with actor.lock:
+            if setup:
+                actor.setup.append(builder)
+            try:
+                self._send(actor, builder)
+            except _WorkerDied:
+                self._recover(actor, builder)
+            return self._collect(actor, builder)
 
     # ------------------------------------------------------------------
     # Send / receive / recovery
@@ -237,8 +309,9 @@ class ActorPool:
 
     def _finish(self, actor: _Actor, reply: Tuple) -> Tuple[Any, Dict]:
         msg, actor.inflight = actor.inflight, None
-        self.counters["shipped_bytes"] += msg.shipped_bytes
-        self.counters["mapped_bytes"] += msg.mapped_bytes
+        with self._counters_lock:
+            self.counters["shipped_bytes"] += msg.shipped_bytes
+            self.counters["mapped_bytes"] += msg.mapped_bytes
         msg.release()
         expected = msg.payload[1] if len(msg.payload) > 1 else None
         if expected is not None and reply[1] != expected:
@@ -252,8 +325,9 @@ class ActorPool:
         _, _, result, meta = reply
         actor.holds.update(msg.produced)
         actor.holds.difference_update(meta.get("evicted", ()))
-        self.counters["hits"] += meta.get("hits", 0)
-        self.counters["misses"] += meta.get("misses", 0)
+        with self._counters_lock:
+            self.counters["hits"] += meta.get("hits", 0)
+            self.counters["misses"] += meta.get("misses", 0)
         return result, meta
 
     def _collect(self, actor: _Actor, builder) -> Tuple[Any, Dict]:
@@ -283,7 +357,8 @@ class ActorPool:
         Raises ``RuntimeError`` when the actor is out of restarts or
         dies again while replaying.
         """
-        self.counters["restarts"] += 1
+        with self._counters_lock:
+            self.counters["restarts"] += 1
         actor.restarts += 1
         obs_trace.event(
             "worker_restart",

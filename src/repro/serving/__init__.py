@@ -9,13 +9,20 @@ this package is the inference side — the production path the ROADMAP's
   :class:`InferencePlan` (no per-request graph walks; fused stages stay
   fused).
 - :mod:`repro.serving.batcher` — dynamic micro-batching (flush on
-  ``max_batch`` or ``max_delay_ms``) over a bounded queue.
+  ``max_batch`` or ``max_delay_ms``) over a bounded queue, with an
+  optional SLO feedback controller (:class:`SLOController`) and
+  priority-tier load shedding (:class:`RequestShedError`).
 - :mod:`repro.serving.cache` — the paper's cost-model cache selection
   re-aimed at cross-request reuse, keyed by input fingerprint with LRU
   eviction under a byte budget.
 - :mod:`repro.serving.server` — :class:`ModelServer`: a multi-model
   registry with named versions, warm swap, and ``stats()`` reporting
   latency percentiles, throughput, queue depth and cache hit rate.
+- :mod:`repro.serving.replicas` — the multi-process tier:
+  :class:`ReplicaSet` ships compiled programs to persistent worker
+  processes (``ModelServer(replicas=N)``) over the actor-pool runtime.
+- :mod:`repro.serving.async_server` — :class:`AsyncModelServer`, the
+  asyncio front-end (in-flight requests cost coroutines, not threads).
 - :mod:`repro.serving.metrics` — the counters behind ``stats()``.
 
 Quickstart::
@@ -29,9 +36,20 @@ Quickstart::
                         warmup_items=sample_docs)
         label = server.predict("reviews", "great product, love it")
         print(server.stats().describe())
+
+``docs/SERVING.md`` has the full knob reference.
 """
 
-from repro.serving.batcher import MicroBatcher, ServerOverloadedError
+from repro.serving.async_server import AsyncModelServer
+from repro.serving.batcher import (
+    HIGH,
+    LOW,
+    NORMAL,
+    MicroBatcher,
+    RequestShedError,
+    ServerOverloadedError,
+    SLOController,
+)
 from repro.serving.cache import (
     ServingCache,
     choose_serving_cache_set,
@@ -43,15 +61,23 @@ from repro.serving.compiler import (
     compile_inference_plan,
 )
 from repro.serving.metrics import LatencyRecorder, ModelStats, ServerStats
+from repro.serving.replicas import ReplicaSet
 from repro.serving.server import ModelServer, ServedModel
 
 __all__ = [
+    "HIGH",
+    "LOW",
+    "NORMAL",
+    "AsyncModelServer",
     "InferenceOp",
     "InferencePlan",
     "LatencyRecorder",
     "MicroBatcher",
     "ModelServer",
     "ModelStats",
+    "ReplicaSet",
+    "RequestShedError",
+    "SLOController",
     "ServedModel",
     "ServerOverloadedError",
     "ServerStats",

@@ -1,0 +1,129 @@
+"""Asyncio front-end: thousands of in-flight requests as coroutines.
+
+:meth:`ModelServer.submit` already returns a
+:class:`concurrent.futures.Future`, so the server core is naturally
+asynchronous — what a thread-per-request client pays for is the *waiting*
+(one OS thread parked per outstanding ``result()`` call).
+:class:`AsyncModelServer` bridges that Future into the event loop with
+:func:`asyncio.wrap_future`: an awaiting coroutine costs a heap object,
+not a stack, so an async gateway holds thousands of concurrent requests
+over one thread while the micro-batcher underneath sees exactly the open
+traffic it needs to form full batches.
+
+The wrapper is deliberately thin: no request path is duplicated, every
+submission funnels through the synchronous server's single entry point
+(cache fast path, priority shedding, batching, metrics all included), and
+the registry methods delegate.  Backpressure surfaces unchanged —
+:class:`~repro.serving.batcher.ServerOverloadedError` and
+:class:`~repro.serving.batcher.RequestShedError` raise inside the
+awaiting coroutine.
+
+Usage::
+
+    server = ModelServer(replicas=2, slo_target_p99_ms=20.0)
+    server.register("m", fitted)
+    async with AsyncModelServer(server) as srv:
+        preds = await asyncio.gather(*(srv.predict("m", x) for x in items))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List, Optional, Sequence
+
+from repro.serving.batcher import NORMAL
+from repro.serving.server import ModelServer
+
+
+class AsyncModelServer:
+    """Event-loop adapter over a (possibly replica-backed) ModelServer.
+
+    Owns no execution machinery: construction wraps an existing
+    :class:`~repro.serving.server.ModelServer` (or builds a fresh one
+    from the given knobs when ``server`` is omitted).  Entering the
+    async context starts the underlying server; exiting stops it —
+    through :meth:`ModelServer.close` when it owns replicas — without
+    blocking the event loop.
+    """
+
+    def __init__(self, server: Optional[ModelServer] = None, **knobs: Any):
+        if server is not None and knobs:
+            raise ValueError(
+                "pass either an existing server or construction knobs, "
+                f"not both (got knobs {sorted(knobs)})"
+            )
+        self.server = server if server is not None else ModelServer(**knobs)
+
+    # ------------------------------------------------------------------
+    # Registry (synchronous: compilation is a deliberate, rare act)
+    # ------------------------------------------------------------------
+    def register(self, name: str, fitted, **kwargs: Any):
+        return self.server.register(name, fitted, **kwargs)
+
+    def deploy(self, name: str, version: str):
+        return self.server.deploy(name, version)
+
+    def models(self) -> List[str]:
+        return self.server.models()
+
+    def stats(self, name: Optional[str] = None, version: Optional[str] = None):
+        return self.server.stats(name, version)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def predict(
+        self,
+        name: str,
+        item: Any,
+        version: Optional[str] = None,
+        priority: int = NORMAL,
+    ) -> Any:
+        """Await one prediction; overload/shedding raises in the caller."""
+        fut = self.server.submit(name, item, version=version, priority=priority)
+        return await asyncio.wrap_future(fut)
+
+    async def predict_many(
+        self,
+        name: str,
+        items: Sequence[Any],
+        version: Optional[str] = None,
+        priority: int = NORMAL,
+    ) -> List[Any]:
+        """Submit every item open-loop, then await them all.
+
+        All submissions enter the batcher before the first await, so the
+        flush sees the full open traffic — the async analogue of the
+        synchronous ``predict_many``.
+        """
+        futures = [
+            asyncio.wrap_future(
+                self.server.submit(name, item, version=version, priority=priority)
+            )
+            for item in items
+        ]
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncModelServer":
+        self.server.start()
+        return self
+
+    async def stop(self) -> None:
+        """Stop without blocking the loop (drain runs in an executor)."""
+        loop = asyncio.get_running_loop()
+        if self.server.replicas:
+            await loop.run_in_executor(None, self.server.close)
+        else:
+            await loop.run_in_executor(None, self.server.stop)
+
+    async def __aenter__(self) -> "AsyncModelServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def __repr__(self) -> str:
+        return f"AsyncModelServer({self.server!r})"

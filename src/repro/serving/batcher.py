@@ -2,11 +2,38 @@
 
 Requests enter a bounded queue as ``(payload, Future)`` pairs.  A worker
 thread opens a batch on the first request, then keeps admitting until
-either ``max_batch`` requests are collected or ``max_delay_ms`` has passed
-since the batch opened — the classic dynamic-batching policy: full batches
-under load (throughput), prompt flushes when idle (latency).  The flush is
+either the batch limit is reached or the flush delay has passed since the
+batch opened — the classic dynamic-batching policy: full batches under
+load (throughput), prompt flushes when idle (latency).  The flush is
 handed to the runner (which vectorizes through the compiled plan's
 ``run_batch``), and each request's Future resolves with its row.
+
+Three policies layer on top of the PR 3 core, all off by default:
+
+- **SLO-adaptive limits** (:class:`SLOController`).  The static
+  ``max_batch``/``max_delay_ms`` pair is the classic knob dilemma: a
+  delay tuned for peak throughput taxes every idle-period request, a
+  batch limit tuned for latency caps throughput under load.  The
+  controller turns both into a feedback loop driven by a p99 latency
+  target: under light load it shrinks the flush delay toward zero (no
+  pointless waiting), under pressure it grows the batch limit toward the
+  hard ``max_batch`` (amortization is the only way to drain a backlog).
+  The constructor bounds are *hard*: the effective batch limit never
+  exceeds ``max_batch`` and the effective delay is never negative.
+
+- **Priority-tier load shedding** (``shed_watermarks``).  Beyond the
+  binary full-queue :class:`ServerOverloadedError`, each priority tier
+  can be given a queue-depth watermark (a fraction of ``max_queue``)
+  above which its requests are shed with :class:`RequestShedError` —
+  low-priority traffic degrades first, and the queue headroom above the
+  watermark stays reserved for higher tiers.  Shedding is load *control*,
+  not failure: the error is raised at submit time, before any queueing.
+
+- **Concurrent flush dispatch** (``concurrency``).  With one dispatch
+  thread a flush must finish before the next batch is collected; with
+  ``concurrency=N`` flushes are handed to a small thread pool so batch
+  ``k`` can run on one serving replica while batch ``k+1`` runs on
+  another — the dispatch model of :mod:`repro.serving.replicas`.
 
 Backpressure is explicit: when the queue is full, :meth:`submit` raises
 :class:`ServerOverloadedError` instead of buffering without bound — the
@@ -17,43 +44,225 @@ from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future
-from typing import Any, Callable, List, Sequence, Tuple
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import trace as obs_trace
+from repro.obs.metrics import Histogram
+
+#: request priority tiers (smaller is more important); any int works —
+#: these names cover the common three-tier split.
+HIGH, NORMAL, LOW = 0, 1, 2
+
+#: a reasonable default tier map for ``shed_watermarks``: low-priority
+#: traffic sheds at half a queue, normal at 90%, high only when full.
+SHED_WATERMARKS: Mapping[int, float] = {HIGH: 1.0, NORMAL: 0.9, LOW: 0.5}
 
 
 class ServerOverloadedError(RuntimeError):
     """The bounded request queue is full; the caller should shed load."""
 
 
+class RequestShedError(ServerOverloadedError):
+    """The request was shed by its priority tier's queue watermark.
+
+    A subclass of :class:`ServerOverloadedError` so existing callers
+    treat it as backpressure; the distinction tells a client whether
+    retrying at a higher priority could help (shed) or the server is
+    saturated for everyone (overloaded).
+    """
+
+
+class SLOController:
+    """Feedback controller mapping observed tail latency to batch knobs.
+
+    Maintains an *effective* ``(batch_limit, delay_ms)`` pair inside the
+    hard ``[min_batch, max_batch]`` × ``[min_delay_ms, max_delay_ms]``
+    box.  Every ``adjust_every`` observations it compares the windowed
+    p99 against ``target_p99_ms`` and the peak queue depth against the
+    current batch limit:
+
+    - **pressure** (p99 over target, or a backlog deeper than one
+      flush): grow the batch limit by ``grow`` and relax the delay back
+      toward ``max_delay_ms`` — fuller batches amortize per-flush cost,
+      which is the only way to drain a backlog;
+    - **light load**: shrink the delay by ``shrink`` toward
+      ``min_delay_ms`` (an idle server should not make requests wait for
+      company) and decay the batch limit slowly.
+
+    Thread-safe; :meth:`observe` is cheap enough for per-request use.
+    """
+
+    def __init__(
+        self,
+        target_p99_ms: float = 50.0,
+        *,
+        max_batch: int = 64,
+        max_delay_ms: float = 5.0,
+        min_batch: int = 1,
+        min_delay_ms: float = 0.0,
+        grow: float = 1.5,
+        shrink: float = 0.75,
+        adjust_every: int = 64,
+        window: int = 2048,
+    ):
+        if target_p99_ms <= 0:
+            raise ValueError(f"target_p99_ms must be > 0, got {target_p99_ms}")
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"[{min_batch}, {max_batch}]"
+            )
+        if min_delay_ms < 0 or max_delay_ms < min_delay_ms:
+            raise ValueError(
+                f"need 0 <= min_delay_ms <= max_delay_ms, got "
+                f"[{min_delay_ms}, {max_delay_ms}]"
+            )
+        if grow <= 1.0:
+            raise ValueError(f"grow must be > 1, got {grow}")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+        if adjust_every < 1:
+            raise ValueError(f"adjust_every must be >= 1, got {adjust_every}")
+        self.target_p99_ms = target_p99_ms
+        self.max_batch = max_batch
+        self.min_batch = min_batch
+        self.max_delay_ms = max_delay_ms
+        self.min_delay_ms = min_delay_ms
+        self.grow = grow
+        self.shrink = shrink
+        self.adjust_every = adjust_every
+        # Start latency-lean: a modest batch limit and the full delay —
+        # the first pressure signal grows the batch, the first quiet
+        # window shrinks the delay.
+        self.batch_limit = max(min_batch, min(max_batch, max(1, max_batch // 4)))
+        self.delay_ms = max_delay_ms
+        self.adjustments = 0
+        self.pressure_events = 0
+        self._hist = Histogram("slo_latency_seconds", window=window)
+        self._lock = threading.Lock()
+        self._since_adjust = 0
+        self._peak_depth = 0
+
+    def limits(self) -> Tuple[int, float]:
+        """Current effective ``(batch_limit, delay_ms)``."""
+        return self.batch_limit, self.delay_ms
+
+    @property
+    def observed_p99_ms(self) -> float:
+        return self._hist.percentile(0.99) * 1000.0
+
+    def observe(self, seconds: float, queue_depth: int = 0) -> None:
+        """Feed one completed request's end-to-end latency."""
+        self._hist.observe(seconds)
+        with self._lock:
+            self._peak_depth = max(self._peak_depth, queue_depth)
+            self._since_adjust += 1
+            if self._since_adjust < self.adjust_every:
+                return
+            self._since_adjust = 0
+            peak, self._peak_depth = self._peak_depth, 0
+        self._adjust(peak)
+
+    def _adjust(self, peak_depth: int) -> None:
+        p99_ms = self.observed_p99_ms
+        pressure = p99_ms > self.target_p99_ms or peak_depth > self.batch_limit
+        with self._lock:
+            self.adjustments += 1
+            if pressure:
+                self.pressure_events += 1
+                self.batch_limit = min(
+                    self.max_batch,
+                    max(self.batch_limit + 1, int(self.batch_limit * self.grow)),
+                )
+                self.delay_ms = min(
+                    self.max_delay_ms, max(self.delay_ms, 0.05) / self.shrink
+                )
+            else:
+                self.delay_ms = max(self.min_delay_ms, self.delay_ms * self.shrink)
+                self.batch_limit = max(
+                    self.min_batch,
+                    self.batch_limit - max(1, self.batch_limit // 8),
+                )
+            # The hard box holds whatever the update rule did.
+            self.batch_limit = max(
+                self.min_batch, min(self.max_batch, self.batch_limit)
+            )
+            self.delay_ms = max(0.0, min(self.max_delay_ms, self.delay_ms))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "target_p99_ms": self.target_p99_ms,
+            "observed_p99_ms": self.observed_p99_ms,
+            "batch_limit": float(self.batch_limit),
+            "delay_ms": self.delay_ms,
+            "adjustments": float(self.adjustments),
+            "pressure_events": float(self.pressure_events),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOController(target_p99_ms={self.target_p99_ms}, "
+            f"batch_limit={self.batch_limit}, delay_ms={self.delay_ms:.2f})"
+        )
+
+
 class MicroBatcher:
-    """Queue + worker thread flushing on ``max_batch`` or ``max_delay_ms``.
+    """Queue + worker thread flushing on the batch limit or flush delay.
 
     ``runner`` maps a list of payloads to a same-length list of results.
     Not started by default: call :meth:`start` (the server does) — requests
     submitted before ``start`` simply wait in the queue, which tests use to
     get deterministic flush sizes.
+
+    ``controller`` (an :class:`SLOController`) makes the effective batch
+    limit and flush delay adaptive; the constructor's ``max_batch`` and
+    ``max_delay_ms`` stay hard upper bounds either way.
+    ``shed_watermarks`` maps priority tiers to queue-depth fractions for
+    early shedding (see module docs); without it every priority is
+    admitted until the queue is full.  ``concurrency`` > 1 dispatches
+    flushes onto a thread pool so they overlap (replica serving).
     """
 
-    def __init__(self, runner: Callable[[List[Any]], Sequence[Any]],
-                 max_batch: int = 32, max_delay_ms: float = 2.0,
-                 max_queue: int = 1024, name: str = "batcher"):
+    def __init__(
+        self,
+        runner: Callable[[List[Any]], Sequence[Any]],
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+        max_queue: int = 1024,
+        name: str = "batcher",
+        *,
+        controller: Optional[SLOController] = None,
+        shed_watermarks: Optional[Mapping[int, float]] = None,
+        concurrency: int = 1,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay_ms < 0:
-            raise ValueError(
-                f"max_delay_ms must be >= 0, got {max_delay_ms}")
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if shed_watermarks is not None:
+            for tier, fraction in shed_watermarks.items():
+                if not 0.0 < fraction <= 1.0:
+                    raise ValueError(
+                        f"shed watermark for priority {tier} must be in "
+                        f"(0, 1], got {fraction}"
+                    )
         self.runner = runner
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
+        self.max_queue = max_queue
         self.name = name
-        self._queue: "queue.Queue[Tuple[Any, Future]]" = \
-            queue.Queue(maxsize=max_queue)
+        self.controller = controller
+        self.concurrency = concurrency
+        self._watermarks = dict(shed_watermarks) if shed_watermarks else None
+        self._queue: "queue.Queue[Tuple[Any, Future]]" = queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
-        self._thread: threading.Thread = None
+        self._thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         # Serializes submit's stopped-check+enqueue against stop's flag
         # set: without it a put can land after the post-join sweep and
@@ -62,6 +271,8 @@ class MicroBatcher:
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_seen = 0
+        self.shed_requests = 0
+        self.shed_by_priority: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -69,9 +280,14 @@ class MicroBatcher:
     def start(self) -> "MicroBatcher":
         if self._thread is None or not self._thread.is_alive():
             self._stop.clear()
+            if self.concurrency > 1 and self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.concurrency,
+                    thread_name_prefix=f"microbatcher-{self.name}-flush",
+                )
             self._thread = threading.Thread(
-                target=self._loop, name=f"microbatcher-{self.name}",
-                daemon=True)
+                target=self._loop, name=f"microbatcher-{self.name}", daemon=True
+            )
             self._thread.start()
         return self
 
@@ -92,6 +308,10 @@ class MicroBatcher:
         thread = self._thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=timeout)
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            # In-flight dispatched flushes resolve their futures first.
+            executor.shutdown(wait=True)
         # Post-join sweep: a request that slipped in between the worker's
         # final empty-check and its exit must still resolve, not park its
         # Future until the caller's timeout.
@@ -102,7 +322,7 @@ class MicroBatcher:
             except queue.Empty:
                 break
         for lo in range(0, len(leftovers), self.max_batch):
-            batch = leftovers[lo:lo + self.max_batch]
+            batch = leftovers[lo : lo + self.max_batch]
             if drain:
                 self._flush(batch)
             else:
@@ -116,19 +336,48 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> Future:
+    def submit(self, payload: Any, priority: int = NORMAL) -> Future:
         fut: Future = Future()
         with self._submit_lock:
             if self._stop.is_set():
-                raise ServerOverloadedError(
-                    f"{self.name}: batcher is stopped")
+                raise ServerOverloadedError(f"{self.name}: batcher is stopped")
+            watermark = self._watermark(priority)
+            if watermark < 1.0 and self._queue.qsize() >= watermark * self.max_queue:
+                self.shed_requests += 1
+                self.shed_by_priority[priority] = (
+                    self.shed_by_priority.get(priority, 0) + 1
+                )
+                raise RequestShedError(
+                    f"{self.name}: priority {priority} sheds at "
+                    f"{watermark:.0%} of {self.max_queue} queued "
+                    f"(depth {self._queue.qsize()})"
+                )
             try:
                 self._queue.put_nowait((payload, fut))
             except queue.Full:
                 raise ServerOverloadedError(
                     f"{self.name}: request queue full "
-                    f"({self._queue.maxsize} pending)") from None
+                    f"({self._queue.maxsize} pending)"
+                ) from None
         return fut
+
+    def _watermark(self, priority: int) -> float:
+        """The queue fraction above which ``priority`` is shed.
+
+        Exact tier match wins; an unmapped priority uses the watermark
+        of the closest mapped tier *above* it (more important), so an
+        off-scale low priority degrades first rather than slipping
+        through un-shed; priorities above every mapped tier never shed
+        early.
+        """
+        if self._watermarks is None:
+            return 1.0
+        if priority in self._watermarks:
+            return self._watermarks[priority]
+        below = [tier for tier in self._watermarks if tier < priority]
+        if not below:
+            return 1.0
+        return self._watermarks[max(below)]
 
     @property
     def queue_depth(self) -> int:
@@ -136,12 +385,21 @@ class MicroBatcher:
 
     @property
     def mean_batch_size(self) -> float:
-        return (self.batched_requests / self.batches
-                if self.batches else 0.0)
+        return self.batched_requests / self.batches if self.batches else 0.0
 
     # ------------------------------------------------------------------
     # Worker
     # ------------------------------------------------------------------
+    def _limits(self) -> Tuple[int, float]:
+        """Effective (batch limit, delay ms), clamped to the hard box."""
+        if self.controller is None:
+            return self.max_batch, self.max_delay_ms
+        batch, delay_ms = self.controller.limits()
+        return (
+            max(1, min(self.max_batch, int(batch))),
+            max(0.0, min(self.max_delay_ms, delay_ms)),
+        )
+
     def _loop(self) -> None:
         import time
 
@@ -152,8 +410,9 @@ class MicroBatcher:
                 batch = [get(timeout=0.02)]
             except queue.Empty:
                 continue
-            deadline = time.perf_counter() + self.max_delay_ms / 1000.0
-            while len(batch) < self.max_batch:
+            limit, delay_ms = self._limits()
+            deadline = time.perf_counter() + delay_ms / 1000.0
+            while len(batch) < limit:
                 # Drain whatever is already queued before touching the
                 # clock: a hot queue fills the batch without timeouts.
                 try:
@@ -168,11 +427,17 @@ class MicroBatcher:
                     batch.append(get(timeout=remaining))
                 except queue.Empty:
                     break
-            self._flush(batch)
+            if self._executor is not None:
+                self._executor.submit(self._flush, batch)
+            else:
+                self._flush(batch)
 
     def _flush(self, batch: List[Tuple[Any, Future]]) -> None:
-        batch = [(payload, fut) for payload, fut in batch
-                 if fut.set_running_or_notify_cancel()]
+        batch = [
+            (payload, fut)
+            for payload, fut in batch
+            if fut.set_running_or_notify_cancel()
+        ]
         if not batch:
             return
         with self._lock:
@@ -181,14 +446,17 @@ class MicroBatcher:
             self.max_batch_seen = max(self.max_batch_seen, len(batch))
         payloads = [payload for payload, _ in batch]
         try:
-            with obs_trace.span("serve.batch", cat="serving",
-                                args={"name": self.name,
-                                      "batch": len(payloads)}):
+            with obs_trace.span(
+                "serve.batch",
+                cat="serving",
+                args={"name": self.name, "batch": len(payloads)},
+            ):
                 results = self.runner(payloads)
             if len(results) != len(payloads):
                 raise RuntimeError(
                     f"batch runner returned {len(results)} results for "
-                    f"{len(payloads)} requests")
+                    f"{len(payloads)} requests"
+                )
         except BaseException as exc:  # noqa: BLE001 - forwarded to callers
             for _, fut in batch:
                 fut.set_exception(exc)
@@ -197,6 +465,8 @@ class MicroBatcher:
             fut.set_result(result)
 
     def __repr__(self) -> str:
-        return (f"MicroBatcher(max_batch={self.max_batch}, "
-                f"max_delay_ms={self.max_delay_ms}, "
-                f"depth={self.queue_depth}, running={self.running})")
+        return (
+            f"MicroBatcher(max_batch={self.max_batch}, "
+            f"max_delay_ms={self.max_delay_ms}, "
+            f"depth={self.queue_depth}, running={self.running})"
+        )

@@ -89,6 +89,15 @@ class ModelStats:
     batches: int = 0
     mean_batch_size: float = 0.0
     max_batch_size: int = 0
+    shed_requests: int = 0
+    replicas: int = 0
+    replica_batches: int = 0
+    replica_restarts: int = 0
+    slo_target_p99_ms: float = 0.0
+    effective_batch: float = 0.0
+    effective_delay_ms: float = 0.0
+    slo_adjustments: int = 0
+    slo_pressure_events: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
@@ -108,6 +117,21 @@ class ModelStats:
             f"mean size {self.mean_batch_size:.1f}, "
             f"max {self.max_batch_size}",
         ]
+        if self.shed_requests:
+            lines.append(f"  shed: {self.shed_requests} requests "
+                         f"(priority watermarks)")
+        if self.replicas:
+            lines.append(
+                f"  replicas: {self.replicas} processes, "
+                f"{self.replica_batches} batches, "
+                f"{self.replica_restarts} restarts")
+        if self.slo_target_p99_ms:
+            lines.append(
+                f"  slo: target p99 {self.slo_target_p99_ms:.1f} ms; "
+                f"effective batch {self.effective_batch:.0f}, "
+                f"delay {self.effective_delay_ms:.2f} ms "
+                f"({self.slo_adjustments} adjustments, "
+                f"{self.slo_pressure_events} under pressure)")
         if self.cache_hits or self.cache_misses or self.cache_entries:
             lines.append(
                 f"  cache: hit rate {self.cache_hit_rate:.2f} "

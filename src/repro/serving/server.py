@@ -15,10 +15,28 @@ Request path (:meth:`submit` / :meth:`predict`):
    sink output answers immediately without touching the queue,
 3. otherwise enqueue into the version's micro-batcher (or, with
    ``micro_batching=False``, run the compiled per-item path inline),
-4. a completion callback records end-to-end latency and errors.
+4. a completion callback records end-to-end latency and errors, and
+   feeds the SLO controller when one is configured.
+
+Three scale-out layers are opt-in on top of this path:
+
+- ``replicas=N`` runs the compiled plans in N persistent worker
+  *processes* (:mod:`repro.serving.replicas`): batches collected by each
+  version's micro-batcher dispatch to free replicas, the serving cache
+  stays parent-side (content keys are process-independent, so any
+  replica's work answers fleet-wide repeats), and replica death recovers
+  through the actor pool's bounded respawn with model-load replay.
+- ``slo_target_p99_ms=X`` attaches an
+  :class:`~repro.serving.batcher.SLOController` per registered version:
+  batch limit and flush delay become a feedback loop on observed tail
+  latency instead of static knobs.
+- ``shed_watermarks={priority: queue fraction}`` degrades low-priority
+  traffic (:class:`~repro.serving.batcher.RequestShedError`) before the
+  queue fills for everyone; ``submit``/``predict`` take ``priority=``.
 
 :meth:`stats` snapshots the whole fleet — per-model p50/p95/p99 latency,
-throughput, queue depth, batch-size distribution, and cache hit rate.
+throughput, queue depth, batch-size distribution, cache hit rate, shed
+counts, replica health, and the controller's effective limits.
 """
 
 from __future__ import annotations
@@ -26,11 +44,16 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.program import INPUT
 from repro.obs import trace as obs_trace
-from repro.serving.batcher import MicroBatcher, ServerOverloadedError
+from repro.serving.batcher import (
+    NORMAL,
+    MicroBatcher,
+    ServerOverloadedError,
+    SLOController,
+)
 from repro.serving.cache import (
     ServingCache,
     choose_serving_cache_set,
@@ -50,13 +73,19 @@ class ServedModel:
 
     def __init__(self, name: str, version: str, fitted,
                  plan: InferencePlan, batcher: Optional[MicroBatcher],
-                 cache: Optional[ServingCache]):
+                 cache: Optional[ServingCache],
+                 controller: Optional[SLOController] = None,
+                 replica_set=None):
         self.name = name
         self.version = version
         self.fitted = fitted
         self.plan = plan
         self.batcher = batcher
         self.cache = cache
+        self.controller = controller
+        #: the server-owned ReplicaSet executing this version's batches
+        #: (None when serving in-process)
+        self.replica_set = replica_set
         self.latency = LatencyRecorder()
 
     @property
@@ -78,6 +107,18 @@ class ServedModel:
             out.batches = self.batcher.batches
             out.mean_batch_size = self.batcher.mean_batch_size
             out.max_batch_size = self.batcher.max_batch_seen
+            out.shed_requests = self.batcher.shed_requests
+        if self.controller is not None:
+            snap = self.controller.snapshot()
+            out.slo_target_p99_ms = snap["target_p99_ms"]
+            out.effective_batch = snap["batch_limit"]
+            out.effective_delay_ms = snap["delay_ms"]
+            out.slo_adjustments = int(snap["adjustments"])
+            out.slo_pressure_events = int(snap["pressure_events"])
+        if self.replica_set is not None:
+            out.replicas = self.replica_set.replicas
+            out.replica_batches = self.replica_set.batches
+            out.replica_restarts = self.replica_set.restarts
         if self.cache is not None:
             out.cache_hits = self.cache.hits
             out.cache_misses = self.cache.misses
@@ -107,22 +148,53 @@ class ModelServer:
     - ``micro_batching`` — with ``False``, requests run inline on the
       per-item compiled path (byte-identical to ``FittedPipeline.apply``
       for every pipeline, including raw-score outputs).
+    - ``replicas`` — 0 serves in-process (the default); N >= 1 executes
+      every version's batches on a fleet of N persistent worker
+      processes (requires ``micro_batching``); the processes spawn
+      lazily at the first ``register()``.
+    - ``slo_target_p99_ms`` — attach a per-version
+      :class:`~repro.serving.batcher.SLOController` steering the
+      effective batch limit and flush delay toward this p99 target
+      (``max_batch``/``max_delay_ms`` stay hard bounds).
+    - ``shed_watermarks`` — priority-tier load shedding map
+      ``{priority: queue fraction}``; see :mod:`repro.serving.batcher`.
+    - ``batch_concurrency`` — dispatch threads per version's batcher;
+      defaults to ``replicas`` (overlapping batches across the fleet)
+      or 1 in-process.
     """
 
     def __init__(self, max_batch: int = 32, max_delay_ms: float = 2.0,
                  max_queue: int = 1024, cache_budget_bytes: float = 0.0,
-                 expected_reuse: float = 4.0, micro_batching: bool = True):
+                 expected_reuse: float = 4.0, micro_batching: bool = True,
+                 replicas: int = 0,
+                 slo_target_p99_ms: Optional[float] = None,
+                 shed_watermarks: Optional[Mapping[int, float]] = None,
+                 batch_concurrency: Optional[int] = None,
+                 replica_start_method: str = "spawn"):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if cache_budget_bytes < 0:
             raise ValueError("cache_budget_bytes must be >= 0, got "
                              f"{cache_budget_bytes}")
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        if replicas and not micro_batching:
+            raise ValueError(
+                "replicas require micro_batching=True: the replica tier "
+                "executes micro-batches, there is no inline replica path")
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.max_queue = max_queue
         self.cache_budget_bytes = cache_budget_bytes
         self.expected_reuse = expected_reuse
         self.micro_batching = micro_batching
+        self.replicas = replicas
+        self.slo_target_p99_ms = slo_target_p99_ms
+        self.shed_watermarks = (dict(shed_watermarks)
+                                if shed_watermarks else None)
+        self.batch_concurrency = batch_concurrency
+        self.replica_start_method = replica_start_method
+        self._replica_set = None  # lazy: spawned at first register()
         self._lock = threading.RLock()
         self._versions: Dict[str, Dict[str, ServedModel]] = {}
         self._default_version: Dict[str, str] = {}
@@ -164,21 +236,62 @@ class ModelServer:
                 node_ids = {op.node_id for op in plan.ops
                             if op.kind != INPUT}
 
+        replica_set = None
+        if self.replicas:
+            replica_set = self._ensure_replicas()
+            slot = f"{name}:{version}"
+            # Ship the lowered, process-independent program to the fleet
+            # (registered as a setup message: respawned replicas reload
+            # every model before retrying work).
+            replica_set.load(slot, plan.program)
+
         batcher = None
         if self.micro_batching:
-            def run(payloads: List[Any], _plan=plan) -> List[Any]:
-                items = [item for item, _fp in payloads]
-                fps = ([fp for _item, fp in payloads]
-                       if _plan.cache is not None else None)
-                # submit() already counted each payload's sink probe.
-                return _plan.run_batch(items, fps, sink_probed=True)
+            if replica_set is not None:
+                def run(payloads: List[Any], _plan=plan, _slot=slot,
+                        _fleet=replica_set) -> List[Any]:
+                    items = [item for item, _fp in payloads]
+                    results = _fleet.run_batch(_slot, items)
+                    # The serving cache lives parent-side; insert sink
+                    # outputs so any replica's work answers fleet-wide
+                    # repeats through the pre-queue fast path.
+                    cache = _plan.cache
+                    if (cache is not None
+                            and _plan.sink_slot in _plan.cached_slots):
+                        sink_key = _plan.ops[_plan.sink_slot].key
+                        for (_item, fp), value in zip(payloads, results):
+                            if fp is not None:
+                                cache.put(sink_key, fp, value)
+                    return results
+            else:
+                def run(payloads: List[Any], _plan=plan) -> List[Any]:
+                    items = [item for item, _fp in payloads]
+                    fps = ([fp for _item, fp in payloads]
+                           if _plan.cache is not None else None)
+                    # submit() already counted each payload's sink probe.
+                    return _plan.run_batch(items, fps, sink_probed=True)
 
+            controller = None
+            if self.slo_target_p99_ms is not None:
+                controller = SLOController(
+                    self.slo_target_p99_ms,
+                    max_batch=self.max_batch,
+                    max_delay_ms=self.max_delay_ms)
+            concurrency = self.batch_concurrency
+            if concurrency is None:
+                concurrency = self.replicas if self.replicas else 1
             batcher = MicroBatcher(
                 run, max_batch=self.max_batch,
                 max_delay_ms=self.max_delay_ms, max_queue=self.max_queue,
-                name=f"{name}@{version}")
+                name=f"{name}@{version}",
+                controller=controller,
+                shed_watermarks=self.shed_watermarks,
+                concurrency=concurrency)
 
-        model = ServedModel(name, version, fitted, plan, batcher, None)
+        model = ServedModel(name, version, fitted, plan, batcher, None,
+                            controller=(batcher.controller
+                                        if batcher is not None else None),
+                            replica_set=replica_set)
         # One critical section covers the sibling scan, the cache attach
         # and the registry insertion: two concurrent register() calls for
         # one name must see each other, or the shared featurization
@@ -233,6 +346,17 @@ class ModelServer:
             # worker thread; its queued requests drain first.
             displaced.batcher.stop()
         return model
+
+    def _ensure_replicas(self):
+        """Spawn the server-owned replica fleet on first use."""
+        with self._lock:
+            if self._replica_set is None:
+                from repro.serving.replicas import ReplicaSet
+
+                self._replica_set = ReplicaSet(
+                    self.replicas,
+                    start_method=self.replica_start_method)
+            return self._replica_set
 
     def deploy(self, name: str, version: str) -> ServedModel:
         """Warm-swap the default version of ``name`` (already compiled)."""
@@ -301,18 +425,44 @@ class ModelServer:
         for batcher in batchers:
             batcher.stop(drain=drain)
 
+    def close(self) -> None:
+        """Stop serving and shut the replica fleet down (terminal).
+
+        :meth:`stop` keeps the server restartable (its batchers respawn
+        on :meth:`start`); ``close`` additionally terminates the replica
+        processes, so a replica server should always be closed when
+        done.  Idempotent; in-process servers just stop.
+        """
+        self.stop()
+        with self._lock:
+            fleet, self._replica_set = self._replica_set, None
+        if fleet is not None:
+            fleet.shutdown()
+
     def __enter__(self) -> "ModelServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        if self.replicas:
+            self.close()
+        else:
+            self.stop()
 
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
     def submit(self, name: str, item: Any,
-               version: Optional[str] = None) -> Future:
-        """Enqueue one request; returns a Future of the prediction."""
+               version: Optional[str] = None,
+               priority: int = NORMAL) -> Future:
+        """Enqueue one request; returns a Future of the prediction.
+
+        ``priority`` (smaller = more important; see
+        :data:`repro.serving.batcher.HIGH` / ``NORMAL`` / ``LOW``) only
+        matters when the server was built with ``shed_watermarks``:
+        above a tier's queue watermark its requests raise
+        :class:`~repro.serving.batcher.RequestShedError` instead of
+        queuing — cache hits and inline execution are never shed.
+        """
         if self._stopped:
             # Checked before the cache fast path too: a stopped server
             # must not keep answering hits while rejecting misses.
@@ -354,26 +504,36 @@ class ModelServer:
                     raise ServerOverloadedError(
                         "server is stopped; call start() to serve again")
                 model.batcher.start()
-        fut = model.batcher.submit((item, fp))
+        fut = model.batcher.submit((item, fp), priority=priority)
 
-        def _record(f: Future, _start=start, _latency=model.latency):
-            _latency.record(time.perf_counter() - _start,
-                            error=(not f.cancelled()
-                                   and f.exception() is not None))
+        def _record(f: Future, _start=start, _model=model):
+            seconds = time.perf_counter() - _start
+            _model.latency.record(seconds,
+                                  error=(not f.cancelled()
+                                         and f.exception() is not None))
+            if _model.controller is not None and not f.cancelled():
+                # The feedback signal: end-to-end latency plus the queue
+                # depth left behind, observed once per completed request.
+                _model.controller.observe(
+                    seconds, _model.batcher.queue_depth)
 
         fut.add_done_callback(_record)
         return fut
 
     def predict(self, name: str, item: Any, version: Optional[str] = None,
-                timeout: Optional[float] = 60.0) -> Any:
+                timeout: Optional[float] = 60.0,
+                priority: int = NORMAL) -> Any:
         """Synchronous single prediction (submit + wait)."""
-        return self.submit(name, item, version=version).result(timeout)
+        return self.submit(name, item, version=version,
+                           priority=priority).result(timeout)
 
     def predict_many(self, name: str, items: Sequence[Any],
                      version: Optional[str] = None,
-                     timeout: Optional[float] = 60.0) -> List[Any]:
+                     timeout: Optional[float] = 60.0,
+                     priority: int = NORMAL) -> List[Any]:
         """Open-loop convenience: submit all items, then gather."""
-        futures = [self.submit(name, item, version=version)
+        futures = [self.submit(name, item, version=version,
+                               priority=priority)
                    for item in items]
         return [fut.result(timeout) for fut in futures]
 

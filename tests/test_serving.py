@@ -49,11 +49,18 @@ from repro.nodes.text import (
     Tokenizer,
 )
 from repro.serving import (
+    HIGH,
+    LOW,
+    NORMAL,
+    AsyncModelServer,
     InferencePlan,
     MicroBatcher,
     ModelServer,
+    ReplicaSet,
+    RequestShedError,
     ServerOverloadedError,
     ServingCache,
+    SLOController,
     compile_inference_plan,
     fingerprint,
 )
@@ -707,3 +714,391 @@ class TestShardingAutoWorkers:
         fitted = plan.execute(backend=ShardedBackend())
         assert (fitted.training_report.simulated_workers
                 == plan.state.shard_workers)
+
+
+class TestSLOController:
+    def test_pressure_grows_batch_within_hard_bounds(self):
+        ctrl = SLOController(target_p99_ms=5.0, max_batch=32,
+                             max_delay_ms=4.0, adjust_every=8)
+        for _ in range(200):  # sustained 50ms latencies: way over target
+            ctrl.observe(0.050, queue_depth=100)
+            batch, delay = ctrl.limits()
+            assert 1 <= batch <= 32          # never exceeds max_batch
+            assert 0.0 <= delay <= 4.0       # never negative
+        assert ctrl.pressure_events > 0
+        assert ctrl.batch_limit == 32  # converged to the ceiling, not past
+
+    def test_light_load_shrinks_delay_and_never_goes_negative(self):
+        ctrl = SLOController(target_p99_ms=50.0, max_batch=32,
+                             max_delay_ms=4.0, min_delay_ms=0.0,
+                             adjust_every=4)
+        initial_delay = ctrl.delay_ms
+        for _ in range(400):  # fast requests, empty queue
+            ctrl.observe(0.0001, queue_depth=0)
+            batch, delay = ctrl.limits()
+            assert delay >= 0.0
+            assert batch >= ctrl.min_batch
+        assert ctrl.delay_ms < initial_delay
+        assert ctrl.batch_limit == ctrl.min_batch
+
+    def test_pressure_then_calm_round_trips(self):
+        ctrl = SLOController(target_p99_ms=5.0, max_batch=16,
+                             max_delay_ms=2.0, adjust_every=4, window=64)
+        for _ in range(64):
+            ctrl.observe(0.050, queue_depth=50)
+        grown = ctrl.batch_limit
+        assert grown > ctrl.min_batch
+        for _ in range(200):  # the window must forget the slow past
+            ctrl.observe(0.0001, queue_depth=0)
+        assert ctrl.batch_limit < grown
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="target_p99_ms"):
+            SLOController(0.0)
+        with pytest.raises(ValueError, match="min_batch"):
+            SLOController(5.0, min_batch=4, max_batch=2)
+        with pytest.raises(ValueError, match="min_delay_ms"):
+            SLOController(5.0, min_delay_ms=-1.0)
+        with pytest.raises(ValueError, match="grow"):
+            SLOController(5.0, grow=1.0)
+        with pytest.raises(ValueError, match="shrink"):
+            SLOController(5.0, shrink=1.5)
+        with pytest.raises(ValueError, match="adjust_every"):
+            SLOController(5.0, adjust_every=0)
+
+    def test_batcher_clamps_a_rogue_controller(self):
+        """The batcher's hard box holds even if controller state is
+        corrupted: effective batch <= max_batch, effective delay >= 0."""
+        ctrl = SLOController(5.0, max_batch=1000, max_delay_ms=100.0)
+        batcher = MicroBatcher(lambda items: items, max_batch=8,
+                               max_delay_ms=2.0, controller=ctrl)
+        ctrl.batch_limit = 1000
+        ctrl.delay_ms = -7.0
+        batch, delay = batcher._limits()
+        assert batch == 8
+        assert delay == 0.0
+
+    def test_server_wires_controller_observations(self):
+        fitted, items, expected = fitted_scenario("timit")
+        server = ModelServer(max_batch=8, max_delay_ms=1.0,
+                             slo_target_p99_ms=50.0)
+        with server:
+            server.register("m", fitted)
+            got = comparable(server.predict_many("m", items * 4))
+        assert got == expected * 4
+        stats = server.stats("m").models["m@v1"]
+        assert stats.slo_target_p99_ms == 50.0
+        assert stats.slo_adjustments >= 1  # 64 requests, adjust_every=64
+        assert 1 <= stats.effective_batch <= 8
+        assert 0.0 <= stats.effective_delay_ms <= 1.0
+
+
+class TestPriorityShedding:
+    def _gated_batcher(self, **kwargs):
+        gate = threading.Event()
+
+        def runner(items):
+            gate.wait(10.0)
+            return items
+
+        return gate, MicroBatcher(runner, max_batch=4, max_queue=8,
+                                  **kwargs)
+
+    def test_shed_before_overload_ordering(self):
+        """Low-priority traffic degrades at its watermark while higher
+        tiers still queue; only a full queue overloads everyone."""
+        gate, batcher = self._gated_batcher(
+            shed_watermarks={HIGH: 1.0, NORMAL: 0.75, LOW: 0.5})
+        futures = [batcher.submit(i) for i in range(4)]  # depth 4 = 50%
+        with pytest.raises(RequestShedError):
+            batcher.submit("low", priority=LOW)
+        futures += [batcher.submit(4), batcher.submit(5)]  # depth 6 = 75%
+        with pytest.raises(RequestShedError):
+            batcher.submit("normal", priority=NORMAL)
+        futures += [batcher.submit("h1", priority=HIGH),
+                    batcher.submit("h2", priority=HIGH)]  # depth 8: full
+        with pytest.raises(ServerOverloadedError) as err:
+            batcher.submit("h3", priority=HIGH)
+        assert not isinstance(err.value, RequestShedError)  # full, not shed
+        assert batcher.shed_requests == 2
+        assert batcher.shed_by_priority == {LOW: 1, NORMAL: 1}
+        gate.set()
+        batcher.start()
+        [f.result(timeout=10) for f in futures]
+        batcher.stop()
+
+    def test_shed_is_backpressure_subtype(self):
+        assert issubclass(RequestShedError, ServerOverloadedError)
+
+    def test_unmapped_priority_degrades_with_nearest_tier_above(self):
+        gate, batcher = self._gated_batcher(shed_watermarks={LOW: 0.5})
+        for i in range(4):
+            batcher.submit(i)
+        with pytest.raises(RequestShedError):
+            batcher.submit("x", priority=LOW + 5)  # below LOW: sheds too
+        batcher.submit("y", priority=HIGH)  # above all tiers: admitted
+        gate.set()
+        batcher.start()
+        batcher.stop()
+
+    def test_no_watermarks_means_no_early_shedding(self):
+        gate, batcher = self._gated_batcher()
+        for i in range(8):
+            batcher.submit(i, priority=LOW)  # fills the queue, no shed
+        assert batcher.shed_requests == 0
+        with pytest.raises(ServerOverloadedError):
+            batcher.submit("x", priority=HIGH)
+        gate.set()
+        batcher.start()
+        batcher.stop()
+
+    def test_invalid_watermarks(self):
+        with pytest.raises(ValueError, match="watermark"):
+            MicroBatcher(lambda i: i, shed_watermarks={LOW: 0.0})
+        with pytest.raises(ValueError, match="watermark"):
+            MicroBatcher(lambda i: i, shed_watermarks={LOW: 1.5})
+
+    def test_server_surfaces_shed_counts(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(max_batch=1, max_delay_ms=1.0, max_queue=4,
+                             shed_watermarks={HIGH: 1.0, LOW: 0.25})
+        with server:
+            server.register("m", fitted)
+            model = server._resolve("m")
+            gate = threading.Event()
+            orig = model.batcher.runner
+            model.batcher.runner = (
+                lambda payloads: (gate.wait(10.0), orig(payloads))[1])
+            futs = [server.submit("m", items[0])]  # flushes, blocks on gate
+            deadline = time.perf_counter() + 10.0
+            while (model.batcher.batches < 1
+                   and time.perf_counter() < deadline):
+                time.sleep(0.005)
+            futs.append(server.submit("m", items[0]))  # depth 1 = 25%
+            with pytest.raises(RequestShedError):
+                server.submit("m", items[0], priority=LOW)
+            stats = server.stats("m").models["m@v1"]
+            assert stats.shed_requests == 1
+            gate.set()
+            [f.result(timeout=10) for f in futs]
+
+
+class TestMicroBatcherConcurrency:
+    def test_flushes_overlap_across_dispatch_threads(self):
+        """With concurrency=2 both flushes must be in the runner at
+        once: a single dispatch thread would time out the barrier."""
+        barrier = threading.Barrier(2)
+
+        def runner(items):
+            barrier.wait(timeout=10.0)
+            return items
+
+        batcher = MicroBatcher(runner, max_batch=1, max_delay_ms=0.5,
+                               concurrency=2).start()
+        futures = [batcher.submit(i) for i in range(2)]
+        assert sorted(f.result(timeout=10) for f in futures) == [0, 1]
+        batcher.stop()
+
+    def test_flush_on_shutdown_with_queued_items_and_concurrency(self):
+        seen = []
+
+        def runner(items):
+            seen.extend(items)
+            return items
+
+        batcher = MicroBatcher(runner, max_batch=4, concurrency=3)
+        futures = [batcher.submit(i) for i in range(10)]  # never started
+        batcher.stop()  # drain must flush all 10 through the sweep
+        assert [f.result(timeout=1) for f in futures] == list(range(10))
+        assert sorted(seen) == list(range(10))
+
+    def test_stop_without_drain_cancels_queued_requests(self):
+        batcher = MicroBatcher(lambda items: items, concurrency=2)
+        futures = [batcher.submit(i) for i in range(3)]
+        batcher.stop(drain=False)
+        assert all(f.cancelled() for f in futures)
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            MicroBatcher(lambda i: i, concurrency=0)
+
+
+class TestAsyncServer:
+    def test_async_predictions_byte_identical(self):
+        import asyncio
+
+        fitted, items, expected = fitted_scenario("timit")
+
+        async def go():
+            server = ModelServer(max_batch=8, max_delay_ms=1.0)
+            server.register("m", fitted)
+            async with AsyncModelServer(server) as srv:
+                single = await srv.predict("m", items[0])
+                many = await srv.predict_many("m", items)
+                return single, many
+
+        single, many = asyncio.run(go())
+        assert comparable([single]) == expected[:1]
+        assert comparable(many) == expected
+
+    def test_gathered_requests_share_batches(self):
+        import asyncio
+
+        fitted, items, expected = fitted_scenario("timit")
+
+        async def go():
+            server = ModelServer(max_batch=16, max_delay_ms=20.0)
+            server.register("m", fitted)
+            async with AsyncModelServer(server) as srv:
+                out = await asyncio.gather(
+                    *(srv.predict("m", item) for item in items))
+                return list(out), srv.stats("m").models["m@v1"]
+
+        out, stats = asyncio.run(go())
+        assert comparable(out) == expected
+        # All submissions were open before the first await resolved, so
+        # the batcher formed multi-request flushes.
+        assert stats.max_batch_size > 1
+
+    def test_constructor_rejects_server_plus_knobs(self):
+        with pytest.raises(ValueError, match="not both"):
+            AsyncModelServer(ModelServer(), max_batch=4)
+
+    def test_overload_raises_in_the_awaiting_coroutine(self):
+        import asyncio
+
+        fitted, items, _ = fitted_scenario("timit")
+
+        async def go():
+            server = ModelServer(max_queue=1, max_batch=1,
+                                 max_delay_ms=1.0)
+            server.register("m", fitted)
+            model = server._resolve("m")
+            gate = threading.Event()
+            orig = model.batcher.runner
+            model.batcher.runner = (
+                lambda payloads: (gate.wait(10.0), orig(payloads))[1])
+            srv = await AsyncModelServer(server).start()
+            first = server.submit("m", items[0])  # flushed, gated
+            deadline = time.perf_counter() + 10.0
+            while (model.batcher.batches < 1
+                   and time.perf_counter() < deadline):
+                await asyncio.sleep(0.005)
+            second = server.submit("m", items[0])  # fills the queue
+            with pytest.raises(ServerOverloadedError):
+                await srv.predict("m", items[0])
+            gate.set()
+            await asyncio.wrap_future(first)
+            await asyncio.wrap_future(second)
+            await srv.stop()
+
+        asyncio.run(go())
+
+
+class TestReplicaServing:
+    @pytest.mark.parametrize("name", ["timit", "amazon"])
+    def test_replica_served_predictions_byte_identical(self, name):
+        fitted, items, expected = fitted_scenario(name)
+        server = ModelServer(replicas=2, max_batch=8, max_delay_ms=1.0)
+        try:
+            with server:
+                got = None
+                server.register(name, fitted)
+                got = comparable(server.predict_many(name, items))
+            assert got == expected
+            stats = server.stats(name).models[f"{name}@v1"]
+            assert stats.replicas == 2
+            assert stats.replica_batches >= 1
+        finally:
+            server.close()
+
+    def test_replica_cache_is_shared_across_the_fleet(self):
+        """A result computed on any replica answers repeats fleet-wide:
+        the content-addressed cache lives parent-side."""
+        fitted, items, expected = fitted_scenario("timit")
+        server = ModelServer(replicas=2, max_batch=4, max_delay_ms=1.0,
+                             cache_budget_bytes=64e6)
+        try:
+            with server:
+                server.register("m", fitted, warmup_items=items[:3])
+                first = comparable(server.predict_many("m", items))
+                again = comparable(server.predict_many("m", items))
+            assert first == expected
+            assert again == expected
+            stats = server.stats("m").models["m@v1"]
+            assert stats.cache_hits >= len(items)
+        finally:
+            server.close()
+
+    def test_replica_death_mid_request_recovers_without_drops(self):
+        """Kill a replica process, then serve: the pool respawns it,
+        replays the model load, retries the batch — no dropped
+        responses, byte-identical results."""
+        fitted, items, expected = fitted_scenario("timit")
+        plan = compile_inference_plan(fitted)
+        fleet = ReplicaSet(1, name="death-test")
+        try:
+            fleet.load("m", plan.program)
+            assert comparable(fleet.run_batch("m", items)) == expected
+            fleet.pool.actors[0].proc.terminate()
+            fleet.pool.actors[0].proc.join(timeout=10.0)
+            got = comparable(fleet.run_batch("m", items))
+            assert got == expected
+            assert fleet.restarts >= 1
+        finally:
+            fleet.shutdown()
+
+    def test_concurrent_batches_overlap_across_replicas(self):
+        """pool.call holds only the target actor's lock: two threads
+        driving two replicas make progress concurrently."""
+        fitted, items, expected = fitted_scenario("timit")
+        plan = compile_inference_plan(fitted)
+        fleet = ReplicaSet(2, name="overlap-test")
+        results, errors = [None, None], []
+
+        def drive(i):
+            try:
+                for _ in range(3):
+                    results[i] = comparable(fleet.run_batch("m", items))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        try:
+            fleet.load("m", plan.program)
+            threads = [threading.Thread(target=drive, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            assert not errors
+            assert results[0] == expected
+            assert results[1] == expected
+            assert fleet.batches == 6
+        finally:
+            fleet.shutdown()
+
+    def test_unknown_slot_raises_in_parent(self):
+        fleet = ReplicaSet(1, name="slot-test")
+        try:
+            with pytest.raises(KeyError, match="no plan loaded"):
+                fleet.run_batch("ghost", [1, 2])
+        finally:
+            fleet.shutdown()
+
+    def test_replicas_require_micro_batching(self):
+        with pytest.raises(ValueError, match="micro_batching"):
+            ModelServer(replicas=2, micro_batching=False)
+        with pytest.raises(ValueError, match="replicas"):
+            ModelServer(replicas=-1)
+
+    def test_close_is_idempotent_and_terminal(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer(replicas=1, max_delay_ms=1.0)
+        with server:
+            server.register("m", fitted)
+            server.predict("m", items[0])
+        server.close()
+        server.close()
+        with pytest.raises(ServerOverloadedError, match="stopped"):
+            server.predict("m", items[0])
