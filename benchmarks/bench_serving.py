@@ -557,3 +557,118 @@ def test_serving_goodput_under_overload(benchmark):
         f"HIGH-priority goodput {high_goodput:.2f}: shedding did not "
         "protect the high tier")
     assert high_goodput > low_goodput
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernel backend (PR 10)
+# ----------------------------------------------------------------------
+
+
+def test_vectorized_kernel_throughput(benchmark):
+    """Interpreter vs kernel-lowered ``run_batch``, per workload family.
+
+    Both plans compile from the same fitted pipeline; the vectorized one
+    went through ``VectorizePass`` (the serving default), which lowers
+    kernel-capable op runs into columnar ``KernelStage`` slots executing
+    the whole batch as a handful of numpy calls.  Because the kernels
+    are batch-invariant, the speedup is free of the historical raw-score
+    caveat: batched outputs are asserted byte-identical to
+    ``fitted.apply``.  Gates
+    ``serving_kernels.vectorized_throughput_ratio`` (the text workload's
+    ratio — the sparse featurization chain is where per-item dispatch
+    hurts most).
+    """
+    from repro.nodes.text import (CommonSparseFeatures, LowerCase,
+                                  TermFrequency, Tokenizer, unit_weighting)
+    from repro.serving import compile_inference_plan
+    from repro.workloads import amazon_reviews
+
+    ctx = Context()
+    fitted = {}
+    wl_a = amazon_reviews(300 if FAST else 600, CATALOG,
+                          vocab_size=1000 if FAST else 3000, seed=0)
+    data = wl_a.train_data(ctx)
+    labels = wl_a.train_label_vectors(ctx)
+    fitted["amazon"] = (
+        (Pipeline.identity()
+         .and_then(LowerCase())
+         .and_then(Tokenizer())
+         .and_then(TermFrequency(unit_weighting()))
+         .and_then(CommonSparseFeatures(512), data)
+         .and_then(LinearSolver(lbfgs_iters=20), data, labels))
+        .fit(level="none"),
+        wl_a.test_items)
+    cfg = WORKLOADS["timit"]
+    wl_t = timit_frames(cfg["num_train"], CATALOG, dim=cfg["dim"],
+                        num_classes=cfg["classes"], seed=0)
+    t_data = wl_t.train_data(ctx)
+    t_labels = wl_t.train_label_vectors(ctx)
+    fitted["timit"] = (
+        (Pipeline.identity()
+         .and_then(StandardScaler(), t_data)
+         .and_then(CosineRandomFeatures(cfg["features"], seed=1), t_data)
+         .and_then(LinearSolver(lbfgs_iters=20), t_data, t_labels))
+        .fit(level="none"),
+        wl_t.test_items)
+
+    def run():
+        results = {}
+        for name, (model, catalog) in fitted.items():
+            stream = _zipf_stream(catalog, NUM_REQUESTS, seed=5)
+            interp = compile_inference_plan(model, vectorize=False)
+            vector = compile_inference_plan(model, vectorize=True)
+            interp.run_batch(stream[:32])  # compile + BLAS warmup
+            vector.run_batch(stream[:32])  # kernel-build warmup
+            expected, interp_rps = _timed_rps(
+                lambda: interp.run_batch(stream), NUM_REQUESTS)
+            got, vector_rps = _timed_rps(
+                lambda: vector.run_batch(stream), NUM_REQUESTS)
+            # The kernel path is byte-identical to per-item apply; the
+            # interpreter's batched path is not (it rides the members'
+            # BLAS-batched apply_partition — the historical caveat), so
+            # it is only checked to ulp tolerance.
+            per_item = [model.apply(x) for x in stream[:64]]
+            assert ([(r.dtype, r.shape, r.tobytes()) for r in got[:64]]
+                    == [(r.dtype, r.shape, r.tobytes())
+                        for r in per_item]), (
+                f"{name}: vectorized raw scores diverged from apply")
+            np.testing.assert_allclose(
+                np.asarray(expected[:64]), np.asarray(per_item),
+                rtol=1e-9)
+            results[name] = dict(interp=interp_rps, vector=vector_rps,
+                                 ops_before=len(interp),
+                                 ops_after=len(vector))
+        return results
+
+    results = once(benchmark, run)
+
+    widths = [10, 12, 12, 8, 10]
+    lines = [f"raw-score (headless) plans, {NUM_REQUESTS} requests, "
+             f"catalog {CATALOG}, zipf(1.1) repeats, run_batch",
+             fmt_row(["workload", "interpreter", "vectorized", "ratio",
+                      "plan ops"], widths)]
+    for name, r in results.items():
+        lines.append(fmt_row(
+            [name, f"{r['interp']:.0f}/s", f"{r['vector']:.0f}/s",
+             f"{r['vector'] / r['interp']:.1f}x",
+             f"{r['ops_before']}->{r['ops_after']}"], widths))
+    report("serving_kernels", lines)
+
+    metrics = {}
+    for name, r in results.items():
+        metrics[f"ratio_{name}"] = r["vector"] / r["interp"]
+    metrics["vectorized_throughput_ratio"] = metrics["ratio_amazon"]
+    record_result("serving_kernels", metrics)
+
+    for name, r in results.items():
+        assert r["ops_after"] < r["ops_before"], (
+            f"{name}: VectorizePass folded nothing")
+    # The acceptance bar: >= 2x on the text workload, where the sparse
+    # featurization chain pays per-item dispatch on every request.  The
+    # dense workload's ratio is recorded ungated: its interpreter
+    # baseline already rides one BLAS gemm per batch (the byte-divergent
+    # path), so the batch-invariant per-row kernels buy identity there,
+    # not throughput.
+    assert metrics["vectorized_throughput_ratio"] >= 2.0, (
+        f"text kernel ratio {metrics['vectorized_throughput_ratio']:.2f} "
+        "< 2.0")

@@ -1,0 +1,110 @@
+"""Kernel-lowered serving: batch-invariant columnar execution.
+
+Trains a *headless* text pipeline (raw score vectors, no classification
+head) and serves it two ways: through the per-op interpreter
+(``vectorize=False``) and through the default kernel-lowered path, where
+``VectorizePass`` folds the kernel-capable op run into one columnar
+``KernelStage`` that executes the whole micro-batch as a handful of
+numpy calls.  The smoke run gates the two claims of the rewrite:
+
+- **batch invariance** — the kernel-served batched predictions are
+  byte-identical to ``fitted.apply`` per item, raw score vectors
+  included (historically only classifier-headed pipelines held this on
+  the batched path);
+- **throughput** — on the sparse text featurization chain, the columnar
+  path clears a measured speedup over the interpreter.
+
+Run:  python examples/kernel_serving.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import Context, ModelServer, Pipeline
+from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.text import (
+    CommonSparseFeatures,
+    LowerCase,
+    TermFrequency,
+    Tokenizer,
+    unit_weighting,
+)
+from repro.serving import compile_inference_plan
+from repro.workloads import amazon_reviews
+
+
+def train_scoring_model(wl, num_features=500):
+    """Raw-score text model: featurize -> linear map, no arg-max head."""
+    ctx = Context()
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (Pipeline.identity()
+            .and_then(LowerCase())
+            .and_then(Tokenizer())
+            .and_then(TermFrequency(unit_weighting()))
+            .and_then(CommonSparseFeatures(num_features), data)
+            .and_then(LinearSolver(), data, labels)
+            .fit(level="none"))
+
+
+def as_bytes(rows):
+    return [(r.dtype, r.shape, r.tobytes()) for r in rows]
+
+
+def main():
+    wl = amazon_reviews(num_train=600, num_test=200, vocab_size=1500,
+                        seed=0)
+    print("training the raw-score text model...")
+    fitted = train_scoring_model(wl)
+    stream = [wl.test_items[i % len(wl.test_items)] for i in range(1000)]
+
+    server = ModelServer(max_batch=64, max_delay_ms=2.0)
+    with server:
+        # vectorize=True is the register() default; the explicit pair
+        # makes the comparison visible.
+        kernel = server.register("scores", fitted, version="kernel")
+        interp = server.register("scores", fitted, version="interp",
+                                 vectorize=False)
+        print(f"\ninterpreter plan: {len(interp.plan)} ops, "
+              f"kernel plan: {len(kernel.plan)} ops")
+        print(f"\nkernel-lowered plan:\n{kernel.plan.describe()}\n")
+        assert "kernel[" in kernel.plan.describe()
+        assert len(kernel.plan) < len(interp.plan)
+
+        served = server.predict_many("scores", wl.test_items,
+                                     version="kernel")
+
+    # Batch invariance: the kernel-served *batched* raw scores are
+    # byte-identical to the per-item reference.
+    expected = [fitted.apply(x) for x in wl.test_items]
+    assert as_bytes(served) == as_bytes(expected), (
+        "kernel-served raw scores diverged from fitted.apply")
+    print("batch invariance: served raw score vectors byte-identical "
+          f"to fitted.apply on {len(expected)} items")
+
+    # Throughput: time the two compiled batch paths directly (no queue
+    # noise), interpreter vs columnar kernels.
+    interp_plan = compile_inference_plan(fitted, vectorize=False)
+    kernel_plan = compile_inference_plan(fitted, vectorize=True)
+    interp_plan.run_batch(stream[:64])  # warmup both paths
+    kernel_plan.run_batch(stream[:64])
+    start = time.perf_counter()
+    interp_plan.run_batch(stream)
+    interp_rps = len(stream) / (time.perf_counter() - start)
+    start = time.perf_counter()
+    kernel_plan.run_batch(stream)
+    kernel_rps = len(stream) / (time.perf_counter() - start)
+    ratio = kernel_rps / interp_rps
+    print(f"run_batch throughput: interpreter {interp_rps:.0f}/s, "
+          f"kernels {kernel_rps:.0f}/s ({ratio:.1f}x)")
+    assert ratio > 1.0, (
+        f"columnar kernels did not beat the interpreter ({ratio:.2f}x)")
+
+    scores = served[0]
+    assert isinstance(scores, np.ndarray) and scores.ndim == 1
+    print(f"\nexample raw score vector: {np.array_str(scores, precision=3)}")
+
+
+if __name__ == "__main__":
+    main()

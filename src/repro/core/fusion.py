@@ -41,6 +41,14 @@ class FusedTransformer(Transformer):
             items = stage.apply_partition(items)
         return items
 
+    def columnar_kernel(self):
+        from repro.core.kernels import ChainKernel
+
+        kernels = [s.columnar_kernel() for s in self.stages]
+        if any(k is None for k in kernels):
+            return None
+        return ChainKernel(kernels)
+
     def __repr__(self) -> str:
         names = "+".join(type(s).__name__ for s in self.stages)
         return f"FusedTransformer({names})"

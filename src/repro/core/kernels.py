@@ -1,0 +1,455 @@
+"""Columnar kernels: batch-invariant vectorized execution of op chains.
+
+The interpreter executes a lowered :class:`~repro.core.program.OpProgram`
+op by op, batch by batch, through Python-level ``apply_partition`` calls.
+That per-op dispatch (and, for text, the per-item ``csr_matrix``
+construction) dominates serving cost long before BLAS does.  This module
+is the second lowering target behind the :class:`ProgramPass` hook
+(ROADMAP open item 1): ``VectorizePass`` groups runs of fusable
+transform ops into a single :class:`KernelStage` whose
+``apply_partition`` executes the whole micro-batch as a handful of numpy
+calls over one columnar block.
+
+**Batch invariance is the contract.**  Every kernel computes each row's
+result via the *same floating-point reduction order* as the per-item
+``op.apply`` path, so vectorized batched outputs are byte-identical to
+``fitted.apply`` — not just ulp-close.  Concretely:
+
+- sparse ``csr @ dense`` GEMM reduces each row's dot products over the
+  stored indices exactly like the per-row product, so sparse matmuls
+  batch freely;
+- dense ``(B, d) @ (d, k)`` GEMM re-associates the reduction (blocked
+  SIMD), so dense matmul kernels run a per-row GEMV loop into a
+  preallocated output block instead — the loop is over rows, not
+  elements, and is still far cheaper than per-op dispatch;
+- row-wise reductions that BLAS would re-associate (``p.sum()``,
+  ``np.linalg.norm``) run per row; elementwise broadcasting, comparisons
+  (``max``/``argmax``) and structural ops (stack, slice, hstack) are
+  exact and batch freely.
+
+A kernel that cannot preserve this contract for some input form returns
+``None`` from :meth:`Kernel.run`, and the whole stage falls back to the
+per-item member chain — never to the members' BLAS-batched
+``apply_partition`` overrides, which are exactly the ulp-divergent paths
+vectorization retires.
+
+Operators opt in by overriding ``Transformer.columnar_kernel()``
+(:mod:`repro.core.operators`) to return a :class:`Kernel`; see
+``nodes/numeric.py``, ``nodes/text.py`` and ``nodes/learning/*`` for the
+implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.operators import Transformer
+from repro.obs import trace as obs_trace
+
+#: columnar block forms flowing between kernels inside one stage
+ROWS = "rows"  #: plain per-item list (dicts, ints, unliftable rows)
+DENSE = "dense"  #: one C-contiguous float64 (B, d) block
+SPARSE = "sparse"  #: one (B, d) CSR block
+
+Block = Tuple[str, Any]
+
+
+def _lift_rows(rows: Sequence[Any]) -> Optional[Block]:
+    """Promote a homogeneous list of rows to one columnar block.
+
+    Returns ``None`` when the rows are not uniformly liftable (mixed
+    types, per-item descriptor matrices, non-float dtypes) — the stage
+    then offers the kernels the raw ``ROWS`` form instead.
+    """
+    first = rows[0]
+    if sp.issparse(first):
+        if first.shape[0] != 1:
+            return None
+        for r in rows:
+            if not sp.issparse(r) or r.shape != first.shape:
+                return None
+        return (SPARSE, sp.vstack(rows).tocsr())
+    if (
+        isinstance(first, np.ndarray)
+        and first.ndim == 1
+        and first.dtype == np.float64
+    ):
+        n = first.shape[0]
+        for r in rows:
+            if (
+                not isinstance(r, np.ndarray)
+                or r.ndim != 1
+                or r.dtype != np.float64
+                or r.shape[0] != n
+            ):
+                return None
+        return (DENSE, np.vstack(rows))
+    return None
+
+
+def _block_rows(form: str, value: Any) -> List[Any]:
+    """Split a columnar block back into independent per-item rows.
+
+    Dense rows are copied out of the block so downstream consumers (the
+    serving cache in particular) never pin the whole batch buffer
+    through a row view.
+    """
+    if form == DENSE:
+        return [row.copy() for row in value]
+    if form == SPARSE:
+        return [value[i] for i in range(value.shape[0])]
+    return list(value)
+
+
+def _batch_matmul(form: str, value: Any, weights: np.ndarray) -> Optional[np.ndarray]:
+    """``block @ weights`` with rows byte-identical to per-row products.
+
+    Sparse blocks use one CSR GEMM (each row reduces over its stored
+    indices, exactly the per-item order).  Dense blocks run a per-row
+    GEMV loop into a preallocated output: a single (B, d) @ (d, k) GEMM
+    re-associates the reduction and its rows are *not* bit-equal to the
+    per-item ``row @ weights``.
+    """
+    if form == SPARSE:
+        return np.asarray(value @ weights)
+    if form == DENSE:
+        out = np.empty(
+            (value.shape[0], weights.shape[1]),
+            dtype=np.result_type(value.dtype, weights.dtype),
+        )
+        for i in range(value.shape[0]):
+            np.matmul(value[i], weights, out=out[i])
+        return out
+    return None
+
+
+class Kernel:
+    """One vectorized op over a columnar block.
+
+    ``run`` maps ``(form, value)`` to a new ``(form, value)`` whose rows
+    are byte-identical to the member op's per-item ``apply``, or returns
+    ``None`` when the contract cannot be preserved for this input form
+    (the stage then falls back to the per-item chain).
+    """
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ElementwiseKernel(Kernel):
+    """A row-elementwise function applied to the dense (B, d) block.
+
+    Broadcast arithmetic is elementwise per row, so any per-item
+    ``fn(as_dense_row(row))`` of this shape is byte-identical batched.
+    Sparse blocks densify first — ``toarray`` rows are exact copies of
+    the per-item ``todense``.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form == SPARSE:
+            return (DENSE, self.fn(value.toarray()))
+        if form == DENSE:
+            return (DENSE, self.fn(value))
+        return None
+
+
+class LinearMapKernel(Kernel):
+    """``row @ weights + intercept`` over the whole block."""
+
+    def __init__(self, weights: np.ndarray, intercept: np.ndarray):
+        self.weights = weights
+        self.intercept = intercept
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        block = _batch_matmul(form, value, self.weights)
+        if block is None:
+            return None
+        return (DENSE, block + self.intercept)
+
+
+class RandomFeaturesKernel(Kernel):
+    """``scale * cos(row @ w + b)`` over the whole block."""
+
+    def __init__(self, w: np.ndarray, b: np.ndarray, scale: float):
+        self.w = w
+        self.b = b
+        self.scale = scale
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        block = _batch_matmul(form, value, self.w)
+        if block is None:
+            return None
+        return (DENSE, self.scale * np.cos(block + self.b))
+
+
+class LogisticKernel(Kernel):
+    """Softmax head: logits via the batch matmul, per-row normalization.
+
+    The row max is comparison-based (exact); the probability sum runs
+    per row because a (B, k)-axis reduction would re-associate it.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        self.weights = weights
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        logits = _batch_matmul(form, value, self.weights)
+        if logits is None:
+            return None
+        logits = logits - logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        sums = np.empty((p.shape[0], 1), dtype=p.dtype)
+        for i in range(p.shape[0]):
+            sums[i, 0] = p[i].sum()
+        return (DENSE, p / sums)
+
+
+class PCAKernel(Kernel):
+    """``(row - mean) @ components`` for dense 1-D rows.
+
+    Sparse rows return ``None``: the per-item path densifies them to a
+    2-D ``(1, k)`` matrix, a shape the columnar block cannot represent.
+    """
+
+    def __init__(self, components: np.ndarray, mean: np.ndarray):
+        self.components = components
+        self.mean = mean
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form != DENSE:
+            return None
+        centered = value - self.mean
+        out = np.empty(
+            (centered.shape[0], self.components.shape[1]),
+            dtype=np.result_type(centered.dtype, self.components.dtype),
+        )
+        for i in range(centered.shape[0]):
+            np.matmul(centered[i], self.components, out=out[i])
+        return (DENSE, out)
+
+
+class NormalizerKernel(Kernel):
+    """L2 row normalization; norms run per row (BLAS would re-associate).
+
+    Dense 1-D rows only: the per-item op treats sparse rows and 2-D
+    descriptor matrices through different formulas.
+    """
+
+    def __init__(self, eps: float):
+        self.eps = eps
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form != DENSE:
+            return None
+        norms = np.empty((value.shape[0], 1), dtype=value.dtype)
+        for i in range(value.shape[0]):
+            norms[i, 0] = np.linalg.norm(value[i])
+        return (DENSE, value / (norms + self.eps))
+
+
+class SparseVectorizeKernel(Kernel):
+    """``{term: weight}`` rows -> one (B, dim) CSR block in one build.
+
+    The per-item path pays a ``csr_matrix`` construction per request —
+    the dominant cost of text serving.  One COO->CSR build for the whole
+    batch produces rows byte-identical to the per-item matrices: vocab
+    indices are unique per row, and CSR canonicalization sorts each
+    row's columns exactly like the single-row build.
+    """
+
+    def __init__(self, vocabulary, dim: int):
+        self.vocabulary = vocabulary
+        self.dim = dim
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form != ROWS:
+            return None
+        rows_idx: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        get = self.vocabulary.get
+        for i, term_weights in enumerate(value):
+            if not isinstance(term_weights, dict):
+                return None
+            for term, weight in term_weights.items():
+                idx = get(term)
+                if idx is not None:
+                    rows_idx.append(i)
+                    cols.append(idx)
+                    vals.append(weight)
+        block = sp.csr_matrix(
+            (
+                np.asarray(vals, dtype=np.float64),
+                (
+                    np.asarray(rows_idx, dtype=np.int32),
+                    np.asarray(cols, dtype=np.int32),
+                ),
+            ),
+            shape=(len(value), self.dim),
+        )
+        return (SPARSE, block)
+
+
+class MaxClassKernel(Kernel):
+    """Score block -> argmax class ids (comparison-based: exact)."""
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form == SPARSE:
+            value = value.toarray()
+        elif form != DENSE:
+            return None
+        return (ROWS, [int(i) for i in np.argmax(value, axis=1)])
+
+
+class DensifyKernel(Kernel):
+    """Sparse block -> dense block (``toarray`` rows are exact copies)."""
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form == SPARSE:
+            return (DENSE, value.toarray())
+        if form == DENSE:
+            return (DENSE, value)
+        return None
+
+
+class InterceptKernel(Kernel):
+    """Append the constant 1.0 bias column (structural: exact)."""
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form == DENSE:
+            ones = np.ones((value.shape[0], 1))
+            return (DENSE, np.hstack([value, ones]))
+        if form == SPARSE:
+            ones = sp.csr_matrix(np.ones((value.shape[0], 1)))
+            return (SPARSE, sp.hstack([value, ones]).tocsr())
+        return None
+
+
+class FeatureSelectorKernel(Kernel):
+    """Keep the given column indices (structural: exact)."""
+
+    def __init__(self, indices: np.ndarray):
+        self.indices = indices
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        if form == DENSE:
+            return (DENSE, value[:, self.indices])
+        if form == SPARSE:
+            return (SPARSE, value.tocsr()[:, self.indices])
+        return None
+
+
+class ChainKernel(Kernel):
+    """Sequential composition (a fused stage's members, in order)."""
+
+    def __init__(self, kernels: Sequence[Kernel]):
+        self.kernels = list(kernels)
+
+    def run(self, form: str, value: Any) -> Optional[Block]:
+        for kernel in self.kernels:
+            out = kernel.run(form, value)
+            if out is None:
+                return None
+            form, value = out
+        return (form, value)
+
+
+class KernelStage(Transformer):
+    """A run of transform ops grouped by ``VectorizePass`` into one op.
+
+    A plain :class:`Transformer`, so every existing consumer — the
+    serving interpreter, replica workers, ``profile_ops``, pickling —
+    handles it with zero dispatch changes:
+
+    - :meth:`apply` chains the members' per-item ``apply`` (the exact
+      reference numerics);
+    - :meth:`apply_partition` lifts the batch into a columnar block and
+      runs the members' kernels over it; if any kernel declines the
+      input form, the *whole stage* falls back to the per-item chain —
+      never to the members' BLAS-batched overrides — so vectorized
+      plans are batch-invariant unconditionally.
+
+    Kernels are built lazily from the members and dropped on pickling
+    (replica workers rebuild them on first batch).
+    """
+
+    def __init__(self, members: Sequence[Transformer], labels: Sequence[str]):
+        if not members:
+            raise ValueError("KernelStage requires at least one member")
+        self.members = list(members)
+        #: original op labels, in execution order (for describe()/explain())
+        self.member_labels = list(labels)
+        self.weight = max(getattr(m, "weight", 1) for m in self.members)
+        self._kernels: Optional[List[Kernel]] = None
+
+    def kernels(self) -> List[Kernel]:
+        """The members' kernels, built once; empty when any member lacks one."""
+        if self._kernels is None:
+            kernels: List[Kernel] = []
+            for member in self.members:
+                kernel = member.columnar_kernel()
+                if kernel is None:
+                    kernels = []
+                    break
+                kernels.append(kernel)
+            self._kernels = kernels
+        return self._kernels
+
+    def apply(self, item: Any) -> Any:
+        for member in self.members:
+            item = member.apply(item)
+        return item
+
+    def apply_partition(self, items: List[Any]) -> List[Any]:
+        if not items:
+            return []
+        if not obs_trace.enabled():
+            return self._run_partition(items)
+        with obs_trace.span(
+            "kernel.stage",
+            cat="serving",
+            args={
+                "members": "+".join(self.member_labels),
+                "batch": len(items),
+            },
+        ):
+            return self._run_partition(items)
+
+    def _run_partition(self, items: List[Any]) -> List[Any]:
+        kernels = self.kernels()
+        if kernels:
+            block = _lift_rows(items) or (ROWS, items)
+            form, value = block
+            for kernel in kernels:
+                out = kernel.run(form, value)
+                if out is None:
+                    break
+                form, value = out
+            else:
+                return _block_rows(form, value)
+        # Fallback: the per-item member chain.  Not the members'
+        # apply_partition — those BLAS-batched overrides are the
+        # ulp-divergent paths this stage exists to retire.
+        return [self.apply(x) for x in items]
+
+    def columnar_kernel(self) -> Optional[Kernel]:
+        kernels = self.kernels()
+        return ChainKernel(kernels) if kernels else None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_kernels"] = None  # kernels hold no fitted state; rebuild
+        return state
+
+    def __repr__(self) -> str:
+        names = "+".join(type(m).__name__ for m in self.members)
+        return f"KernelStage({names})"

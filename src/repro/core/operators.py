@@ -45,6 +45,18 @@ class Transformer:
         return data.map_partitions(self.apply_partition,
                                    name=type(self).__name__)
 
+    def columnar_kernel(self):
+        """Batch-invariant columnar kernel for this transformer, or None.
+
+        Operators that can execute a whole micro-batch as one columnar
+        block *with per-row results byte-identical to* :meth:`apply`
+        return a :class:`repro.core.kernels.Kernel` here;
+        ``VectorizePass`` groups runs of such ops into a single
+        :class:`repro.core.kernels.KernelStage`.  ``None`` (the default)
+        keeps the op on the per-op interpreter path.
+        """
+        return None
+
     def __call__(self, item: Any) -> Any:
         return self.apply(item)
 

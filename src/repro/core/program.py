@@ -562,6 +562,10 @@ class OpProgram:
                 f"  %{op.slot} = {op.kind}({op.label})"
                 f" <- [{parents}]  key={op.key[:12]}"
             )
+            # Kernel stages list which original ops folded into them, so
+            # vectorization decisions read like fusion/CSE decisions.
+            for member in getattr(op.op, "member_labels", ()):
+                lines.append(f"      fold {member}")
         return "\n".join(lines)
 
     def without_dead_ops(self) -> "OpProgram":
@@ -812,3 +816,126 @@ class DeadOpElimination(ProgramPass):
 
     def run(self, program: OpProgram) -> OpProgram:
         return program.without_dead_ops()
+
+
+class VectorizePass(ProgramPass):
+    """Group runs of kernel-capable transform ops into ``KernelStage`` ops.
+
+    The second lowering target behind the :class:`ProgramPass` hook: a
+    maximal chain of transform ops whose operators expose a
+    batch-invariant columnar kernel (``Transformer.columnar_kernel()``)
+    and whose interior links have exactly one consumer collapses into a
+    single op backed by :class:`repro.core.kernels.KernelStage` — the
+    batch then executes as a handful of numpy calls over one columnar
+    block instead of per-op, per-item Python dispatch.
+
+    Structure-preserving bookkeeping:
+
+    - the stage op keeps the *last* member's ``node_id`` and content
+      ``key`` — the key already folds the whole member chain (each op
+      key digests its parents' keys), so grouped keys combine
+      deterministically and a serving cache keyed before the rewrite
+      keeps hitting after it;
+    - CSE-shared slots (multiple consumers) and root slots never become
+      stage interiors, so every externally visible slot survives;
+    - dead ops are eliminated first, which makes the pass commute with
+      :class:`DeadOpElimination` (either order yields the identical
+      program).
+
+    Single vectorizable ops are wrapped too: a stage's batched path is
+    byte-identical to ``apply`` where the operator's own BLAS-batched
+    ``apply_partition`` override may differ in the last ulp.
+
+    ``boundaries`` is an optional set of content keys that must survive
+    as addressable slots: an op whose key is a boundary may *end* a
+    stage (its value is the stage output, under its own key) but never
+    becomes a stage interior.  ``ModelServer.register`` passes the
+    serving-cache selection here, so every cache-marked intermediate —
+    including prefix ops shared with sibling versions — still
+    materializes for the cache to read and write.
+    """
+
+    def __init__(self, boundaries=()):
+        self.boundaries = frozenset(boundaries)
+
+    def run(self, program: OpProgram) -> OpProgram:
+        from repro.core.kernels import KernelStage
+
+        program = program.without_dead_ops()
+        refs: Dict[int, int] = {}
+        for op in program.ops:
+            for parent in op.parents:
+                refs[parent] = refs.get(parent, 0) + 1
+        for slot in program.root_slots:
+            refs[slot] = refs.get(slot, 0) + 1
+
+        def vectorizable(op: Op) -> bool:
+            if op.kind != TRANSFORM or len(op.parents) != 1:
+                return False
+            # Duck-typed: programs may carry ops outside the Transformer
+            # hierarchy (tests, custom rewrites); no kernel, no grouping.
+            kernel_of = getattr(op.op, "columnar_kernel", None)
+            return kernel_of is not None and kernel_of() is not None
+
+        # Maximal runs: ``open_runs`` maps a run's current last slot to
+        # the run while that slot still awaits its single consumer.
+        open_runs: Dict[int, List[Op]] = {}
+        runs: List[List[Op]] = []
+        for op in program.ops:
+            if not vectorizable(op):
+                continue
+            parent = op.parents[0]
+            run = open_runs.pop(parent, None)
+            if run is None:
+                run = [op]
+                runs.append(run)
+            else:
+                run.append(op)
+            if refs[op.slot] == 1 and op.key not in self.boundaries:
+                open_runs[op.slot] = run
+        if not runs:
+            return program
+
+        last_to_run = {run[-1].slot: run for run in runs}
+        interior = {op.slot for run in runs for op in run[:-1]}
+
+        remap: Dict[int, int] = {}
+        new_ops: List[Op] = []
+        for op in program.ops:
+            if op.slot in interior:
+                continue
+            slot = len(new_ops)
+            run = last_to_run.get(op.slot)
+            if run is None:
+                new_ops.append(
+                    Op(
+                        slot,
+                        op.node_id,
+                        op.kind,
+                        op.op,
+                        tuple(remap[p] for p in op.parents),
+                        op.label,
+                        op.key,
+                    )
+                )
+            else:
+                stage = KernelStage(
+                    [o.op for o in run], [o.label for o in run]
+                )
+                new_ops.append(
+                    Op(
+                        slot,
+                        op.node_id,
+                        TRANSFORM,
+                        stage,
+                        (remap[run[0].parents[0]],),
+                        "kernel[" + "+".join(o.label for o in run) + "]",
+                        op.key,
+                    )
+                )
+            remap[op.slot] = slot
+        return OpProgram(
+            new_ops,
+            input_slot=remap.get(program.input_slot),
+            root_slots=tuple(remap[s] for s in program.root_slots),
+        )

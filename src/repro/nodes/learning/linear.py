@@ -80,6 +80,11 @@ class LinearMapper(Transformer):
         block = np.asarray(block) + self.intercept
         return list(block)
 
+    def columnar_kernel(self):
+        from repro.core.kernels import LinearMapKernel
+
+        return LinearMapKernel(self.weights, self.intercept)
+
     def training_loss(self, data: Dataset, labels: Dataset) -> float:
         """Mean squared residual over a dataset (for convergence checks)."""
         total, count = 0.0, 0

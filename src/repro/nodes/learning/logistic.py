@@ -56,6 +56,11 @@ class LogisticModel(Transformer):
         p /= p.sum(axis=1, keepdims=True)
         return list(p)
 
+    def columnar_kernel(self):
+        from repro.core.kernels import LogisticKernel
+
+        return LogisticKernel(self.weights)
+
 
 def _class_indices(b: np.ndarray) -> np.ndarray:
     """One-hot (or +1/-1 indicator) label rows -> integer class ids."""

@@ -59,6 +59,11 @@ class PCATransformer(Transformer):
     def apply_partition(self, items: List) -> List[np.ndarray]:
         return [self.apply(x) for x in items]
 
+    def columnar_kernel(self):
+        from repro.core.kernels import PCAKernel
+
+        return PCAKernel(self.components, self.mean)
+
 
 def _stack_rows(data: Dataset) -> np.ndarray:
     """Collect rows, flattening per-item descriptor matrices."""

@@ -62,3 +62,10 @@ class RandomFeaturesTransformer(Transformer):
                                for r in items]) @ self.w
         out = self.scale * np.cos(block + self.b)
         return list(out)
+
+    def columnar_kernel(self):
+        from repro.core.kernels import RandomFeaturesKernel
+
+        if sp.issparse(self.w):
+            return None
+        return RandomFeaturesKernel(self.w, self.b, self.scale)

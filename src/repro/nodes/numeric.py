@@ -24,6 +24,11 @@ class Densify(Transformer):
     def apply(self, row) -> np.ndarray:
         return as_dense_row(row)
 
+    def columnar_kernel(self):
+        from repro.core.kernels import DensifyKernel
+
+        return DensifyKernel()
+
 
 class Sparsify(Transformer):
     """Dense 1-D vector -> 1 x d CSR row."""
@@ -48,6 +53,11 @@ class Normalizer(Transformer):
             return arr / (norms + self.eps)
         return arr / (np.linalg.norm(arr) + self.eps)
 
+    def columnar_kernel(self):
+        from repro.core.kernels import NormalizerKernel
+
+        return NormalizerKernel(self.eps)
+
 
 class SignedPower(Transformer):
     """``sign(x) * |x|^p`` — the Fisher-vector power normalization."""
@@ -58,6 +68,13 @@ class SignedPower(Transformer):
     def apply(self, row):
         arr = np.asarray(row, dtype=np.float64)
         return np.sign(arr) * np.abs(arr) ** self.power
+
+    def columnar_kernel(self):
+        from repro.core.kernels import ElementwiseKernel
+
+        return ElementwiseKernel(
+            lambda X: np.sign(X) * np.abs(X) ** self.power
+        )
 
 
 def _add_moments(a, b):
@@ -112,6 +129,11 @@ class StandardScalerTransformer(Transformer):
 
     def apply(self, row) -> np.ndarray:
         return (as_dense_row(row) - self.mean) / self.std
+
+    def columnar_kernel(self):
+        from repro.core.kernels import ElementwiseKernel
+
+        return ElementwiseKernel(lambda X: (X - self.mean) / self.std)
 
 
 class ColumnSampler(Transformer):
@@ -181,6 +203,11 @@ class MaxClassifier(Transformer):
     def apply(self, scores) -> int:
         return int(np.argmax(as_dense_row(scores)))
 
+    def columnar_kernel(self):
+        from repro.core.kernels import MaxClassKernel
+
+        return MaxClassKernel()
+
 
 class TopKClassifier(Transformer):
     """Score vector -> ids of the top-k classes (descending score)."""
@@ -245,6 +272,11 @@ class MinMaxScalerTransformer(Transformer):
     def apply(self, row) -> np.ndarray:
         return (as_dense_row(row) - self.lo) / self.span
 
+    def columnar_kernel(self):
+        from repro.core.kernels import ElementwiseKernel
+
+        return ElementwiseKernel(lambda X: (X - self.lo) / self.span)
+
 
 class InterceptAdder(Transformer):
     """Append a constant 1.0 feature (bias term) to each vector row."""
@@ -255,6 +287,11 @@ class InterceptAdder(Transformer):
             return sp.hstack([row, one]).tocsr()
         arr = np.asarray(row, dtype=np.float64).ravel()
         return np.concatenate([arr, [1.0]])
+
+    def columnar_kernel(self):
+        from repro.core.kernels import InterceptKernel
+
+        return InterceptKernel()
 
 
 class FeatureSelector(Transformer):
@@ -270,6 +307,11 @@ class FeatureSelector(Transformer):
             return row.tocsr()[:, self.indices]
         return np.asarray(row, dtype=np.float64).ravel()[self.indices]
 
+    def columnar_kernel(self):
+        from repro.core.kernels import FeatureSelectorKernel
+
+        return FeatureSelectorKernel(self.indices)
+
 
 class ClipTransformer(Transformer):
     """Clamp vector entries into [lo, hi]."""
@@ -282,3 +324,8 @@ class ClipTransformer(Transformer):
 
     def apply(self, row) -> np.ndarray:
         return np.clip(as_dense_row(row), self.lo, self.hi)
+
+    def columnar_kernel(self):
+        from repro.core.kernels import ElementwiseKernel
+
+        return ElementwiseKernel(lambda X: np.clip(X, self.lo, self.hi))

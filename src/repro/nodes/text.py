@@ -142,6 +142,11 @@ class SparseFeatureVectorizer(Transformer):
              (rows, np.asarray(cols, dtype=np.int32))),
             shape=(1, self.dim))
 
+    def columnar_kernel(self):
+        from repro.core.kernels import SparseVectorizeKernel
+
+        return SparseVectorizeKernel(self.vocabulary, self.dim)
+
 
 class CommonSparseFeatures(Estimator, ShardableEstimator):
     """Select the ``num_features`` most frequent terms across the corpus.

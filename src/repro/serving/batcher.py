@@ -446,6 +446,9 @@ class MicroBatcher:
             self.max_batch_seen = max(self.max_batch_seen, len(batch))
         payloads = [payload for payload, _ in batch]
         try:
+            # With kernel-lowered plans, each KernelStage the runner
+            # executes emits its own "kernel.stage" span nested under
+            # this one — one columnar call per stage per flush.
             with obs_trace.span(
                 "serve.batch",
                 cat="serving",

@@ -27,11 +27,15 @@ Two execution modes:
 - :meth:`InferencePlan.run_batch` — a micro-batch, vectorized through
   ``op.apply_partition`` exactly like the existing
   ``FittedPipeline.apply_dataset`` path (a micro-batch is one partition).
-  Operators with BLAS-batched partitions (``LinearMapper``,
-  ``RandomFeaturesTransformer``) may differ from the per-item path in the
-  last float ulp — the same caveat ``apply_dataset`` already carries —
-  which is why served pipelines conventionally end in a classification
-  head.
+  With ``vectorize=True`` (the serving default), ``VectorizePass``
+  additionally groups kernel-capable op runs into
+  :class:`~repro.core.kernels.KernelStage` slots whose columnar batch
+  path is **byte-identical** to ``fitted.apply`` per item — raw score
+  vectors included, so served pipelines no longer need to end in a
+  classification head.  Without it, operators with BLAS-batched
+  partitions (``LinearMapper``, ``RandomFeaturesTransformer``) may
+  differ from the per-item path in the last float ulp — the historical
+  ``apply_dataset`` caveat.
 
 Both modes consult an attached :class:`~repro.serving.cache.ServingCache`
 when one is configured.  Cache entries are addressed by ``(op key, input
@@ -55,6 +59,7 @@ from repro.core.program import (
     TRANSFORM,
     Op,
     OpProgram,
+    VectorizePass,
     lower_inference_program,
     run_program_passes,
 )
@@ -109,6 +114,9 @@ class InferencePlan:
             parents = ",".join(str(p) for p in op.parents)
             lines.append(f"  %{op.slot} = {op.kind}({op.label})"
                          f" <- [{parents}]{mark}")
+            # Which original ops a KernelStage folded (vectorize=True).
+            for member in getattr(op.op, "member_labels", ()):
+                lines.append(f"      fold {member}")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -326,7 +334,10 @@ def _compute_item_op(op: Op, slots: List[Any], item: Any) -> Any:
     return item
 
 
-def compile_inference_plan(fitted, compute_keys: bool = True) -> InferencePlan:
+def compile_inference_plan(
+    fitted, compute_keys: bool = True, vectorize: bool = False,
+    vectorize_boundaries: Sequence[str] = (),
+) -> InferencePlan:
     """Lower a :class:`~repro.core.pipeline.FittedPipeline` to a flat plan.
 
     The DAG is lowered once through the shared
@@ -340,8 +351,20 @@ def compile_inference_plan(fitted, compute_keys: bool = True) -> InferencePlan:
     operator state into content keys — the plain ``apply`` path uses it
     (no serving cache will read the keys); ``ModelServer.register``
     compiles with keys.
+
+    ``vectorize=True`` appends
+    :class:`~repro.core.program.VectorizePass` to the registered passes
+    (unless one is already registered): runs of kernel-capable ops
+    collapse into :class:`~repro.core.kernels.KernelStage` slots whose
+    batched execution is byte-identical to ``fitted.apply`` per item —
+    ``ModelServer.register`` passes this by default.
+    ``vectorize_boundaries`` (content keys) pins ops that must survive
+    as addressable slots — the server passes its serving-cache selection
+    so cache-marked intermediates still materialize after the rewrite.
     """
     program = lower_inference_program(fitted, compute_keys=compute_keys)
-    passes = getattr(fitted, "program_passes", None) or ()
+    passes = list(getattr(fitted, "program_passes", None) or ())
+    if vectorize and not any(isinstance(p, VectorizePass) for p in passes):
+        passes.append(VectorizePass(boundaries=vectorize_boundaries))
     program = run_program_passes(program, passes)
     return InferencePlan(program)

@@ -161,6 +161,12 @@ class ModelServer:
     - ``batch_concurrency`` — dispatch threads per version's batcher;
       defaults to ``replicas`` (overlapping batches across the fleet)
       or 1 in-process.
+    - ``vectorize`` — compile registered plans through
+      :class:`~repro.core.program.VectorizePass` (the default): runs of
+      kernel-capable ops execute each micro-batch as columnar numpy
+      kernels, byte-identical to ``fitted.apply`` per item (raw score
+      vectors included).  ``False`` keeps the per-op interpreter;
+      overridable per :meth:`register` call.
     """
 
     def __init__(self, max_batch: int = 32, max_delay_ms: float = 2.0,
@@ -170,7 +176,8 @@ class ModelServer:
                  slo_target_p99_ms: Optional[float] = None,
                  shed_watermarks: Optional[Mapping[int, float]] = None,
                  batch_concurrency: Optional[int] = None,
-                 replica_start_method: str = "spawn"):
+                 replica_start_method: str = "spawn",
+                 vectorize: bool = True):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if cache_budget_bytes < 0:
@@ -194,6 +201,7 @@ class ModelServer:
                                 if shed_watermarks else None)
         self.batch_concurrency = batch_concurrency
         self.replica_start_method = replica_start_method
+        self.vectorize = vectorize
         self._replica_set = None  # lazy: spawned at first register()
         self._lock = threading.RLock()
         self._versions: Dict[str, Dict[str, ServedModel]] = {}
@@ -211,21 +219,30 @@ class ModelServer:
                  warmup_items: Optional[Sequence[Any]] = None,
                  cache_budget_bytes: Optional[float] = None,
                  expected_reuse: Optional[float] = None,
-                 deploy: Optional[bool] = None) -> ServedModel:
+                 deploy: Optional[bool] = None,
+                 vectorize: Optional[bool] = None) -> ServedModel:
         """Compile and (optionally) warm a model version for serving.
 
         The first version registered under ``name`` becomes the default;
         later versions stay warm but undeployed until :meth:`deploy`
-        (or ``deploy=True``) moves the pointer.
+        (or ``deploy=True``) moves the pointer.  ``vectorize`` overrides
+        the server-wide kernel-lowering default for this version;
+        replicas inherit the rewritten program automatically (the
+        pickled ``OpProgram`` carries the kernel stages).
         """
         budget = (self.cache_budget_bytes if cache_budget_bytes is None
                   else cache_budget_bytes)
         reuse = (self.expected_reuse if expected_reuse is None
                  else expected_reuse)
-        plan = compile_inference_plan(fitted)
+        vectorized = self.vectorize if vectorize is None else vectorize
+        plan = compile_inference_plan(
+            fitted, vectorize=vectorized and budget <= 0)
 
         node_ids = set()
         if budget > 0:
+            # Select the cache set on the interpreter plan: the cost
+            # model ranks *individual* ops, and the selection must see
+            # every intermediate before any folding hides it.
             if warmup_items:
                 plan.profile_ops(warmup_items)
                 node_ids = choose_serving_cache_set(
@@ -235,6 +252,17 @@ class ModelServer:
                 # the budgeted LRU keep what earns its bytes.
                 node_ids = {op.node_id for op in plan.ops
                             if op.kind != INPUT}
+            if vectorized:
+                # Re-lower with every cache-marked op pinned as a stage
+                # boundary: a marked op may end a kernel stage (the
+                # stage output is its value, under its key) but never
+                # disappears into one — so the cache, including prefix
+                # entries shared with sibling versions, keeps its read
+                # and write points after the rewrite.
+                plan = compile_inference_plan(
+                    fitted, vectorize=True,
+                    vectorize_boundaries={plan.key_of(nid)
+                                          for nid in node_ids})
 
         replica_set = None
         if self.replicas:

@@ -34,6 +34,7 @@ from repro.core.program import (
     OpProgram,
     ProgramPass,
     UnshippableFlow,
+    VectorizePass,
     lower_inference_program,
     lower_training_program,
     op_key,
@@ -473,3 +474,166 @@ class TestProgramPasses:
             assert server.predict_many("m", wl.test_items) == expected
             again = server.predict_many("m", wl.test_items)
             assert again == expected
+
+
+def _fit_vector(wl):
+    """Dense pipeline whose every stage has a columnar kernel."""
+    from repro.nodes.learning.random_features import CosineRandomFeatures
+
+    ctx = Context()
+    data = wl.train_data(ctx)
+    labels = wl.train_label_vectors(ctx)
+    return (
+        Pipeline.identity()
+        .and_then(StandardScaler(), data)
+        .and_then(CosineRandomFeatures(16, seed=1), data)
+        .and_then(LinearSolver(), data, labels)
+        .fit(level="none")
+    )
+
+
+def _structure(program):
+    """Everything VectorizePass commutation cares about, hashable-ish."""
+    return (
+        [
+            (op.slot, op.kind, op.parents, op.label, op.key, op.node_id)
+            for op in program.ops
+        ],
+        program.input_slot,
+        program.root_slots,
+    )
+
+
+class TestVectorizePass:
+    def test_groups_kernel_runs_and_preserves_keys(self):
+        wl = timit_frames(60, 10, dim=12, num_classes=3, seed=0)
+        fitted = _fit_vector(wl)
+        program = lower_inference_program(fitted)
+        vectorized = VectorizePass().run(program)
+        stages = [
+            op for op in vectorized if getattr(op.op, "member_labels", ())
+        ]
+        assert len(stages) == 1
+        stage = stages[0]
+        assert len(stage.op.members) == len(program) - 1
+        assert stage.label.startswith("kernel[")
+        # A stage keeps its last member's key and node id, so the
+        # rewrite is invisible to content-addressed lookups.
+        assert stage.key == program.ops[program.sink_slot].key
+        assert vectorized.key_of(fitted.sink.id) == program.key_of(
+            fitted.sink.id
+        )
+        desc = vectorized.describe()
+        assert "kernel[" in desc and "fold " in desc
+        # And the lowered semantics are byte-identical per item.
+        got = [InferencePlan(vectorized).run_item(x) for x in wl.test_items]
+        assert comparable(got) == comparable(
+            [fitted.apply(x) for x in wl.test_items]
+        )
+
+    def test_commutes_with_dead_op_elimination(self):
+        wl = timit_frames(60, 10, dim=12, num_classes=3, seed=0)
+        program = lower_inference_program(_fit_vector(wl))
+        dead = _echo(len(program.ops), (0,), "k-dead", label="dead")
+        with_dead = OpProgram(
+            list(program.ops) + [dead],
+            input_slot=program.input_slot,
+            root_slots=program.root_slots,
+        )
+        dce_first = VectorizePass().run(
+            DeadOpElimination().run(with_dead)
+        )
+        vp_only = VectorizePass().run(with_dead)
+        dce_last = DeadOpElimination().run(vp_only)
+        assert _structure(dce_first) == _structure(vp_only)
+        assert _structure(dce_last) == _structure(vp_only)
+
+    def test_shared_slot_is_a_fusion_boundary(self):
+        from repro.nodes.numeric import Normalizer as _N
+
+        ops = [
+            Op(0, 100, INPUT, None, (), "input", INPUT_KEY),
+            Op(1, 101, TRANSFORM, _N(), (0,), "shared", "k1"),
+            Op(2, 102, TRANSFORM, _N(), (1,), "left", "k2"),
+            Op(3, 103, TRANSFORM, _N(), (1,), "right", "k3"),
+        ]
+        program = OpProgram(ops, input_slot=0, root_slots=(2, 3))
+        vectorized = VectorizePass().run(program)
+        # The shared slot feeds two consumers: nothing may fold across
+        # it, so the op count is unchanged (each op wraps by itself).
+        assert len(vectorized) == len(program)
+        assert [op.key for op in vectorized] == [op.key for op in program]
+        for op in vectorized:
+            members = getattr(op.op, "members", ())
+            assert len(members) <= 1
+        item = np.arange(1.0, 5.0)
+        before = InferencePlan(program).run_item(item)
+        after = InferencePlan(vectorized).run_item(item)
+        assert comparable([after]) == comparable([before])
+
+    def test_kernel_stage_apply_matches_member_chain(self):
+        wl = timit_frames(60, 10, dim=12, num_classes=3, seed=0)
+        fitted = _fit_vector(wl)
+        vectorized = VectorizePass().run(lower_inference_program(fitted))
+        stage = next(
+            op.op for op in vectorized if getattr(op.op, "members", ())
+        )
+
+        def chain(item):
+            for member in stage.members:
+                item = member.apply(item)
+            return item
+
+        expected = comparable([chain(x) for x in wl.test_items])
+        assert comparable(
+            [stage.apply(x) for x in wl.test_items]
+        ) == expected
+        assert comparable(stage.apply_partition(wl.test_items)) == expected
+
+    def test_registers_with_lowering_pass(self):
+        wl = timit_frames(60, 10, dim=12, num_classes=3, seed=0)
+        from repro.nodes.learning.random_features import CosineRandomFeatures
+
+        ctx = Context()
+        data = wl.train_data(ctx)
+        labels = wl.train_label_vectors(ctx)
+        pipe = (
+            Pipeline.identity()
+            .and_then(StandardScaler(), data)
+            .and_then(CosineRandomFeatures(16, seed=1), data)
+            .and_then(LinearSolver(), data, labels)
+        )
+        passes = passes_for_level("none") + [
+            LoweringPass(program_passes=[DeadOpElimination(), VectorizePass()])
+        ]
+        fitted = Optimizer(passes).optimize(pipe).execute()
+        assert [p.name for p in fitted.program_passes] == [
+            "DeadOpElimination",
+            "VectorizePass",
+        ]
+        # The registered pass applies even with the serving knob off...
+        cold = compile_inference_plan(fitted, vectorize=False)
+        assert "kernel[" in cold.describe()
+        # ...and the knob does not double-wrap an already lowered program.
+        warm = compile_inference_plan(fitted, vectorize=True)
+        assert len(warm) == len(cold)
+        got = [warm.run_item(x) for x in wl.test_items]
+        assert comparable(got) == comparable(
+            [fitted.apply(x) for x in wl.test_items]
+        )
+
+    def test_boundary_keys_split_stages(self):
+        wl = timit_frames(60, 10, dim=12, num_classes=3, seed=0)
+        fitted = _fit_vector(wl)
+        program = lower_inference_program(fitted)
+        # Pin the middle op (random features): it may end a stage but
+        # never vanish into one — the serving cache's fold contract.
+        middle = program.ops[2]
+        vectorized = VectorizePass(boundaries={middle.key}).run(program)
+        assert middle.key in {op.key for op in vectorized}
+        stages = [op for op in vectorized if getattr(op.op, "members", ())]
+        assert len(stages) == 2
+        got = [InferencePlan(vectorized).run_item(x) for x in wl.test_items]
+        assert comparable(got) == comparable(
+            [fitted.apply(x) for x in wl.test_items]
+        )

@@ -3,10 +3,13 @@
 The headline contract, in the style of ``tests/test_backends.py``: every
 workload in ``workloads/registry.py`` served through :class:`ModelServer`
 — batched and unbatched, cache on and off — returns predictions
-byte-identical to ``FittedPipeline.apply``.  Served pipelines end in a
-classification head (as production scoring does); the unbatched path is
-additionally byte-identical on raw score vectors, since it runs the same
-per-item ops as ``apply``.
+byte-identical to ``FittedPipeline.apply``.  Served pipelines no longer
+need to end in a classification head: ``VectorizePass`` (the serving
+default) lowers kernel-capable op runs into batch-invariant columnar
+``KernelStage`` slots, so the *batched* path is byte-identical on raw
+score vectors too (``TestVectorizedServing`` — single-process and
+replica-tier, cache on and off; historically only the unbatched path
+held this).
 
 Component coverage: the InferencePlan compiler (flat lowering, fusion/CSE
 preservation, compiled-plan caching on FittedPipeline), the micro-batcher
@@ -35,6 +38,7 @@ from repro.core.plan import PassDecision
 from repro.core.profiler import NodeProfile, PipelineProfile
 from repro.dataset import Context
 from repro.nodes.learning.linear import LinearSolver
+from repro.nodes.learning.logistic import LogisticRegressionEstimator
 from repro.nodes.learning.random_features import CosineRandomFeatures
 from repro.nodes.numeric import (
     Flatten,
@@ -83,6 +87,48 @@ def fitted_scenario(name):
     return _FITTED[name]
 
 
+_RAW_FITTED = {}
+
+
+def raw_scenario(name):
+    """Headless (raw-score-vector) pipelines, one per vectorizable
+    workload family — the pipelines the pre-kernel serving stack could
+    only serve byte-identically unbatched."""
+    if name not in _RAW_FITTED:
+        ctx = Context()
+        if name == "amazon":
+            wl = amazon_reviews(120, 16, vocab_size=200, seed=0)
+            pipe = (Pipeline.identity()
+                    .and_then(LowerCase())
+                    .and_then(Tokenizer())
+                    .and_then(TermFrequency(lambda c: 1.0))
+                    .and_then(CommonSparseFeatures(120), wl.train_data(ctx))
+                    .and_then(LinearSolver(), wl.train_data(ctx),
+                              wl.train_label_vectors(ctx)))
+        elif name == "logistic":
+            wl = timit_frames(80, 12, dim=16, num_classes=3, seed=2)
+            pipe = (Pipeline.identity()
+                    .and_then(StandardScaler(), wl.train_data(ctx))
+                    .and_then(LogisticRegressionEstimator(max_iter=8),
+                              wl.train_data(ctx),
+                              wl.train_label_vectors(ctx)))
+        else:
+            wl = (timit_frames(80, 12, dim=16, num_classes=3, seed=1)
+                  if name == "timit"
+                  else youtube8m(80, 12, dim=24, num_classes=4, seed=0))
+            pipe = (Pipeline.identity()
+                    .and_then(StandardScaler(), wl.train_data(ctx))
+                    .and_then(CosineRandomFeatures(16, seed=1),
+                              wl.train_data(ctx))
+                    .and_then(LinearSolver(), wl.train_data(ctx),
+                              wl.train_label_vectors(ctx)))
+        fitted = pipe.fit(level="none")
+        items = wl.test_items
+        _RAW_FITTED[name] = (fitted, items,
+                             comparable([fitted.apply(x) for x in items]))
+    return _RAW_FITTED[name]
+
+
 class TestServingEquivalence:
     """ModelServer == FittedPipeline.apply, byte for byte."""
 
@@ -107,30 +153,21 @@ class TestServingEquivalence:
             if cache_budget:
                 assert server.stats(name).models[f"{name}@v1"].cache_hits > 0
 
-    def test_unbatched_serving_matches_raw_scores(self):
-        """Without the classifier head, the inline path still matches
-        apply bit-for-bit (it runs the identical per-item ops)."""
-        wl = timit_frames(80, 12, dim=16, num_classes=3, seed=1)
-        ctx = Context()
-        pipe = _vector_pipeline(ctx, wl, 16)  # includes MaxClassifier...
-        fitted = pipe.fit(level="none")
-        # ...so strip to the raw-score prefix: serve the score pipeline.
-        wl_items = wl.test_items
-        raw = (Pipeline.identity()
-               .and_then(StandardScaler(), wl.train_data(ctx))
-               .and_then(CosineRandomFeatures(16, seed=1), wl.train_data(ctx))
-               .and_then(LinearSolver(), wl.train_data(ctx),
-                         wl.train_label_vectors(ctx))
-               .fit(level="none"))
-        expected = comparable([raw.apply(x) for x in wl_items])
-        server = ModelServer(micro_batching=False, cache_budget_bytes=1e7)
+    @pytest.mark.parametrize("batched", [True, False],
+                             ids=["batched", "unbatched"])
+    def test_serving_matches_raw_scores(self, batched):
+        """No classification head required: the kernel-lowered batched
+        path matches apply bit-for-bit on raw score vectors, exactly
+        like the inline per-item path always has."""
+        raw, wl_items, expected = raw_scenario("timit")
+        server = ModelServer(micro_batching=batched,
+                             cache_budget_bytes=1e7)
         with server:
             server.register("raw", raw, warmup_items=wl_items[:2])
             got = comparable(server.predict_many("raw", wl_items))
             again = comparable(server.predict_many("raw", wl_items))
         assert got == expected
         assert again == expected
-        assert comparable([fitted.apply(wl_items[0])])  # fitted still usable
 
 
 class TestInferencePlanCompiler:
@@ -526,7 +563,11 @@ class TestModelServer:
         assert model.batches >= 1
         assert 1 <= model.mean_batch_size <= 4
         assert model.cache_hit_rate > 0
-        assert model.plan_ops == len(fitted.inference_plan())
+        # register() compiles through VectorizePass by default, so the
+        # served plan can be shorter than the raw inference plan.
+        assert model.plan_ops == len(
+            compile_inference_plan(fitted, vectorize=True))
+        assert model.plan_ops <= len(fitted.inference_plan())
         text = stats.describe()
         assert "timit@v1" in text
         assert "p95" in text
@@ -1102,3 +1143,81 @@ class TestReplicaServing:
         server.close()
         with pytest.raises(ServerOverloadedError, match="stopped"):
             server.predict("m", items[0])
+
+
+class TestVectorizedServing:
+    """VectorizePass end to end: kernel-lowered serving is byte-identical
+    to ``fitted.apply`` on raw score vectors — batched, cache on and off,
+    single-process and replica-tier — and the rewrite is inspectable."""
+
+    @pytest.mark.parametrize("name",
+                             ["timit", "youtube8m", "amazon", "logistic"])
+    @pytest.mark.parametrize("cache_budget", [0.0, 1e7],
+                             ids=["cache-off", "cache-on"])
+    def test_batched_raw_scores_byte_identical(self, name, cache_budget):
+        fitted, items, expected = raw_scenario(name)
+        server = ModelServer(max_batch=8, max_delay_ms=5.0,
+                             cache_budget_bytes=cache_budget)
+        with server:
+            server.register(name, fitted, warmup_items=items[:3])
+            got = comparable(server.predict_many(name, items))
+            again = comparable(server.predict_many(name, items))
+        assert got == expected
+        assert again == expected
+
+    @pytest.mark.parametrize("name",
+                             ["timit", "youtube8m", "amazon", "logistic"])
+    def test_plan_run_batch_raw_scores_byte_identical(self, name):
+        fitted, items, expected = raw_scenario(name)
+        plan = compile_inference_plan(fitted, vectorize=True)
+        assert comparable(plan.run_batch(items)) == expected
+        assert comparable([plan.run_item(x) for x in items]) == expected
+
+    @pytest.mark.parametrize("name", ["timit", "amazon"])
+    def test_replica_tier_raw_scores_byte_identical(self, name):
+        """Replica workers inherit the kernel stages for free: the
+        pickled OpProgram carries the rewritten ops."""
+        fitted, items, expected = raw_scenario(name)
+        plan = compile_inference_plan(fitted, vectorize=True)
+        fleet = ReplicaSet(1, name=f"vectorized-{name}")
+        try:
+            fleet.load("m", plan.program)
+            assert comparable(fleet.run_batch("m", items)) == expected
+        finally:
+            fleet.shutdown()
+
+    def test_vectorize_knob_and_describe_membership(self):
+        fitted, items, _ = fitted_scenario("timit")
+        server = ModelServer()
+        with server:
+            on = server.register("on", fitted)
+            off = server.register("off", fitted, vectorize=False)
+            assert comparable(server.predict_many("on", items)) == \
+                comparable(server.predict_many("off", items))
+        assert len(on.plan) < len(off.plan)
+        desc = on.plan.describe()
+        assert "kernel[" in desc and "fold " in desc
+        assert "kernel[" not in off.plan.describe()
+
+    def test_cross_rewrite_cache_sharing(self):
+        """Grouped op keys combine deterministically (a stage keeps its
+        last member's key), so the content-addressed serving cache keeps
+        hitting across the vectorization rewrite: an interpreter-compiled
+        version's results answer a kernel-compiled version's repeats."""
+        fitted, items, expected = raw_scenario("amazon")
+        server = ModelServer(cache_budget_bytes=64e6)
+        with server:
+            v1 = server.register("m", fitted, version="v1",
+                                 vectorize=False, warmup_items=items[:3])
+            v2 = server.register("m", fitted, version="v2",
+                                 vectorize=True, warmup_items=items[:3])
+            assert (v1.plan.key_of(fitted.sink.id)
+                    == v2.plan.key_of(fitted.sink.id))
+            first = comparable(server.predict_many("m", items,
+                                                   version="v1"))
+            hits_before = v2.cache.hits
+            second = comparable(server.predict_many("m", items,
+                                                    version="v2"))
+        assert first == expected
+        assert second == expected
+        assert v2.cache.hits - hits_before >= len(items)
